@@ -1,0 +1,80 @@
+//! One Criterion benchmark per paper table/figure: each measures the time
+//! to regenerate that figure's series from scratch (all benchmark runs,
+//! baseline comparisons, and pricing). The `figures` binary prints the same
+//! series at publication-quality instruction budgets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simcore::{figures, report, Study, StudyConfig};
+
+/// Instruction budget per run inside the benches (kept small: a figure
+/// regenerates 22+ timing runs per iteration).
+const BENCH_INSTS: u64 = 20_000;
+
+fn fresh_study() -> Study {
+    Study::new(StudyConfig::with_insts(BENCH_INSTS))
+}
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_settling_times", |b| b.iter(report::render_table1));
+    group.bench_function("table2_machine_config", |b| b.iter(report::render_table2));
+    group.sample_size(10);
+    group.bench_function("table3_best_intervals", |b| {
+        b.iter(|| {
+            let mut study = fresh_study();
+            figures::best_interval_figures(&mut study, 11, 85.0).expect("runs succeed").2
+        })
+    });
+    group.finish();
+}
+
+fn savings_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("savings_figures");
+    group.sample_size(10);
+    for (id, l2, temp) in [
+        ("fig03_l2_5_110c", 5u32, 110.0),
+        ("fig05_l2_8_110c", 8, 110.0),
+        ("fig07_l2_11_85c", 11, 85.0),
+        ("fig08_l2_11_110c", 11, 110.0),
+        ("fig10_l2_17_110c", 17, 110.0),
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut study = fresh_study();
+                figures::savings_figure(&mut study, black_box(id), l2, temp).expect("runs succeed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn perf_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_figures");
+    group.sample_size(10);
+    for (id, l2) in
+        [("fig04_l2_5", 5u32), ("fig06_l2_8", 8), ("fig09_l2_11", 11), ("fig11_l2_17", 17)]
+    {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut study = fresh_study();
+                figures::perf_figure(&mut study, black_box(id), l2, 110.0).expect("runs succeed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn adaptivity_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptivity_figures");
+    group.sample_size(10);
+    group.bench_function("fig12_fig13_best_interval_sweep", |b| {
+        b.iter(|| {
+            let mut study = fresh_study();
+            figures::best_interval_figures(&mut study, 11, 85.0).expect("runs succeed")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_benches, savings_figures, perf_figures, adaptivity_figures);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the leakage and power models: Fig. 1 sweeps, the
+//! NAND2 k_design derivation (Fig. 2 / Eqs. 5–8), structure leakage, and
+//! parameter-variation sampling (§3.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotleakage::kdesign::{self, GateTopology};
+use hotleakage::structure::SramArray;
+use hotleakage::validation::{self, SweepKind};
+use hotleakage::{variation, Cell, CellKind, Environment, TechNode, VariationConfig};
+
+fn fig1_unit_leakage(c: &mut Criterion) {
+    let env = Environment::nominal(TechNode::N70);
+    let mut group = c.benchmark_group("fig1_unit_leakage");
+    for (name, kind) in [
+        ("a_aspect_ratio", SweepKind::AspectRatio),
+        ("b_supply_voltage", SweepKind::SupplyVoltage),
+        ("c_temperature", SweepKind::Temperature),
+        ("d_threshold_voltage", SweepKind::ThresholdVoltage),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| validation::sweep(black_box(&env), kind, black_box(64)))
+        });
+    }
+    group.finish();
+}
+
+fn fig2_nand_kdesign(c: &mut Criterion) {
+    let env = Environment::nominal(TechNode::N70);
+    let mut group = c.benchmark_group("fig2_kdesign");
+    group.bench_function("nand2_enumeration", |b| {
+        b.iter(|| kdesign::derive(black_box(&env), &GateTopology::nand(2)))
+    });
+    group.bench_function("sram6t_cell", |b| {
+        b.iter(|| Cell::new(CellKind::Sram6t).leakage_current(black_box(&env)))
+    });
+    group.finish();
+}
+
+fn structure_leakage(c: &mut Criterion) {
+    let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid operating point");
+    let l1d = SramArray::cache_data_array(1024, 512);
+    c.bench_function("l1d_array_leakage_power", |b| {
+        b.iter(|| black_box(&l1d).leakage_power(black_box(&env)))
+    });
+}
+
+fn variation_sampling(c: &mut Criterion) {
+    let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid operating point");
+    let cfg = VariationConfig::paper_70nm();
+    c.bench_function("inter_die_variation_1000_samples", |b| {
+        b.iter(|| variation::mean_leakage_factor(black_box(&env), &cfg).expect("valid config"))
+    });
+}
+
+criterion_group!(benches, fig1_unit_leakage, fig2_nand_kdesign, structure_leakage, variation_sampling);
+criterion_main!(benches);

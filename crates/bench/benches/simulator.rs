@@ -1,0 +1,99 @@
+//! Throughput benchmarks of the simulation substrates: cache accesses with
+//! and without decay machinery, the branch predictor, the out-of-order
+//! engine, and the workload generators.
+
+use cachesim::{AccessKind, Cache, CacheConfig, DecayConfig, DecayPolicy, StandbyBehavior};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use specgen::{Benchmark, SpecTrace};
+use uarch::bpred::{BranchPredictor, PredictorConfig};
+use uarch::core::table2_core;
+use uarch::insn::MicroOp;
+use uarch::trace::TraceSource;
+
+fn gated_decay(interval: u64) -> DecayConfig {
+    DecayConfig {
+        interval_cycles: interval,
+        policy: DecayPolicy::NoAccess,
+        tags_decay: true,
+        behavior: StandbyBehavior::Losing,
+        sleep_settle_cycles: 30,
+        wake_settle_cycles: 3,
+    }
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("no_decay", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1_64k_2way(), None).expect("valid config");
+            for i in 0..10_000u64 {
+                cache.access(black_box(i * 64 % 131_072), AccessKind::Read, i);
+            }
+            cache
+        })
+    });
+    group.bench_function("gated_decay", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_decay(2048)))
+                .expect("valid config");
+            for i in 0..10_000u64 {
+                cache.access(black_box(i * 64 % 131_072), AccessKind::Read, i * 4);
+                cache.advance_to(i * 4);
+            }
+            cache
+        })
+    });
+    group.finish();
+}
+
+fn branch_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_predictor");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("hybrid_predict_update", |b| {
+        b.iter(|| {
+            let mut p = BranchPredictor::new(PredictorConfig::table2());
+            for i in 0..10_000u64 {
+                let op = MicroOp::branch(0x1000 + (i % 512) * 4, i % 3 != 0, 0x2000);
+                p.predict_and_update(black_box(&op));
+            }
+            p
+        })
+    });
+    group.finish();
+}
+
+fn ooo_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ooo_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("gzip_50k_insts", |b| {
+        b.iter(|| {
+            let mut core = table2_core(11, None).expect("valid hierarchy");
+            let mut trace = SpecTrace::new(Benchmark::Gzip, 1);
+            core.run(&mut trace, 50_000)
+        })
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(100_000));
+    for bench in [Benchmark::Gzip, Benchmark::Mcf] {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let mut t = SpecTrace::new(bench, 7);
+                let mut acc = 0u64;
+                for _ in 0..100_000 {
+                    acc ^= t.next_op().expect("endless").pc;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_access, branch_predictor, ooo_engine, workload_generation);
+criterion_main!(benches);

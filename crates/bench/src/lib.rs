@@ -1,0 +1,10 @@
+//! # bench
+//!
+//! The benchmark harness of the reproduction:
+//!
+//! * `src/bin/figures.rs` — regenerates every table and figure of the paper
+//!   as textual series (`cargo run --release -p bench --bin figures`);
+//! * `benches/` — Criterion benchmarks, one group per table/figure, timing
+//!   the simulation pipeline that produces it (plus model microbenchmarks).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,761 @@
+//! A set-associative, write-back, write-allocate cache with optional
+//! per-line decay (leakage-control) machinery.
+//!
+//! ## Timing and accounting model
+//!
+//! The driver calls [`Cache::tick`] once per cycle (O(1): it advances the
+//! global decay counter; per-line work happens only on quarter-interval
+//! sweeps) and [`Cache::access`] per reference. Line power modes are
+//! resolved lazily: each line records when its current mode began, and the
+//! elapsed line-cycles are attributed to the right [`ModeCycles`] bucket
+//! whenever the line is next touched (access, sweep, or finalization). The
+//! integrals are exact — nothing is sampled.
+//!
+//! ## Induced-miss classification
+//!
+//! When a non-state-preserving line is deactivated its data is lost but the
+//! model remembers the *ghost* tag. A later miss that matches a ghost is an
+//! **induced miss** — the reference would have hit had decay not discarded
+//! the line (paper §2.1). A ghost displaced by replacement would have been
+//! evicted anyway, so its later miss is a **true miss**. This is the same
+//! definition hardware proposals use (they, too, cannot run a shadow cache).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CacheConfig, ConfigError};
+use crate::decay::{
+    DecayConfig, DecayPolicy, GlobalCounter, LineMode, StandbyBehavior, LOCAL_COUNTER_MAX,
+};
+use crate::stats::CacheStats;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load / instruction fetch.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Classification of a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissKind {
+    /// First touch of the line (never resident).
+    Cold,
+    /// Would have missed regardless of leakage control.
+    True,
+    /// Caused purely by decay discarding live data (non-state-preserving
+    /// techniques only).
+    Induced,
+}
+
+/// What one access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessResult {
+    /// Whether the reference hit (slow hits count as hits).
+    pub hit: bool,
+    /// Extra cycles beyond the configured hit latency (wake-ups, tag
+    /// wake-ups). For misses this stalls the L2 access start.
+    pub extra_latency: u32,
+    /// Miss classification (`None` on hits).
+    pub miss: Option<MissKind>,
+    /// A dirty victim was written back to the next level.
+    pub writeback: bool,
+    /// Tag-only probes performed (wake-and-check of decayed tags).
+    pub tag_probes: u32,
+    /// A standby line was woken by this access (for transition energy).
+    pub woke_line: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum LineData {
+    /// Never filled (or invalidated).
+    Empty,
+    /// Holds valid data.
+    Valid { dirty: bool },
+    /// Tag remembered but data lost to decay (non-state-preserving).
+    Ghost,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    data: LineData,
+    mode: LineMode,
+    mode_since: u64,
+    local_counter: u8,
+    lru_stamp: u64,
+}
+
+impl Line {
+    fn new() -> Self {
+        Line {
+            tag: 0,
+            data: LineData::Empty,
+            mode: LineMode::Active,
+            mode_since: 0,
+            local_counter: 0,
+            lru_stamp: 0,
+        }
+    }
+}
+
+/// A single cache level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    cfg: CacheConfig,
+    decay: Option<DecayConfig>,
+    lines: Vec<Line>,
+    global: GlobalCounter,
+    stats: CacheStats,
+    stamp: u64,
+    clock: u64,
+    ticks_seen: u64,
+}
+
+impl Cache {
+    /// Creates a cache; pass `decay` to enable leakage control on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry is invalid.
+    pub fn new(cfg: CacheConfig, decay: Option<DecayConfig>) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let period = decay.map(|d| d.quarter_interval()).unwrap_or(u64::MAX);
+        Ok(Cache {
+            cfg,
+            decay,
+            lines: vec![Line::new(); cfg.num_lines()],
+            global: GlobalCounter::new(period),
+            stats: CacheStats::default(),
+            stamp: 0,
+            clock: 0,
+            ticks_seen: 0,
+        })
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The decay configuration, if leakage control is enabled.
+    pub fn decay_config(&self) -> Option<&DecayConfig> {
+        self.decay.as_ref()
+    }
+
+    /// Statistics accumulated so far. Mode-cycle integrals are only current
+    /// up to the last [`Cache::snapshot`]/[`Cache::finalize`] call.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Attributes elapsed line-cycles of `line` up to `now` and resolves any
+    /// completed transition.
+    fn account(line: &mut Line, stats: &mut CacheStats, now: u64) {
+        let mut since = line.mode_since;
+        if since >= now {
+            return;
+        }
+        loop {
+            match line.mode {
+                LineMode::Active => {
+                    stats.mode_cycles.active += now - since;
+                    break;
+                }
+                LineMode::Standby => {
+                    stats.mode_cycles.standby += now - since;
+                    break;
+                }
+                LineMode::GoingToSleep { until } => {
+                    if now <= until {
+                        stats.mode_cycles.transitioning += now - since;
+                        break;
+                    }
+                    stats.mode_cycles.transitioning += until - since;
+                    line.mode = LineMode::Standby;
+                    since = until;
+                }
+                LineMode::Waking { until } => {
+                    if now <= until {
+                        stats.mode_cycles.transitioning += now - since;
+                        break;
+                    }
+                    stats.mode_cycles.transitioning += until - since;
+                    line.mode = LineMode::Active;
+                    since = until;
+                }
+            }
+        }
+        line.mode_since = now;
+    }
+
+    /// Advances the decay machinery by one cycle (the per-cycle global
+    /// counter tick). Cheap unless the counter wraps, in which case all
+    /// per-line counters are swept. Equivalent to `advance_to(now)` for
+    /// drivers that walk time cycle by cycle.
+    pub fn tick(&mut self, now: u64) {
+        self.advance_to(now.max(self.clock.saturating_add(1)));
+    }
+
+    /// Processes every global-counter wrap in `(current clock, now]` at its
+    /// exact cycle, then sets the clock to `now`. Lets time-jumping drivers
+    /// (the one-pass out-of-order model) keep decay semantics identical to
+    /// a per-cycle tick loop. Calls with `now` in the past are no-ops.
+    pub fn advance_to(&mut self, now: u64) {
+        if self.decay.is_none() || now <= self.clock {
+            return;
+        }
+        let period = self.global.period();
+        let elapsed = now - self.clock;
+        let already = self.ticks_seen % period;
+        // First wrap happens after (period - already) further ticks.
+        let mut next_wrap_in = period - already;
+        let mut processed = 0u64;
+        while processed + next_wrap_in <= elapsed {
+            processed += next_wrap_in;
+            let wrap_at = self.clock + processed;
+            self.stats.global_counter_wraps += 1;
+            self.global.wraps += 1;
+            self.sweep(wrap_at);
+            next_wrap_in = period;
+        }
+        self.ticks_seen += elapsed;
+        self.clock = now;
+    }
+
+    /// The cache's internal clock (latest cycle seen).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Changes the decay interval at runtime (adaptive decay schemes:
+    /// Kaxiras-style interval selection, adaptive mode control, feedback
+    /// control). Takes effect from the next global-counter wrap. No-op on a
+    /// cache without decay.
+    pub fn set_decay_interval(&mut self, interval_cycles: u64) {
+        if let Some(decay) = self.decay.as_mut() {
+            decay.interval_cycles = interval_cycles.max(4);
+            let period = decay.quarter_interval();
+            self.global = GlobalCounter::new(period);
+            self.ticks_seen = 0;
+        }
+    }
+
+    /// The quarter-interval sweep: increment local counters, deactivate
+    /// saturated (or, for the `simple` policy on full intervals, all) lines.
+    fn sweep(&mut self, now: u64) {
+        let decay = self.decay.expect("sweep only runs with decay enabled");
+        let full_interval = self.global.wraps.is_multiple_of(4);
+        for i in 0..self.lines.len() {
+            let line = &mut self.lines[i];
+            Self::account(line, &mut self.stats, now);
+            let should_sleep = match decay.policy {
+                DecayPolicy::NoAccess => {
+                    line.local_counter = (line.local_counter + 1).min(LOCAL_COUNTER_MAX);
+                    self.stats.local_counter_ticks += 1;
+                    line.local_counter >= LOCAL_COUNTER_MAX
+                }
+                DecayPolicy::Simple => full_interval,
+            };
+            if should_sleep && matches!(line.mode, LineMode::Active) {
+                Self::deactivate(line, &mut self.stats, &decay, now);
+            }
+        }
+    }
+
+    /// Puts one line into standby, handling dirty data per the technique.
+    fn deactivate(line: &mut Line, stats: &mut CacheStats, decay: &DecayConfig, now: u64) {
+        if decay.behavior == StandbyBehavior::Losing {
+            if let LineData::Valid { dirty } = line.data {
+                if dirty {
+                    stats.decay_writebacks += 1;
+                }
+                line.data = LineData::Ghost;
+            }
+        }
+        line.mode = LineMode::GoingToSleep { until: now + decay.sleep_settle_cycles as u64 };
+        line.mode_since = now;
+        stats.sleeps += 1;
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.cfg.assoc;
+        base..base + self.cfg.assoc
+    }
+
+    /// Performs one access at absolute cycle `now`.
+    ///
+    /// Accesses may arrive slightly out of time order (an out-of-order core
+    /// issues younger loads before older ones complete); the cache clamps
+    /// such timestamps to its internal clock so the decay accounting stays
+    /// monotonic.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> AccessResult {
+        self.advance_to(now);
+        let now = now.max(self.clock);
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (tag, set) = self.cfg.split(addr);
+        let range = self.set_range(set);
+
+        // Resolve modes of the whole set up to `now` first.
+        for i in range.clone() {
+            let line = &mut self.lines[i];
+            Self::account(line, &mut self.stats, now);
+        }
+
+        // Look for a matching way (live data or ghost).
+        let mut hit_way: Option<usize> = None;
+        let mut ghost_way: Option<usize> = None;
+        for i in range.clone() {
+            let line = &self.lines[i];
+            match line.data {
+                LineData::Valid { .. } if line.tag == tag => hit_way = Some(i),
+                LineData::Ghost if line.tag == tag => ghost_way = Some(i),
+                _ => {}
+            }
+        }
+
+        if let Some(i) = hit_way {
+            return self.hit(i, kind, now, stamp);
+        }
+
+        // Miss path.
+        let decay = self.decay;
+        let mut extra = 0u32;
+        let mut tag_probes = 0u32;
+        if let Some(d) = decay {
+            // State-preserving standby lines hold live data behind decayed
+            // tags: the tags must be woken and checked before the miss is
+            // known, costing the wake settle time (paper §2.3/§5.1).
+            // Non-state-preserving standby ways are knowably empty and are
+            // skipped — gated-V_ss is *faster* on true misses.
+            if d.tags_decay && d.behavior == StandbyBehavior::Preserving {
+                let standby_ways = range
+                    .clone()
+                    .filter(|&i| !self.lines[i].mode.is_fully_active())
+                    .count() as u32;
+                if standby_ways > 0 {
+                    extra += d.wake_settle_cycles;
+                    tag_probes += standby_ways;
+                    self.stats.wake_stall_cycles += d.wake_settle_cycles as u64;
+                    self.stats.tag_probes += standby_ways as u64;
+                }
+            }
+        }
+
+        let miss_kind = if ghost_way.is_some() { MissKind::Induced } else { MissKind::True };
+        let victim = ghost_way.unwrap_or_else(|| self.choose_victim(set));
+        let line = &mut self.lines[victim];
+
+        let mut writeback = false;
+        let mut cold = false;
+        match line.data {
+            LineData::Valid { dirty } => writeback = dirty,
+            LineData::Empty => cold = true,
+            LineData::Ghost => {}
+        }
+
+        // Refill: the wake (3 cycles) overlaps the next-level fetch, so no
+        // extra latency is charged beyond the stalls above. Out-of-order
+        // timestamps must not move `mode_since` backwards past cycles that
+        // were already attributed (the integral would double-count them).
+        let now = now.max(line.mode_since);
+        let woke = !line.mode.is_fully_active();
+        line.tag = tag;
+        line.data = LineData::Valid { dirty: kind == AccessKind::Write };
+        line.mode = LineMode::Active;
+        line.mode_since = now;
+        line.local_counter = 0;
+        line.lru_stamp = stamp;
+        if woke {
+            self.stats.wakes += 1;
+        }
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        let miss = match miss_kind {
+            MissKind::Induced => {
+                self.stats.induced_misses += 1;
+                MissKind::Induced
+            }
+            _ => {
+                self.stats.true_misses += 1;
+                if cold {
+                    MissKind::Cold
+                } else {
+                    MissKind::True
+                }
+            }
+        };
+        AccessResult { hit: false, extra_latency: extra, miss: Some(miss), writeback, tag_probes, woke_line: woke }
+    }
+
+    /// Handles a hit on way `i`, including slow hits on standby lines.
+    fn hit(&mut self, i: usize, kind: AccessKind, now: u64, stamp: u64) -> AccessResult {
+        let decay = self.decay;
+        let line = &mut self.lines[i];
+        // See the refill path: never rewind past already-accounted cycles.
+        let now = now.max(line.mode_since);
+        let mut extra = 0u32;
+        let mut woke = false;
+        let mut tag_probes = 0u32;
+        match line.mode {
+            LineMode::Active => {}
+            LineMode::Waking { until } => {
+                // Another access arrived while the line was waking: wait out
+                // the remainder.
+                extra = (until - now) as u32;
+            }
+            LineMode::Standby | LineMode::GoingToSleep { .. } => {
+                // Slow hit (state-preserving only — losing lines are ghosts
+                // and never reach here). With decayed tags the tags must be
+                // woken before they can even be checked (≥ wake settle);
+                // with live tags only the data array wakes (1–2 cycles).
+                let d = decay.expect("standby line implies decay enabled");
+                extra = if d.tags_decay {
+                    tag_probes = 1;
+                    self.stats.tag_probes += 1;
+                    d.wake_settle_cycles
+                } else {
+                    d.wake_settle_cycles.saturating_sub(1).max(1)
+                };
+                woke = true;
+                self.stats.wakes += 1;
+                self.stats.slow_hits += 1;
+                self.stats.wake_stall_cycles += extra as u64;
+            }
+        }
+        if woke || matches!(line.mode, LineMode::Waking { .. }) {
+            line.mode = LineMode::Waking { until: now + extra as u64 };
+            line.mode_since = now;
+        }
+        if !woke && matches!(line.mode, LineMode::Active) {
+            self.stats.hits += 1;
+        } else if !woke {
+            // Hit on a waking line: counts as a (delayed) hit.
+            self.stats.hits += 1;
+        }
+        if kind == AccessKind::Write {
+            line.data = LineData::Valid { dirty: true };
+        }
+        line.local_counter = 0;
+        line.lru_stamp = stamp;
+        AccessResult {
+            hit: true,
+            extra_latency: extra,
+            miss: None,
+            writeback: false,
+            tag_probes,
+            woke_line: woke,
+        }
+    }
+
+    /// Victim priority: empty ways, then ghosts (data already lost), then
+    /// true LRU.
+    fn choose_victim(&self, set: usize) -> usize {
+        let range = self.set_range(set);
+        let mut best = range.start;
+        let mut best_key = (2u8, u64::MAX);
+        for i in range {
+            let line = &self.lines[i];
+            let class = match line.data {
+                LineData::Empty => 0u8,
+                LineData::Ghost => 1,
+                LineData::Valid { .. } => 2,
+            };
+            let key = (class, line.lru_stamp);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Non-mutating lookup: returns whether `addr` currently hits live data.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (tag, set) = self.cfg.split(addr);
+        self.set_range(set).any(|i| {
+            let line = &self.lines[i];
+            line.tag == tag && matches!(line.data, LineData::Valid { .. })
+        })
+    }
+
+    /// Current number of lines whose mode would be `Standby` at `now`
+    /// (resolves transitions read-only; intended for tests and probes, not
+    /// the hot path).
+    pub fn standby_line_count(&self, now: u64) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| match l.mode {
+                LineMode::Standby => true,
+                LineMode::GoingToSleep { until } => now >= until,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Brings the mode-cycle integrals up to `now` for every line. Call at
+    /// simulation end (or before re-pricing leakage mid-run).
+    pub fn snapshot(&mut self, now: u64) {
+        for i in 0..self.lines.len() {
+            let line = &mut self.lines[i];
+            Self::account(line, &mut self.stats, now);
+        }
+    }
+
+    /// Alias for [`Cache::snapshot`] conveying intent at end of run.
+    pub fn finalize(&mut self, now: u64) {
+        self.snapshot(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gated_cfg(interval: u64) -> DecayConfig {
+        DecayConfig {
+            interval_cycles: interval,
+            policy: DecayPolicy::NoAccess,
+            tags_decay: true,
+            behavior: StandbyBehavior::Losing,
+            sleep_settle_cycles: 30,
+            wake_settle_cycles: 3,
+        }
+    }
+
+    fn drowsy_cfg(interval: u64) -> DecayConfig {
+        DecayConfig {
+            interval_cycles: interval,
+            policy: DecayPolicy::NoAccess,
+            tags_decay: true,
+            behavior: StandbyBehavior::Preserving,
+            sleep_settle_cycles: 3,
+            wake_settle_cycles: 3,
+        }
+    }
+
+    fn run_idle(cache: &mut Cache, from: u64, cycles: u64) -> u64 {
+        for t in from..from + cycles {
+            cache.tick(t);
+        }
+        from + cycles
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), None).unwrap();
+        let r = c.access(0x1000, AccessKind::Read, 0);
+        assert!(!r.hit);
+        assert_eq!(r.miss, Some(MissKind::Cold));
+        let r = c.access(0x1000, AccessKind::Read, 1);
+        assert!(r.hit);
+        assert_eq!(r.extra_latency, 0);
+    }
+
+    #[test]
+    fn lru_eviction_in_2way_set() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), None).unwrap();
+        let stride = (c.config().num_sets() * c.config().line_bytes) as u64;
+        c.access(0x0, AccessKind::Read, 0);
+        c.access(stride, AccessKind::Read, 1);
+        c.access(0x0, AccessKind::Read, 2); // touch way 0 again
+        let r = c.access(2 * stride, AccessKind::Read, 3); // evicts `stride`
+        assert!(!r.hit);
+        assert!(c.probe(0x0), "recently used line survives");
+        assert!(!c.probe(stride), "LRU line evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), None).unwrap();
+        let stride = (c.config().num_sets() * c.config().line_bytes) as u64;
+        c.access(0x0, AccessKind::Write, 0);
+        c.access(stride, AccessKind::Read, 1);
+        let r = c.access(2 * stride, AccessKind::Read, 2);
+        assert!(r.writeback, "dirty LRU victim must be written back");
+    }
+
+    #[test]
+    fn idle_line_decays_after_full_interval() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        c.access(0x1000, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 1024 + 40);
+        assert!(c.standby_line_count(now) > 0, "idle lines must decay");
+        assert!(!c.probe(0x1000), "gated line loses its data");
+    }
+
+    #[test]
+    fn gated_reaccess_is_induced_miss() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        c.access(0x1000, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 2048);
+        let r = c.access(0x1000, AccessKind::Read, now);
+        assert!(!r.hit);
+        assert_eq!(r.miss, Some(MissKind::Induced));
+        assert_eq!(c.stats().induced_misses, 1);
+    }
+
+    #[test]
+    fn drowsy_reaccess_is_slow_hit() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(drowsy_cfg(1024))).unwrap();
+        c.access(0x1000, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 2048);
+        let r = c.access(0x1000, AccessKind::Read, now);
+        assert!(r.hit, "drowsy preserves data");
+        assert_eq!(r.extra_latency, 3, "drowsy tags cost the full wake settle");
+        assert_eq!(c.stats().slow_hits, 1);
+        assert_eq!(c.stats().induced_misses, 0);
+    }
+
+    #[test]
+    fn drowsy_without_tag_decay_is_faster() {
+        let mut cfg = drowsy_cfg(1024);
+        cfg.tags_decay = false;
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(cfg)).unwrap();
+        c.access(0x1000, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 2048);
+        let r = c.access(0x1000, AccessKind::Read, now);
+        assert!(r.hit);
+        assert_eq!(r.extra_latency, 2, "data-only wake is 1-2 cycles");
+    }
+
+    #[test]
+    fn drowsy_true_miss_pays_tag_wake_but_gated_does_not() {
+        // Both caches hold a decayed line in the target set; a miss to a
+        // *different* tag must wake drowsy tags but can skip gated ways.
+        let stride = (CacheConfig::l1_64k_2way().num_sets() * 64) as u64;
+        let mut drowsy = Cache::new(CacheConfig::l1_64k_2way(), Some(drowsy_cfg(1024))).unwrap();
+        drowsy.access(0x0, AccessKind::Read, 0);
+        let now = run_idle(&mut drowsy, 0, 2048);
+        let r = drowsy.access(stride, AccessKind::Read, now);
+        assert!(!r.hit);
+        assert_eq!(r.extra_latency, 3, "drowsy wakes tags on a true miss");
+        assert!(r.tag_probes > 0);
+
+        let mut gated = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        gated.access(0x0, AccessKind::Read, 0);
+        let now = run_idle(&mut gated, 0, 2048);
+        let r = gated.access(stride, AccessKind::Read, now);
+        assert!(!r.hit);
+        assert_eq!(r.extra_latency, 0, "gated skips standby ways entirely");
+        assert_eq!(r.tag_probes, 0);
+    }
+
+    #[test]
+    fn dirty_gated_line_writes_back_on_decay() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        c.access(0x1000, AccessKind::Write, 0);
+        run_idle(&mut c, 0, 2048);
+        assert_eq!(c.stats().decay_writebacks, 1);
+    }
+
+    #[test]
+    fn drowsy_dirty_line_never_decay_writes_back() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(drowsy_cfg(1024))).unwrap();
+        c.access(0x1000, AccessKind::Write, 0);
+        run_idle(&mut c, 0, 4096);
+        assert_eq!(c.stats().decay_writebacks, 0);
+    }
+
+    #[test]
+    fn accessed_lines_do_not_decay() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        let mut now = 0u64;
+        for _ in 0..16 {
+            c.access(0x1000, AccessKind::Read, now);
+            now = run_idle(&mut c, now, 200); // re-touch well within interval
+        }
+        assert!(c.probe(0x1000), "frequently touched line must stay live");
+        assert_eq!(c.stats().induced_misses, 0);
+    }
+
+    #[test]
+    fn simple_policy_flushes_everything() {
+        let mut cfg = drowsy_cfg(1024);
+        cfg.policy = DecayPolicy::Simple;
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(cfg)).unwrap();
+        let mut now = 0;
+        // Touch the line every 300 cycles — under `noaccess` it would stay
+        // awake, but `simple` flushes all lines every full interval.
+        let mut saw_slow_hit = false;
+        for _ in 0..8 {
+            let r = c.access(0x2000, AccessKind::Read, now);
+            saw_slow_hit |= r.hit && r.extra_latency > 0;
+            now = run_idle(&mut c, now, 300);
+        }
+        assert!(saw_slow_hit, "simple policy must put even hot lines to sleep");
+    }
+
+    #[test]
+    fn mode_cycles_conserve_total() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(512))).unwrap();
+        c.access(0x0, AccessKind::Read, 0);
+        c.access(0x40, AccessKind::Read, 1);
+        let now = run_idle(&mut c, 0, 5000);
+        c.finalize(now);
+        let mc = c.stats().mode_cycles;
+        let expect = c.config().num_lines() as u64 * now;
+        assert_eq!(mc.total(), expect, "every line-cycle lands in exactly one bucket");
+        assert!(mc.standby > 0);
+    }
+
+    #[test]
+    fn turnoff_ratio_high_when_idle() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(512))).unwrap();
+        let now = run_idle(&mut c, 0, 20_000);
+        c.finalize(now);
+        assert!(
+            c.stats().mode_cycles.turnoff_ratio() > 0.9,
+            "an untouched cache should be almost fully deactivated, got {}",
+            c.stats().mode_cycles.turnoff_ratio()
+        );
+    }
+
+    #[test]
+    fn counter_activity_is_counted() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
+        run_idle(&mut c, 0, 1024);
+        assert_eq!(c.stats().global_counter_wraps, 4);
+        assert_eq!(c.stats().local_counter_ticks, 4 * c.config().num_lines() as u64);
+    }
+
+    #[test]
+    fn ghost_displaced_by_replacement_is_true_miss() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(512))).unwrap();
+        let stride = (c.config().num_sets() * c.config().line_bytes) as u64;
+        c.access(0x0, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 1200); // 0x0 decays to ghost
+        // Two new tags fill both ways (ghost way is preferred victim).
+        c.access(stride, AccessKind::Read, now);
+        c.access(2 * stride, AccessKind::Read, now + 1);
+        let r = c.access(0x0, AccessKind::Read, now + 2);
+        assert_eq!(r.miss, Some(MissKind::True), "displaced ghost would have been evicted anyway");
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), None).unwrap();
+        let stride = (c.config().num_sets() * c.config().line_bytes) as u64;
+        c.access(0x0, AccessKind::Read, 0);
+        c.access(0x0, AccessKind::Write, 1);
+        c.access(stride, AccessKind::Read, 2);
+        let r = c.access(2 * stride, AccessKind::Read, 3);
+        assert!(r.writeback, "write-hit line must be dirty at eviction");
+    }
+
+    #[test]
+    fn no_decay_cache_never_sleeps() {
+        let mut c = Cache::new(CacheConfig::l1_64k_2way(), None).unwrap();
+        c.access(0x0, AccessKind::Read, 0);
+        let now = run_idle(&mut c, 0, 100_000);
+        assert_eq!(c.standby_line_count(now), 0);
+        assert_eq!(c.stats().sleeps, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Line reuse-interval profiling: the quantity cache decay gambles on.
+//!
+//! A decay interval `D` deactivates any line idle for `D` cycles. Whether
+//! that wins depends on the distribution of **reuse intervals** (cycles
+//! between consecutive accesses to the same line): reuses shorter than `D`
+//! are unaffected, reuses longer than `D` become slow hits (drowsy) or
+//! induced misses (gated-V_ss), and lines never reused are pure profit.
+//! The per-benchmark best intervals of the paper's Table 3 are exactly the
+//! knees of these distributions.
+//!
+//! [`ReuseProfiler`] collects the distribution in logarithmic buckets from
+//! `(line address, cycle)` pairs, independent of any cache instance.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets (covers intervals up to 2^47 cycles).
+pub const BUCKETS: usize = 48;
+
+/// Collects the distribution of per-line reuse intervals.
+///
+/// ```
+/// use cachesim::reuse::ReuseProfiler;
+///
+/// let mut p = ReuseProfiler::new();
+/// p.record(0x1000, 0);
+/// p.record(0x1000, 100);   // reuse after 100 cycles
+/// p.record(0x2000, 50);    // first touch: no interval yet
+/// assert_eq!(p.reuses(), 1);
+/// assert!(p.fraction_reused_within(128) > 0.99);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseProfiler {
+    last_access: HashMap<u64, u64>,
+    buckets: Vec<u64>,
+    reuses: u64,
+    first_touches: u64,
+}
+
+impl ReuseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        ReuseProfiler {
+            last_access: HashMap::new(),
+            buckets: vec![0; BUCKETS],
+            reuses: 0,
+            first_touches: 0,
+        }
+    }
+
+    /// Records an access to the line containing `addr` (64 B lines) at
+    /// cycle `now`.
+    pub fn record(&mut self, addr: u64, now: u64) {
+        let line = addr >> 6;
+        match self.last_access.insert(line, now) {
+            None => self.first_touches += 1,
+            Some(prev) => {
+                let gap = now.saturating_sub(prev);
+                let bucket = (64 - gap.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+                self.buckets[bucket] += 1;
+                self.reuses += 1;
+            }
+        }
+    }
+
+    /// Total reuse events observed.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Distinct lines touched.
+    pub fn lines_touched(&self) -> usize {
+        self.last_access.len()
+    }
+
+    /// Fraction of reuses with interval ≤ `cycles` — the reuses a decay
+    /// interval of `cycles` does *not* disturb. Counts whole buckets whose
+    /// ceiling fits under `cycles` (a conservative, bucket-floor
+    /// approximation for non-power-of-two queries).
+    pub fn fraction_reused_within(&self, cycles: u64) -> f64 {
+        if self.reuses == 0 {
+            return 0.0;
+        }
+        // Bucket i covers [2^i, 2^{i+1}); include it iff 2^{i+1} - 1 <= cycles.
+        let bits = 64 - (cycles.saturating_add(1)).leading_zeros() as usize;
+        if bits < 2 {
+            return 0.0;
+        }
+        let cutoff = (bits - 2).min(BUCKETS - 1);
+        let within: u64 = self.buckets[..=cutoff].iter().sum();
+        within as f64 / self.reuses as f64
+    }
+
+    /// Expected reuses a decay interval `d` converts into wake-ups (slow
+    /// hits or induced misses), per recorded reuse.
+    pub fn disturbed_fraction(&self, d: u64) -> f64 {
+        1.0 - self.fraction_reused_within(d)
+    }
+
+    /// The log₂ histogram `(bucket_floor_cycles, count)`.
+    pub fn histogram(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+
+    /// The smallest power-of-two interval that leaves at least `keep`
+    /// fraction of reuses undisturbed — a direct predictor of the
+    /// technique's preferred decay interval.
+    pub fn interval_keeping(&self, keep: f64) -> u64 {
+        for i in 0..BUCKETS {
+            let d = 1u64 << i;
+            if self.fraction_reused_within(d) >= keep {
+                return d;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_not_a_reuse() {
+        let mut p = ReuseProfiler::new();
+        p.record(0, 10);
+        p.record(64, 20);
+        assert_eq!(p.reuses(), 0);
+        assert_eq!(p.lines_touched(), 2);
+    }
+
+    #[test]
+    fn same_line_offsets_share_intervals() {
+        let mut p = ReuseProfiler::new();
+        p.record(0x100, 0);
+        p.record(0x108, 500); // same 64 B line
+        assert_eq!(p.reuses(), 1);
+        assert!(p.fraction_reused_within(512) > 0.99);
+        assert!(p.fraction_reused_within(256) < 0.01);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut p = ReuseProfiler::new();
+        let mut now = 0;
+        for i in 0..1000u64 {
+            now += (i % 13 + 1) * 17;
+            p.record((i % 64) * 64, now);
+        }
+        let mut prev = 0.0;
+        for shift in 0..30 {
+            let f = p.fraction_reused_within(1 << shift);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((prev - 1.0).abs() < 1e-12, "all reuses eventually covered");
+    }
+
+    #[test]
+    fn interval_keeping_finds_the_knee() {
+        let mut p = ReuseProfiler::new();
+        // All reuses at ~1000-cycle gaps.
+        for i in 0..100u64 {
+            p.record(0x40 * (i % 4), i * 1000);
+        }
+        let d = p.interval_keeping(0.95);
+        assert!(d >= 4096, "4 lines touched round-robin every 1k: reuse gap 4k, got {d}");
+        assert!(d <= 8192);
+    }
+
+    #[test]
+    fn disturbed_fraction_complements_cdf() {
+        let mut p = ReuseProfiler::new();
+        p.record(0, 0);
+        p.record(0, 100);
+        p.record(0, 100_100);
+        assert!((p.disturbed_fraction(1024) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_lists_nonzero_buckets_only() {
+        let mut p = ReuseProfiler::new();
+        p.record(0, 0);
+        p.record(0, 1000);
+        let h = p.histogram();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].1, 1);
+        assert!(h[0].0 <= 1000 && h[0].0 * 2 > 1000 / 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-cache statistics, including the mode-cycle integrals the leakage
+//! accounting consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle-weighted occupancy of each line mode, accumulated by
+/// [`crate::Cache::tick`]. `standby` cycles are the gross leakage-saving
+/// opportunity; `active + transitioning` leak at the full rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeCycles {
+    /// Line-cycles spent fully active.
+    pub active: u64,
+    /// Line-cycles spent in low-leakage standby.
+    pub standby: u64,
+    /// Line-cycles spent settling (either direction) — leaking at the
+    /// active rate but unavailable for normal access.
+    pub transitioning: u64,
+}
+
+impl ModeCycles {
+    /// Total line-cycles observed.
+    pub fn total(&self) -> u64 {
+        self.active + self.standby + self.transitioning
+    }
+
+    /// The *turnoff ratio*: fraction of line-cycles spent saving leakage
+    /// (paper §2.3 — savings are proportional to this).
+    pub fn turnoff_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.standby as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Event counts for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Hits on fully-active lines.
+    pub hits: u64,
+    /// Hits on standby/waking lines (state-preserving techniques only) —
+    /// the drowsy paper's *slow hits*.
+    pub slow_hits: u64,
+    /// Misses whose data was discarded by decay (would have hit without it).
+    pub induced_misses: u64,
+    /// Misses that would have occurred regardless of decay.
+    pub true_misses: u64,
+    /// Dirty evictions (writebacks to the next level) from replacement.
+    pub writebacks: u64,
+    /// Dirty writebacks forced by deactivating a dirty line under a
+    /// non-state-preserving technique.
+    pub decay_writebacks: u64,
+    /// Lines put into standby.
+    pub sleeps: u64,
+    /// Lines woken from standby.
+    pub wakes: u64,
+    /// Extra cycles added to accesses by wake-ups and tag wake-ups.
+    pub wake_stall_cycles: u64,
+    /// Tag-only probes (waking/checking decayed tags).
+    pub tag_probes: u64,
+    /// Local (two-bit) counter increments performed.
+    pub local_counter_ticks: u64,
+    /// Global counter wraps.
+    pub global_counter_wraps: u64,
+    /// Mode-cycle integrals.
+    pub mode_cycles: ModeCycles,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total misses of any kind.
+    pub fn misses(&self) -> u64 {
+        self.induced_misses + self.true_misses
+    }
+
+    /// Miss ratio over all accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turnoff_ratio_bounds() {
+        let mc = ModeCycles { active: 25, standby: 75, transitioning: 0 };
+        assert!((mc.turnoff_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(ModeCycles::default().turnoff_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_counts_both_kinds() {
+        let s = CacheStats {
+            reads: 80,
+            writes: 20,
+            induced_misses: 5,
+            true_misses: 5,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_ratio() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_access_miss_ratio_is_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Ablations of the design choices DESIGN.md calls out: tag decay (§5.3),
+//! the `simple` vs `noaccess` policy (§2.3), and the machine's latency
+//! tolerance (MSHRs / branch prediction — §5.1's hiding mechanism).
+
+use cachesim::{DecayPolicy, Hierarchy, HierarchyConfig};
+use leakctl::{Technique, TechniqueKind};
+use serde::{Deserialize, Serialize};
+use specgen::{Benchmark, SpecTrace};
+use uarch::{Core, CoreConfig};
+
+use crate::config::StudyConfig;
+use crate::pricing::{self, CacheArrays};
+use crate::study::{technique_of, RawRun, Study, StudyError};
+
+/// One ablation row: a configuration label with the two study metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration description.
+    pub label: String,
+    /// Average net savings over the 11 benchmarks, percent.
+    pub net_savings_pct: f64,
+    /// Average performance loss, percent.
+    pub perf_loss_pct: f64,
+}
+
+fn averaged(
+    study: &mut Study,
+    technique: Technique,
+    l2: u32,
+    temp: f64,
+    label: &str,
+) -> Result<AblationRow, StudyError> {
+    let mut sav = 0.0;
+    let mut loss = 0.0;
+    for b in Benchmark::ALL {
+        let r = study.compare(b, technique, l2, temp)?;
+        sav += r.net_savings_pct / 11.0;
+        loss += r.perf_loss_pct / 11.0;
+    }
+    Ok(AblationRow { label: label.to_string(), net_savings_pct: sav, perf_loss_pct: loss })
+}
+
+/// §5.3: decayed vs live tags for both techniques.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn tag_decay(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
+    let mut rows = Vec::new();
+    for kind in TechniqueKind::STUDIED {
+        for tags_decay in [true, false] {
+            let technique = Technique { tags_decay, ..technique_of(kind, 4096) };
+            let label = format!(
+                "{} / {} tags",
+                kind.name(),
+                if tags_decay { "decayed" } else { "live" }
+            );
+            rows.push(averaged(study, technique, l2, temp, &label)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// §2.3: the `noaccess` counter policy vs the history-free `simple` policy.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn decay_policy(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
+    let mut rows = Vec::new();
+    for kind in TechniqueKind::STUDIED {
+        for policy in [DecayPolicy::NoAccess, DecayPolicy::Simple] {
+            let technique = Technique { policy, ..technique_of(kind, 4096) };
+            let label = format!(
+                "{} / {}",
+                kind.name(),
+                match policy {
+                    DecayPolicy::NoAccess => "noaccess",
+                    DecayPolicy::Simple => "simple",
+                }
+            );
+            rows.push(averaged(study, technique, l2, temp, &label)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Executes one run with a custom core configuration (MSHR / predictor
+/// ablations).
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if the hierarchy cannot be built.
+pub fn execute_with_core(
+    benchmark: Benchmark,
+    technique: &Technique,
+    cfg: &StudyConfig,
+    l2_latency: u32,
+    core_cfg: CoreConfig,
+) -> Result<RawRun, StudyError> {
+    let hierarchy = Hierarchy::new(HierarchyConfig::table2(l2_latency, technique.decay_config()))?;
+    let mut core = Core::new(core_cfg, hierarchy);
+    let mut trace = SpecTrace::new(benchmark, cfg.seed);
+    let stats = core.run(&mut trace, cfg.insts);
+    Ok(RawRun { cycles: stats.cycles, core: stats, l1d: *core.hierarchy().l1d().stats() })
+}
+
+/// §5.1 reason 4 ablation: gated-V_ss's induced-miss tolerance vs the
+/// machine's memory-level parallelism. Returns
+/// `(mshrs, gated perf-loss %)` rows for one benchmark.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn mshr_sensitivity(
+    benchmark: Benchmark,
+    cfg: &StudyConfig,
+    l2_latency: u32,
+    mshr_counts: &[usize],
+) -> Result<Vec<(usize, f64)>, StudyError> {
+    let technique = Technique::gated_vss(4096);
+    let mut rows = Vec::new();
+    for &mshrs in mshr_counts {
+        let core_cfg = CoreConfig { mshrs, ..CoreConfig::table2() };
+        let base =
+            execute_with_core(benchmark, &Technique::none(), cfg, l2_latency, core_cfg)?;
+        let tech = execute_with_core(benchmark, &technique, cfg, l2_latency, core_cfg)?;
+        rows.push((mshrs, pricing::perf_loss_pct(base.cycles, tech.cycles)));
+    }
+    Ok(rows)
+}
+
+/// Net-savings comparison with perfect branch prediction (isolating the
+/// memory system): returns `(real-bpred row, perfect-bpred row)` for the
+/// given technique, averaged over a benchmark subset.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn bpred_sensitivity(
+    kind: TechniqueKind,
+    cfg: &StudyConfig,
+    l2_latency: u32,
+    temp: f64,
+    benchmarks: &[Benchmark],
+) -> Result<(AblationRow, AblationRow), StudyError> {
+    let technique = technique_of(kind, 4096);
+    let arrays = CacheArrays::table2_l1d();
+    let env = cfg.environment(temp)?;
+    let mut rows = Vec::new();
+    for perfect in [false, true] {
+        let core_cfg = CoreConfig { perfect_bpred: perfect, ..CoreConfig::table2() };
+        let mut sav = 0.0;
+        let mut loss = 0.0;
+        for &b in benchmarks {
+            let base = execute_with_core(b, &Technique::none(), cfg, l2_latency, core_cfg)?;
+            let tech = execute_with_core(b, &technique, cfg, l2_latency, core_cfg)?;
+            let p_base = pricing::price(&base, &Technique::none(), &env, &arrays)?;
+            let p_tech = pricing::price(&tech, &technique, &env, &arrays)?;
+            sav += pricing::net_savings(&p_base, &p_tech) * 100.0 / benchmarks.len() as f64;
+            loss += pricing::perf_loss_pct(base.cycles, tech.cycles) / benchmarks.len() as f64;
+        }
+        rows.push(AblationRow {
+            label: format!(
+                "{} / {} bpred",
+                kind.name(),
+                if perfect { "perfect" } else { "real" }
+            ),
+            net_savings_pct: sav,
+            perf_loss_pct: loss,
+        });
+    }
+    let perfect = rows.pop().expect("two rows pushed");
+    let real = rows.pop().expect("two rows pushed");
+    Ok((real, perfect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StudyConfig {
+        StudyConfig { insts: 60_000, ..StudyConfig::default() }
+    }
+
+    #[test]
+    fn tag_decay_rows_cover_all_configs() {
+        let mut study = Study::new(cfg());
+        let rows = tag_decay(&mut study, 11, 110.0).expect("runs");
+        assert_eq!(rows.len(), 4);
+        let drowsy_decayed = &rows[0];
+        let drowsy_live = &rows[1];
+        assert!(
+            drowsy_live.perf_loss_pct < drowsy_decayed.perf_loss_pct,
+            "live tags must remove drowsy's wake penalty: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn simple_policy_trades_performance_for_turnoff() {
+        let mut study = Study::new(cfg());
+        let rows = decay_policy(&mut study, 11, 110.0).expect("runs");
+        assert_eq!(rows.len(), 4);
+        let (noaccess, simple) = (&rows[0], &rows[1]);
+        assert!(
+            simple.perf_loss_pct > noaccess.perf_loss_pct,
+            "simple must cost performance: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn fewer_mshrs_hurt_gated() {
+        let rows = mshr_sensitivity(Benchmark::Gzip, &cfg(), 11, &[1, 8]).expect("runs");
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[0].1 > rows[1].1,
+            "one MSHR must hide induced misses worse than eight: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn bpred_sensitivity_runs() {
+        let (real, perfect) =
+            bpred_sensitivity(TechniqueKind::GatedVss, &cfg(), 11, 110.0, &[Benchmark::Twolf])
+                .expect("runs");
+        assert!(real.net_savings_pct.is_finite());
+        assert!(perfect.net_savings_pct.is_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! Workload analysis: reuse-interval profiles and their Table 3
+//! predictions.
+//!
+//! Table 3's per-benchmark best decay intervals are a function of each
+//! workload's line reuse-interval distribution and each technique's
+//! break-even economics ([`leakctl::economics`]). This module profiles the
+//! generated traces directly and computes the analytic prediction, which
+//! the simulated sweep can then be checked against — a closed loop between
+//! the workload model and the experiment.
+
+use cachesim::reuse::ReuseProfiler;
+use leakctl::Technique;
+use serde::{Deserialize, Serialize};
+use specgen::{Benchmark, SpecTrace};
+use uarch::TraceSource;
+
+use crate::config::StudyConfig;
+use crate::pricing::CacheArrays;
+use crate::study::StudyError;
+
+/// The reuse profile of one benchmark's data stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Distinct lines touched.
+    pub lines_touched: usize,
+    /// Fraction of reuses within 1 k / 4 k / 16 k / 64 k cycles.
+    pub reuse_cdf: [f64; 4],
+    /// The smallest power-of-two interval keeping ≥ 99 % of reuses
+    /// undisturbed (an analytic proxy for the gated-V_ss-preferred
+    /// interval: the decisive reuse traffic — the resident sets — is a
+    /// small fraction of accesses, so the deep tail is what matters).
+    pub interval_99: u64,
+}
+
+/// Profiles `benchmark`'s memory stream over `insts` instructions,
+/// approximating cycles as instructions divided by a unit IPC (reuse
+/// *ordering* across benchmarks is what matters; the technique economics
+/// rescale absolute values).
+pub fn profile_workload(benchmark: Benchmark, insts: u64, seed: u64) -> WorkloadProfile {
+    let mut trace = SpecTrace::new(benchmark, seed);
+    let mut profiler = ReuseProfiler::new();
+    let mut now = 0u64;
+    for _ in 0..insts {
+        let Some(op) = trace.next_op() else { break };
+        now += 1;
+        if op.class.is_mem() {
+            profiler.record(op.mem_addr, now);
+        }
+    }
+    WorkloadProfile {
+        benchmark,
+        lines_touched: profiler.lines_touched(),
+        reuse_cdf: [
+            profiler.fraction_reused_within(1024),
+            profiler.fraction_reused_within(4096),
+            profiler.fraction_reused_within(16384),
+            profiler.fraction_reused_within(65536),
+        ],
+        interval_99: profiler.interval_keeping(0.99),
+    }
+}
+
+/// Analytic per-benchmark decay-interval guidance: for each benchmark, the
+/// break-even-aware undisturbed-reuse intervals of both techniques.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] on invalid operating points.
+pub fn interval_guidance(
+    cfg: &StudyConfig,
+    temperature_c: f64,
+) -> Result<Vec<(Benchmark, u64, f64)>, StudyError> {
+    let env = cfg.environment(temperature_c)?;
+    let arrays = CacheArrays::table2_l1d();
+    let gated = leakctl::economics::round_trip(
+        &Technique::gated_vss(4096),
+        &env,
+        &arrays.data,
+        &arrays.tags,
+    )?;
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let p = profile_workload(b, cfg.insts.min(150_000), cfg.seed);
+        rows.push((b, p.interval_99, gated.break_even_cycles()));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = profile_workload(Benchmark::Gzip, 50_000, 1);
+        let b = profile_workload(Benchmark::Gzip, 50_000, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcf_touches_the_most_lines() {
+        let mcf = profile_workload(Benchmark::Mcf, 60_000, 1);
+        for b in [Benchmark::Perl, Benchmark::Gzip, Benchmark::Crafty] {
+            let other = profile_workload(b, 60_000, 1);
+            assert!(
+                mcf.lines_touched > other.lines_touched,
+                "mcf {} vs {b} {}",
+                mcf.lines_touched,
+                other.lines_touched
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_cdf_is_monotone_per_benchmark() {
+        for b in Benchmark::ALL {
+            let p = profile_workload(b, 40_000, 2);
+            for w in p.reuse_cdf.windows(2) {
+                assert!(w[1] >= w[0], "{b}: CDF must be monotone {:?}", p.reuse_cdf);
+            }
+        }
+    }
+
+    #[test]
+    fn long_reuse_benchmarks_need_longer_intervals() {
+        // gzip's sliding-window resident set reuses at much longer
+        // intervals than perl's hot tables — the Table 3 ordering.
+        let gzip = profile_workload(Benchmark::Gzip, 150_000, 1);
+        let perl = profile_workload(Benchmark::Perl, 150_000, 1);
+        assert!(
+            gzip.interval_99 > perl.interval_99,
+            "gzip {} vs perl {}",
+            gzip.interval_99,
+            perl.interval_99
+        );
+    }
+
+    #[test]
+    fn guidance_produces_all_rows() {
+        let cfg = StudyConfig { insts: 40_000, ..StudyConfig::default() };
+        let rows = interval_guidance(&cfg, 110.0).expect("valid");
+        assert_eq!(rows.len(), 11);
+        for (_, interval, break_even) in rows {
+            assert!(interval >= 1);
+            assert!(break_even > 0.0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Regeneration of every figure and table of the paper's evaluation.
+//!
+//! Each function returns the same *series* the corresponding figure plots:
+//! one value per benchmark per technique plus the average — ready for
+//! textual rendering ([`crate::report`]) or serialisation.
+
+use leakctl::TechniqueKind;
+use serde::{Deserialize, Serialize};
+use specgen::Benchmark;
+
+use crate::config::{DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
+use crate::study::{technique_of, RunResult, Study, StudyError};
+
+/// One figure's data: a per-benchmark series for each technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Figure identifier ("fig3", "fig12", …).
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Unit of the values ("% net savings" or "% performance loss").
+    pub unit: String,
+    /// Benchmark names, in the paper's order.
+    pub benchmarks: Vec<String>,
+    /// Drowsy values per benchmark.
+    pub drowsy: Vec<f64>,
+    /// Gated-V_ss values per benchmark.
+    pub gated: Vec<f64>,
+    /// Full per-run results (for deeper inspection).
+    pub results: Vec<RunResult>,
+}
+
+impl FigureSeries {
+    /// Average of the drowsy series.
+    pub fn drowsy_avg(&self) -> f64 {
+        avg(&self.drowsy)
+    }
+
+    /// Average of the gated series.
+    pub fn gated_avg(&self) -> f64 {
+        avg(&self.gated)
+    }
+
+    /// Number of benchmarks on which gated-V_ss beats drowsy (higher is
+    /// better for savings figures; call [`FigureSeries::gated_wins_lower`]
+    /// for loss figures).
+    pub fn gated_wins_higher(&self) -> usize {
+        self.drowsy.iter().zip(&self.gated).filter(|(d, g)| g > d).count()
+    }
+
+    /// Number of benchmarks on which gated-V_ss has the *lower* value
+    /// (performance-loss figures).
+    pub fn gated_wins_lower(&self) -> usize {
+        self.drowsy.iter().zip(&self.gated).filter(|(d, g)| g < d).count()
+    }
+}
+
+fn avg(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Table 3: best per-benchmark decay intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// `(benchmark, best drowsy interval, best gated interval)` rows.
+    pub rows: Vec<(String, u64, u64)>,
+}
+
+/// Figures 3/5/8/10 (and 7 at 85 °C): net leakage savings at the default
+/// decay intervals for the given L2 latency and temperature.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn savings_figure(
+    study: &mut Study,
+    id: &str,
+    l2_latency: u32,
+    temperature_c: f64,
+) -> Result<FigureSeries, StudyError> {
+    default_interval_figure(study, id, l2_latency, temperature_c, Metric::Savings)
+}
+
+/// Figures 4/6/9/11: performance loss at the default decay intervals.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn perf_figure(
+    study: &mut Study,
+    id: &str,
+    l2_latency: u32,
+    temperature_c: f64,
+) -> Result<FigureSeries, StudyError> {
+    default_interval_figure(study, id, l2_latency, temperature_c, Metric::PerfLoss)
+}
+
+#[derive(Clone, Copy)]
+enum Metric {
+    Savings,
+    PerfLoss,
+}
+
+fn metric_of(r: &RunResult, m: Metric) -> f64 {
+    match m {
+        Metric::Savings => r.net_savings_pct,
+        Metric::PerfLoss => r.perf_loss_pct,
+    }
+}
+
+fn default_interval_figure(
+    study: &mut Study,
+    id: &str,
+    l2_latency: u32,
+    temperature_c: f64,
+    metric: Metric,
+) -> Result<FigureSeries, StudyError> {
+    let mut benchmarks = Vec::new();
+    let mut drowsy = Vec::new();
+    let mut gated = Vec::new();
+    let mut results = Vec::new();
+    for b in Benchmark::ALL {
+        let d = study.compare(
+            b,
+            technique_of(TechniqueKind::Drowsy, DEFAULT_DROWSY_INTERVAL),
+            l2_latency,
+            temperature_c,
+        )?;
+        let g = study.compare(
+            b,
+            technique_of(TechniqueKind::GatedVss, DEFAULT_GATED_INTERVAL),
+            l2_latency,
+            temperature_c,
+        )?;
+        benchmarks.push(b.name().to_string());
+        drowsy.push(metric_of(&d, metric));
+        gated.push(metric_of(&g, metric));
+        results.push(d);
+        results.push(g);
+    }
+    let (what, unit) = match metric {
+        Metric::Savings => ("Net leakage savings", "% of baseline L1D leakage energy"),
+        Metric::PerfLoss => ("Performance loss", "% execution-time increase"),
+    };
+    Ok(FigureSeries {
+        id: id.to_string(),
+        title: format!("{what} at {temperature_c:.0}C, L2 latency {l2_latency} cycles"),
+        unit: unit.to_string(),
+        benchmarks,
+        drowsy,
+        gated,
+        results,
+    })
+}
+
+/// Figures 12/13 + Table 3: both metrics at the best per-benchmark decay
+/// interval, and the interval table itself.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run fails.
+pub fn best_interval_figures(
+    study: &mut Study,
+    l2_latency: u32,
+    temperature_c: f64,
+) -> Result<(FigureSeries, FigureSeries, Table3), StudyError> {
+    let mut benchmarks = Vec::new();
+    let mut savings = (Vec::new(), Vec::new());
+    let mut losses = (Vec::new(), Vec::new());
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for b in Benchmark::ALL {
+        let d = study.best_interval(b, TechniqueKind::Drowsy, l2_latency, temperature_c, &SWEEP_INTERVALS)?;
+        let g =
+            study.best_interval(b, TechniqueKind::GatedVss, l2_latency, temperature_c, &SWEEP_INTERVALS)?;
+        benchmarks.push(b.name().to_string());
+        savings.0.push(d.net_savings_pct);
+        savings.1.push(g.net_savings_pct);
+        losses.0.push(d.perf_loss_pct);
+        losses.1.push(g.perf_loss_pct);
+        rows.push((b.name().to_string(), d.interval, g.interval));
+        results.push(d);
+        results.push(g);
+    }
+    let fig12 = FigureSeries {
+        id: "fig12".into(),
+        title: format!(
+            "Net leakage savings at {temperature_c:.0}C, L2 latency {l2_latency}, best per-benchmark interval"
+        ),
+        unit: "% of baseline L1D leakage energy".into(),
+        benchmarks: benchmarks.clone(),
+        drowsy: savings.0,
+        gated: savings.1,
+        results: results.clone(),
+    };
+    let fig13 = FigureSeries {
+        id: "fig13".into(),
+        title: format!(
+            "Performance loss at L2 latency {l2_latency}, best per-benchmark interval"
+        ),
+        unit: "% execution-time increase".into(),
+        benchmarks,
+        drowsy: losses.0,
+        gated: losses.1,
+        results,
+    };
+    Ok((fig12, fig13, Table3 { rows }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    #[test]
+    fn savings_figure_covers_all_benchmarks() {
+        let mut study = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
+        let fig = savings_figure(&mut study, "fig8", 11, 110.0).unwrap();
+        assert_eq!(fig.benchmarks.len(), 11);
+        assert_eq!(fig.drowsy.len(), 11);
+        assert_eq!(fig.gated.len(), 11);
+        assert_eq!(fig.results.len(), 22);
+        assert!(fig.drowsy_avg().is_finite());
+    }
+
+    #[test]
+    fn perf_figure_nonnegative() {
+        let mut study = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
+        let fig = perf_figure(&mut study, "fig9", 11, 110.0).unwrap();
+        for (d, g) in fig.drowsy.iter().zip(&fig.gated) {
+            assert!(*d >= -0.5 && *g >= -0.5, "perf loss should not be meaningfully negative");
+        }
+    }
+
+    #[test]
+    fn win_counters_are_consistent() {
+        let fig = FigureSeries {
+            id: "t".into(),
+            title: String::new(),
+            unit: String::new(),
+            benchmarks: vec!["a".into(), "b".into(), "c".into()],
+            drowsy: vec![1.0, 2.0, 3.0],
+            gated: vec![2.0, 1.0, 4.0],
+            results: vec![],
+        };
+        assert_eq!(fig.gated_wins_higher(), 2);
+        assert_eq!(fig.gated_wins_lower(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Post-hoc energy pricing of timing runs.
+//!
+//! A [`crate::RawRun`] records *what happened* (cycles, event counts,
+//! line-mode integrals); this module turns that into joules at a chosen
+//! operating point. Keeping pricing separate from timing is what lets the
+//! temperature study (Figures 7/8) re-price one run at 85 °C and 110 °C.
+
+use hotleakage::structure::SramArray;
+use hotleakage::Environment;
+use leakctl::Technique;
+use serde::{Deserialize, Serialize};
+use wattch::{EnergyLedger, Event, PowerModel};
+
+use crate::study::RawRun;
+
+/// The L1D arrays whose leakage the study accounts (64 KB data + tags for
+/// the Table 2 geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheArrays {
+    /// Data array (1024 lines × 512 bits).
+    pub data: SramArray,
+    /// Tag array (1024 entries × tag+status bits).
+    pub tags: SramArray,
+}
+
+impl CacheArrays {
+    /// The Table 2 L1 D-cache geometry.
+    pub fn table2_l1d() -> Self {
+        CacheArrays {
+            data: SramArray::cache_data_array(1024, 512),
+            // Tag + status + replacement metadata per line (the paper puts the
+            // tags at 5-10 % of cache leakage; 30 bits of a 512-bit line is
+            // 5.5 %).
+            tags: SramArray::cache_tag_array(1024, 30),
+        }
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Static power of the chip's *other* leaky structures: the L1 I-cache
+    /// (same geometry and V_t as the D-cache), the 2 MB L2 (built from
+    /// high-V_t cells, standard for large lower-level arrays — but with 32×
+    /// the cells it still leaks about as much as one L1), the register
+    /// file, and the predictor tables. Watts.
+    ///
+    /// This power burns for the whole run regardless of technique, so it
+    /// cancels between baseline and technique *except over the technique's
+    /// extra runtime* — the "dynamic power due to extra execution time"
+    /// cost (§2.3 item 4) extended to static energy, which Wattch+HotLeakage
+    /// capture automatically in the paper. It is the term that makes
+    /// slowdowns expensive and drives gated-V_ss's energy loss at slow L2s.
+    pub fn other_static_power(&self, env: &hotleakage::Environment) -> f64 {
+        use hotleakage::bsim3::{self, TransistorState};
+        use hotleakage::technology::DeviceType;
+        let l1i_data = self.data.leakage_power(env);
+        let l1i_tags = self.tags.leakage_power(env);
+        // L2: 32x the L1 cell count, but high-V_t cells leak less by the
+        // subthreshold ratio of the two thresholds.
+        let normal = TransistorState::at(env, DeviceType::Nmos);
+        let high_vt = normal.with_vth(env.tech().vth_high);
+        let vth_ratio = if bsim3::unit_leakage(&normal) > 0.0 {
+            bsim3::unit_leakage(&high_vt) / bsim3::unit_leakage(&normal)
+        } else {
+            0.0
+        };
+        // Gate tunnelling is V_t-independent, so the L2 keeps its full gate
+        // component; approximate the subthreshold/gate split from the cell
+        // model.
+        let cell = hotleakage::Cell::new(hotleakage::CellKind::Sram6t);
+        let gate_frac = cell.gate_current(env) / cell.leakage_current(env).max(f64::MIN_POSITIVE);
+        let l2 = 32.0 * (l1i_data + l1i_tags) * (vth_ratio * (1.0 - gate_frac) + gate_frac);
+        let regfile = SramArray::register_file(80, 64).leakage_power(env);
+        let bpred = SramArray::new(
+            4096,
+            8,
+            hotleakage::structure::EdgeLogic::for_array(4096, 8),
+        )
+        .map(|a| a.leakage_power(env))
+        .unwrap_or(0.0);
+        l1i_data + l1i_tags + l2 + regfile + bpred
+    }
+}
+
+/// Priced energies of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Priced {
+    /// L1D leakage energy over the run (rows + edge + technique extra
+    /// hardware), joules.
+    pub leakage_j: f64,
+    /// Dynamic energy over the run (all structures + transitions), joules.
+    pub dynamic_j: f64,
+    /// Run duration, seconds.
+    pub seconds: f64,
+}
+
+impl Priced {
+    /// Average L1D leakage power, watts.
+    pub fn leakage_watts(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.leakage_j / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Prices `raw` (a run of `technique`) at operating point `env`.
+///
+/// Leakage integrates the exact line-mode cycle counts against the
+/// technique's per-row active/standby powers; the always-on edge logic and
+/// the technique's extra hardware leak for the whole run. Dynamic energy
+/// prices every counted event plus the technique's transition energies.
+///
+/// # Errors
+///
+/// Propagates [`hotleakage::ModelError`] from the technique physics.
+pub fn price(
+    raw: &RawRun,
+    technique: &Technique,
+    env: &Environment,
+    arrays: &CacheArrays,
+) -> Result<Priced, hotleakage::ModelError> {
+    let clock_hz = env.tech().clock_hz;
+    let seconds = raw.cycles as f64 / clock_hz;
+    let physics = technique.physics(env, &arrays.data, &arrays.tags)?;
+
+    // ---- leakage ----
+    let mc = raw.l1d.mode_cycles;
+    let lines = arrays.lines() as u64;
+    let (active_cycles, standby_cycles) = if mc.total() == 0 {
+        // No decay machinery ran (baseline): every line active every cycle.
+        (lines * raw.cycles, 0)
+    } else {
+        (mc.active + mc.transitioning, mc.standby)
+    };
+    let row_leak_j = (active_cycles as f64 * physics.active_row_watts
+        + standby_cycles as f64 * physics.standby_row_watts)
+        / clock_hz;
+    let edge_leak_j = (arrays.data.edge_power(env) + arrays.tags.edge_power(env)) * seconds;
+    let extra_hw_j = physics.extra_hw_watts * seconds;
+
+    // ---- dynamic ----
+    let model = PowerModel::alpha21264_like(env);
+    let mut ledger = EnergyLedger::new();
+    ledger.record(Event::ClockCycle, raw.cycles);
+    ledger.record(Event::L1iAccess, raw.core.l1i_accesses);
+    ledger.record(Event::L1dAccess, raw.core.loads);
+    ledger.record(Event::L1dWrite, raw.core.stores);
+    ledger.record(Event::L2Access, raw.core.l2_accesses);
+    ledger.record(Event::MemAccess, raw.core.mem_accesses);
+    ledger.record(Event::RegfileRead, raw.core.rf_reads);
+    ledger.record(Event::RegfileWrite, raw.core.rf_writes);
+    ledger.record(Event::AluOp, raw.core.int_ops + raw.core.branches);
+    ledger.record(Event::FpOp, raw.core.fp_ops);
+    ledger.record(Event::BpredAccess, raw.core.branches);
+    ledger.record(Event::L1dTagProbe, raw.l1d.tag_probes);
+    ledger.record(
+        Event::CounterTick,
+        raw.l1d.local_counter_ticks + raw.l1d.global_counter_wraps,
+    );
+    ledger.deposit_joules(
+        raw.l1d.sleeps as f64 * technique.sleep_energy(&model, env)
+            + raw.l1d.wakes as f64 * technique.wake_energy(&model, env),
+    );
+
+    Ok(Priced {
+        leakage_j: row_leak_j + edge_leak_j + extra_hw_j,
+        // Rest-of-chip static energy rides with runtime: it cancels in the
+        // baseline-vs-technique difference except over the extra cycles a
+        // technique adds, exactly like the clock tree's dynamic energy.
+        dynamic_j: ledger.total_energy(&model) + arrays.other_static_power(env) * seconds,
+        seconds,
+    })
+}
+
+/// The paper's net leakage savings, as a fraction of the baseline's L1D
+/// leakage energy: gross leakage reduction minus the extra dynamic energy
+/// the technique induced.
+pub fn net_savings(base: &Priced, tech: &Priced) -> f64 {
+    if base.leakage_j <= 0.0 {
+        return 0.0;
+    }
+    let gross = base.leakage_j - tech.leakage_j;
+    let dynamic_cost = tech.dynamic_j - base.dynamic_j;
+    (gross - dynamic_cost) / base.leakage_j
+}
+
+/// Performance loss of the technique run relative to baseline, percent.
+pub fn perf_loss_pct(base_cycles: u64, tech_cycles: u64) -> f64 {
+    if base_cycles == 0 {
+        return 0.0;
+    }
+    (tech_cycles as f64 - base_cycles as f64) / base_cycles as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::{CacheStats, ModeCycles};
+    use hotleakage::TechNode;
+    use uarch::CoreStats;
+
+    fn env() -> Environment {
+        Environment::new(TechNode::N70, 0.9, 383.15).unwrap()
+    }
+
+    fn baseline_raw(cycles: u64) -> RawRun {
+        RawRun {
+            cycles,
+            core: CoreStats { cycles, committed: cycles, ..CoreStats::default() },
+            l1d: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn baseline_prices_all_lines_active() {
+        let arrays = CacheArrays::table2_l1d();
+        let raw = baseline_raw(1_000_000);
+        let p = price(&raw, &Technique::none(), &env(), &arrays).unwrap();
+        assert!(p.leakage_j > 0.0);
+        // Doubling cycles doubles leakage energy.
+        let p2 = price(&baseline_raw(2_000_000), &Technique::none(), &env(), &arrays).unwrap();
+        assert!((p2.leakage_j / p.leakage_j - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standby_cycles_cut_leakage() {
+        let arrays = CacheArrays::table2_l1d();
+        let cycles = 1_000_000u64;
+        let lines = arrays.lines() as u64;
+        let mut raw = baseline_raw(cycles);
+        raw.l1d.mode_cycles =
+            ModeCycles { active: lines * cycles / 4, standby: lines * cycles * 3 / 4, transitioning: 0 };
+        let gated = Technique::gated_vss(4096);
+        let p_gated = price(&raw, &gated, &env(), &arrays).unwrap();
+        let p_base = price(&baseline_raw(cycles), &Technique::none(), &env(), &arrays).unwrap();
+        assert!(
+            p_gated.leakage_j < 0.5 * p_base.leakage_j,
+            "75% turnoff must save most row leakage: {} vs {}",
+            p_gated.leakage_j,
+            p_base.leakage_j
+        );
+    }
+
+    #[test]
+    fn net_savings_charges_dynamic_costs() {
+        let base = Priced { leakage_j: 100e-6, dynamic_j: 500e-6, seconds: 1e-3 };
+        let tech = Priced { leakage_j: 30e-6, dynamic_j: 510e-6, seconds: 1e-3 };
+        // gross 70, dynamic cost 10 → net 60%.
+        assert!((net_savings(&base, &tech) - 0.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_loss_percent() {
+        assert!((perf_loss_pct(1_000_000, 1_014_000) - 1.4).abs() < 1e-9);
+        assert_eq!(perf_loss_pct(0, 10), 0.0);
+    }
+
+    #[test]
+    fn hotter_pricing_leaks_more() {
+        let arrays = CacheArrays::table2_l1d();
+        let raw = baseline_raw(1_000_000);
+        let cool = Environment::new(TechNode::N70, 0.9, 358.15).unwrap();
+        let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
+        let pc = price(&raw, &Technique::none(), &cool, &arrays).unwrap();
+        let ph = price(&raw, &Technique::none(), &hot, &arrays).unwrap();
+        assert!(ph.leakage_j > 1.3 * pc.leakage_j);
+        // Event-priced dynamic energy is temperature-independent, but the
+        // bundled rest-of-chip static energy rises with temperature.
+        assert!(ph.dynamic_j > pc.dynamic_j);
+        let other_delta = (arrays.other_static_power(&hot) - arrays.other_static_power(&cool))
+            * pc.seconds;
+        assert!((ph.dynamic_j - pc.dynamic_j - other_delta).abs() < 1e-9 * ph.dynamic_j);
+    }
+
+    #[test]
+    fn leakage_watts_plausible_for_l1d_at_110c() {
+        let arrays = CacheArrays::table2_l1d();
+        let p = price(&baseline_raw(1_000_000), &Technique::none(), &env(), &arrays).unwrap();
+        let w = p.leakage_watts();
+        assert!(w > 0.05 && w < 3.0, "L1D leakage {w} W out of plausible band");
+    }
+}

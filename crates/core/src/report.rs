@@ -1,0 +1,130 @@
+//! Textual rendering of figures and tables (the paper's rows/series as
+//! aligned text, suitable for terminals and EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+
+use crate::figures::{FigureSeries, Table3};
+
+/// Renders a figure's two series as an aligned table with averages.
+pub fn render_figure(fig: &FigureSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} [{}]", fig.title, fig.unit);
+    let _ = writeln!(out, "{:<10} {:>10} {:>10}", "benchmark", "drowsy", "gated-vss");
+    for ((name, d), g) in fig.benchmarks.iter().zip(&fig.drowsy).zip(&fig.gated) {
+        let _ = writeln!(out, "{name:<10} {d:>10.2} {g:>10.2}");
+    }
+    let _ = writeln!(out, "{:<10} {:>10.2} {:>10.2}", "AVERAGE", fig.drowsy_avg(), fig.gated_avg());
+    out
+}
+
+/// Renders Table 3 (best per-benchmark decay intervals).
+pub fn render_table3(t: &Table3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3. Best decay intervals (cycles).");
+    let _ = writeln!(out, "{:<10} {:>10} {:>10}", "benchmark", "drowsy", "gated-vss");
+    for (name, d, g) in &t.rows {
+        let _ = writeln!(out, "{:<10} {:>10} {:>10}", name, fmt_interval(*d), fmt_interval(*g));
+    }
+    out
+}
+
+/// Formats an interval the way the paper does ("4k", "64k").
+pub fn fmt_interval(cycles: u64) -> String {
+    if cycles >= 1024 && cycles.is_multiple_of(1024) {
+        format!("{}k", cycles / 1024)
+    } else {
+        cycles.to_string()
+    }
+}
+
+/// Renders Table 1 (settling times) from the technique definitions.
+pub fn render_table1() -> String {
+    let d = leakctl::Technique::drowsy(1).decay_config().expect("drowsy has decay");
+    let g = leakctl::Technique::gated_vss(1).decay_config().expect("gated has decay");
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1. Settling time (cycles).");
+    let _ = writeln!(out, "{:<26} {:>8} {:>10}", "", "Drowsy", "Gated-Vss");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>10}",
+        "Low leak mode to high", d.wake_settle_cycles, g.wake_settle_cycles
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>10}",
+        "High leak to low", d.sleep_settle_cycles, g.sleep_settle_cycles
+    );
+    out
+}
+
+/// Renders Table 2 (the simulated machine configuration).
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2. Configuration of simulated processor microarchitecture.");
+    for (k, v) in [
+        ("Instruction window", "80-RUU, 40-LSQ"),
+        ("Issue width", "4 instructions per cycle"),
+        ("Functional units", "4 IntALU, 1 IntMult/Div, 2 FPALU, 1 FPMult/Div, 2 mem ports"),
+        ("L1 D-cache", "64 KB, 2-way LRU, 64 B blocks, 2-cycle latency, write-back"),
+        ("L1 I-cache", "64 KB, 2-way LRU, 64 B blocks, 1-cycle latency, write-back"),
+        ("L2", "Unified, 2 MB, 2-way LRU, 64 B blocks, 11-cycle latency, write-back"),
+        ("Memory", "100 cycles"),
+        ("Branch predictor", "Hybrid: 4K bimod + 4K/12-bit GAg + 4K bimod-style chooser"),
+        ("Branch target buffer", "1K-entry, 2-way"),
+        ("Technology", "70 nm, 0.9 V, 5600 MHz"),
+    ] {
+        let _ = writeln!(out, "{k:<22} {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_formatting_matches_paper() {
+        assert_eq!(fmt_interval(1024), "1k");
+        assert_eq!(fmt_interval(65536), "64k");
+        assert_eq!(fmt_interval(1000), "1000");
+    }
+
+    #[test]
+    fn table1_contains_the_published_numbers() {
+        let t = render_table1();
+        assert!(t.contains("30"), "gated sleep settle");
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn table2_lists_the_machine() {
+        let t = render_table2();
+        assert!(t.contains("80-RUU"));
+        assert!(t.contains("2 MB"));
+        assert!(t.contains("5600 MHz"));
+    }
+
+    #[test]
+    fn figure_render_includes_average() {
+        let fig = FigureSeries {
+            id: "x".into(),
+            title: "T".into(),
+            unit: "%".into(),
+            benchmarks: vec!["gcc".into()],
+            drowsy: vec![50.0],
+            gated: vec![60.0],
+            results: vec![],
+        };
+        let r = render_figure(&fig);
+        assert!(r.contains("AVERAGE"));
+        assert!(r.contains("gcc"));
+    }
+
+    #[test]
+    fn table3_renders_rows() {
+        let t = Table3 { rows: vec![("gcc".into(), 1024, 2048)] };
+        let r = render_table3(&t);
+        assert!(r.contains("1k"));
+        assert!(r.contains("2k"));
+    }
+}

@@ -1,0 +1,358 @@
+//! The experiment runner with baseline/technique run caching.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
+use hotleakage::ModelError;
+use leakctl::{Technique, TechniqueKind};
+use serde::{Deserialize, Serialize};
+use specgen::{Benchmark, SpecTrace};
+use uarch::{Core, CoreConfig, CoreStats};
+
+use crate::config::StudyConfig;
+use crate::pricing::{self, CacheArrays};
+
+/// Errors from running experiments.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// The leakage model rejected an operating point.
+    Model(ModelError),
+    /// A cache configuration was invalid.
+    Cache(cachesim::ConfigError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Model(e) => write!(f, "leakage model error: {e}"),
+            StudyError::Cache(e) => write!(f, "cache config error: {e}"),
+        }
+    }
+}
+
+impl Error for StudyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StudyError::Model(e) => Some(e),
+            StudyError::Cache(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for StudyError {
+    fn from(e: ModelError) -> Self {
+        StudyError::Model(e)
+    }
+}
+
+impl From<cachesim::ConfigError> for StudyError {
+    fn from(e: cachesim::ConfigError) -> Self {
+        StudyError::Cache(e)
+    }
+}
+
+/// The temperature-independent record of one timing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRun {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Core-side counters.
+    pub core: CoreStats,
+    /// L1D counters and mode-cycle integrals.
+    pub l1d: CacheStats,
+}
+
+/// One benchmark × technique comparison at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The technique compared against the no-control baseline.
+    pub technique: TechniqueKind,
+    /// Decay interval used, cycles.
+    pub interval: u64,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u32,
+    /// Pricing temperature, °C.
+    pub temperature_c: f64,
+    /// Net leakage savings, percent of baseline L1D leakage energy.
+    pub net_savings_pct: f64,
+    /// Execution-time increase, percent.
+    pub perf_loss_pct: f64,
+    /// Fraction of line-cycles spent in standby, percent.
+    pub turnoff_pct: f64,
+    /// Decay-induced misses in the technique run.
+    pub induced_misses: u64,
+    /// Slow hits (state-preserving wake-ups) in the technique run.
+    pub slow_hits: u64,
+    /// Baseline IPC.
+    pub base_ipc: f64,
+    /// Technique-run IPC.
+    pub tech_ipc: f64,
+}
+
+/// Cache key for technique runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RunKey {
+    benchmark: Benchmark,
+    l2_latency: u32,
+    technique: TechniqueKind,
+    interval: u64,
+    tags_decay: bool,
+    simple_policy: bool,
+}
+
+/// The experiment runner. Timing runs are cached, so re-pricing at another
+/// temperature or comparing many intervals against one baseline is cheap.
+#[derive(Debug)]
+pub struct Study {
+    cfg: StudyConfig,
+    arrays: CacheArrays,
+    baselines: HashMap<(Benchmark, u32), RawRun>,
+    runs: HashMap<RunKey, RawRun>,
+}
+
+impl Study {
+    /// A study with the given configuration.
+    pub fn new(cfg: StudyConfig) -> Self {
+        Study { cfg, arrays: CacheArrays::table2_l1d(), baselines: HashMap::new(), runs: HashMap::new() }
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// Executes (or recalls) one timing run of `benchmark` under
+    /// `technique` with the given L2 latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] if the hierarchy cannot be built.
+    pub fn raw_run(
+        &mut self,
+        benchmark: Benchmark,
+        technique: &Technique,
+        l2_latency: u32,
+    ) -> Result<RawRun, StudyError> {
+        if technique.kind == TechniqueKind::None {
+            return self.baseline(benchmark, l2_latency);
+        }
+        let key = RunKey {
+            benchmark,
+            l2_latency,
+            technique: technique.kind,
+            interval: technique.interval_cycles,
+            tags_decay: technique.tags_decay,
+            simple_policy: technique.policy == DecayPolicy::Simple,
+        };
+        if let Some(run) = self.runs.get(&key) {
+            return Ok(*run);
+        }
+        let run = execute(benchmark, technique, &self.cfg, l2_latency)?;
+        self.runs.insert(key, run);
+        Ok(run)
+    }
+
+    /// Executes (or recalls) the no-control baseline run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] if the hierarchy cannot be built.
+    pub fn baseline(&mut self, benchmark: Benchmark, l2_latency: u32) -> Result<RawRun, StudyError> {
+        if let Some(run) = self.baselines.get(&(benchmark, l2_latency)) {
+            return Ok(*run);
+        }
+        let run = execute(benchmark, &Technique::none(), &self.cfg, l2_latency)?;
+        self.baselines.insert((benchmark, l2_latency), run);
+        Ok(run)
+    }
+
+    /// Runs the full baseline-vs-technique comparison and prices it at
+    /// `temperature_c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] on invalid operating points or geometry.
+    pub fn compare(
+        &mut self,
+        benchmark: Benchmark,
+        technique: Technique,
+        l2_latency: u32,
+        temperature_c: f64,
+    ) -> Result<RunResult, StudyError> {
+        let base = self.baseline(benchmark, l2_latency)?;
+        let tech = self.raw_run(benchmark, &technique, l2_latency)?;
+        let env = self.cfg.environment(temperature_c)?;
+        let p_base = pricing::price(&base, &Technique::none(), &env, &self.arrays)?;
+        let p_tech = pricing::price(&tech, &technique, &env, &self.arrays)?;
+        Ok(RunResult {
+            benchmark,
+            technique: technique.kind,
+            interval: technique.interval_cycles,
+            l2_latency,
+            temperature_c,
+            net_savings_pct: pricing::net_savings(&p_base, &p_tech) * 100.0,
+            perf_loss_pct: pricing::perf_loss_pct(base.cycles, tech.cycles),
+            turnoff_pct: tech.l1d.mode_cycles.turnoff_ratio() * 100.0,
+            induced_misses: tech.l1d.induced_misses,
+            slow_hits: tech.l1d.slow_hits,
+            base_ipc: base.core.ipc(),
+            tech_ipc: tech.core.ipc(),
+        })
+    }
+
+    /// Sweeps decay intervals for one benchmark/technique; returns one
+    /// [`RunResult`] per interval (ordered as given).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] on invalid operating points or geometry.
+    pub fn interval_sweep(
+        &mut self,
+        benchmark: Benchmark,
+        kind: TechniqueKind,
+        l2_latency: u32,
+        temperature_c: f64,
+        intervals: &[u64],
+    ) -> Result<Vec<RunResult>, StudyError> {
+        intervals
+            .iter()
+            .map(|&interval| {
+                let technique = technique_of(kind, interval);
+                self.compare(benchmark, technique, l2_latency, temperature_c)
+            })
+            .collect()
+    }
+
+    /// Finds the best (max net savings) interval for one benchmark and
+    /// technique over `intervals`; returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] on invalid operating points or geometry.
+    pub fn best_interval(
+        &mut self,
+        benchmark: Benchmark,
+        kind: TechniqueKind,
+        l2_latency: u32,
+        temperature_c: f64,
+        intervals: &[u64],
+    ) -> Result<RunResult, StudyError> {
+        let sweep = self.interval_sweep(benchmark, kind, l2_latency, temperature_c, intervals)?;
+        Ok(sweep
+            .into_iter()
+            .max_by(|a, b| {
+                a.net_savings_pct
+                    .partial_cmp(&b.net_savings_pct)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.interval.cmp(&b.interval))
+            })
+            .expect("interval list is non-empty"))
+    }
+}
+
+/// Builds the technique with the study's default settling/tag parameters.
+pub fn technique_of(kind: TechniqueKind, interval: u64) -> Technique {
+    match kind {
+        TechniqueKind::None => Technique::none(),
+        TechniqueKind::GatedVss => Technique::gated_vss(interval),
+        TechniqueKind::Drowsy => Technique::drowsy(interval),
+        TechniqueKind::Rbb => Technique::rbb(interval),
+    }
+}
+
+/// Executes one timing run (no caching).
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if the hierarchy cannot be built.
+pub fn execute(
+    benchmark: Benchmark,
+    technique: &Technique,
+    cfg: &StudyConfig,
+    l2_latency: u32,
+) -> Result<RawRun, StudyError> {
+    let hierarchy = Hierarchy::new(HierarchyConfig::table2(l2_latency, technique.decay_config()))?;
+    let mut core = Core::new(CoreConfig::table2(), hierarchy);
+    let mut trace = SpecTrace::new(benchmark, cfg.seed);
+    let stats = core.run(&mut trace, cfg.insts);
+    Ok(RawRun { cycles: stats.cycles, core: stats, l1d: *core.hierarchy().l1d().stats() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> StudyConfig {
+        StudyConfig { insts: 60_000, ..StudyConfig::default() }
+    }
+
+    #[test]
+    fn baseline_runs_and_caches() {
+        let mut study = Study::new(quick_cfg());
+        let a = study.baseline(Benchmark::Gzip, 11).unwrap();
+        let b = study.baseline(Benchmark::Gzip, 11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.core.committed, 60_000);
+        assert!(a.cycles > 0);
+        assert!(a.core.ipc() > 0.2 && a.core.ipc() < 4.0, "ipc={}", a.core.ipc());
+    }
+
+    #[test]
+    fn technique_run_decays_lines() {
+        let mut study = Study::new(quick_cfg());
+        let r = study.raw_run(Benchmark::Gzip, &Technique::gated_vss(2048), 11).unwrap();
+        assert!(r.l1d.mode_cycles.standby > 0, "gated run must put lines in standby");
+        assert!(r.l1d.sleeps > 0);
+    }
+
+    #[test]
+    fn compare_produces_sane_result() {
+        let mut study = Study::new(quick_cfg());
+        let r = study.compare(Benchmark::Gzip, Technique::drowsy(4096), 11, 110.0).unwrap();
+        assert!(r.net_savings_pct > 0.0 && r.net_savings_pct < 100.0, "savings={}", r.net_savings_pct);
+        assert!(r.perf_loss_pct >= 0.0 && r.perf_loss_pct < 25.0, "loss={}", r.perf_loss_pct);
+        assert!(r.turnoff_pct > 0.0 && r.turnoff_pct <= 100.0);
+    }
+
+    #[test]
+    fn drowsy_run_has_slow_hits_not_induced_misses() {
+        let mut study = Study::new(quick_cfg());
+        let r = study.compare(Benchmark::Gzip, Technique::drowsy(1024), 11, 110.0).unwrap();
+        assert!(r.slow_hits > 0);
+        assert_eq!(r.induced_misses, 0);
+    }
+
+    #[test]
+    fn gated_run_has_induced_misses_not_slow_hits() {
+        let mut study = Study::new(quick_cfg());
+        let r = study.compare(Benchmark::Gzip, Technique::gated_vss(1024), 11, 110.0).unwrap();
+        assert!(r.induced_misses > 0);
+        assert_eq!(r.slow_hits, 0);
+    }
+
+    #[test]
+    fn best_interval_is_from_the_menu() {
+        let mut study = Study::new(StudyConfig { insts: 40_000, ..StudyConfig::default() });
+        let intervals = [1024u64, 8192];
+        let best = study
+            .best_interval(Benchmark::Perl, TechniqueKind::GatedVss, 11, 110.0, &intervals)
+            .unwrap();
+        assert!(intervals.contains(&best.interval));
+    }
+
+    #[test]
+    fn determinism_across_studies() {
+        let r1 = Study::new(quick_cfg())
+            .compare(Benchmark::Vpr, Technique::gated_vss(4096), 11, 110.0)
+            .unwrap();
+        let r2 = Study::new(quick_cfg())
+            .compare(Benchmark::Vpr, Technique::gated_vss(4096), 11, 110.0)
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Temperature–leakage co-simulation (extension; paper future work).
+//!
+//! The paper prices runs at fixed 85 °C / 110 °C. With the
+//! [`hotleakage::thermal`] RC model the loop closes: the chip's power sets
+//! its temperature, which sets its leakage, which feeds back into power.
+//! Leakage control then earns a *second dividend* — a cooler steady state —
+//! which this module quantifies per technique.
+
+use hotleakage::thermal::{SteadyState, ThermalNode, ThermalParams};
+use leakctl::Technique;
+use serde::{Deserialize, Serialize};
+use specgen::Benchmark;
+
+use crate::pricing::{self, CacheArrays};
+use crate::study::{RawRun, Study, StudyError};
+
+/// Closed-loop thermal outcome of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalOutcome {
+    /// Steady-state junction temperature, °C (`None` on thermal runaway).
+    pub temperature_c: Option<f64>,
+    /// Total chip power at the steady state, watts.
+    pub power_watts: f64,
+}
+
+/// Solves the coupled steady state for one recorded run: total power =
+/// (temperature-independent dynamic energy)/time + (temperature-dependent
+/// L1D + rest-of-chip leakage), fed through the package RC.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] on invalid operating points or thermal
+/// parameters.
+pub fn steady_state(
+    raw: &RawRun,
+    technique: &Technique,
+    study: &Study,
+    params: ThermalParams,
+) -> Result<ThermalOutcome, StudyError> {
+    let arrays = CacheArrays::table2_l1d();
+    let node = ThermalNode::new(params).map_err(StudyError::Model)?;
+    let cfg = *study.config();
+
+    // Dynamic power is temperature-independent: price once at any point and
+    // strip the bundled background static energy (which we re-add as an
+    // explicit function of T below).
+    let ref_env = cfg.environment(85.0)?;
+    let priced = pricing::price(raw, technique, &ref_env, &arrays)?;
+    let dynamic_watts = (priced.dynamic_j
+        - arrays.other_static_power(&ref_env) * priced.seconds)
+        / priced.seconds;
+
+    let power_at = |t_k: f64| -> f64 {
+        let t_c = (t_k - 273.15).clamp(-20.0, 175.0);
+        let env = match cfg.environment(t_c) {
+            Ok(env) => env,
+            Err(_) => return f64::MAX, // outside fit validity: force runaway
+        };
+        let leak = match pricing::price(raw, technique, &env, &arrays) {
+            Ok(p) => p.leakage_j / p.seconds,
+            Err(_) => return f64::MAX,
+        };
+        dynamic_watts + leak + arrays.other_static_power(&env)
+    };
+
+    match node.steady_state(power_at, 273.15 + 170.0) {
+        SteadyState::Stable(t_k) => Ok(ThermalOutcome {
+            temperature_c: Some(t_k - 273.15),
+            power_watts: power_at(t_k),
+        }),
+        SteadyState::Runaway(t_k) => {
+            Ok(ThermalOutcome { temperature_c: None, power_watts: power_at(t_k.min(400.0)) })
+        }
+    }
+}
+
+/// Compares the closed-loop steady state of the baseline against a
+/// technique for one benchmark: `(baseline, technique)` outcomes.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any run or solve fails.
+pub fn compare_thermal(
+    study: &mut Study,
+    benchmark: Benchmark,
+    technique: Technique,
+    l2_latency: u32,
+    params: ThermalParams,
+) -> Result<(ThermalOutcome, ThermalOutcome), StudyError> {
+    let base = study.baseline(benchmark, l2_latency)?;
+    let tech = study.raw_run(benchmark, &technique, l2_latency)?;
+    let base_out = steady_state(&base, &Technique::none(), study, params)?;
+    let tech_out = steady_state(&tech, &technique, study, params)?;
+    Ok((base_out, tech_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    fn study() -> Study {
+        Study::new(StudyConfig { insts: 60_000, ..StudyConfig::default() })
+    }
+
+    /// A package sized so the simulated (cache-scale) power lands in a
+    /// leakage-sensitive band.
+    fn package() -> ThermalParams {
+        ThermalParams { r_th: 18.0, c_th: 20.0, t_ambient: 318.15 }
+    }
+
+    #[test]
+    fn leakage_control_cools_the_chip() {
+        let mut s = study();
+        let (base, tech) = compare_thermal(
+            &mut s,
+            Benchmark::Gzip,
+            Technique::gated_vss(4096),
+            11,
+            package(),
+        )
+        .expect("solves");
+        let t_base = base.temperature_c.expect("baseline stable");
+        let t_tech = tech.temperature_c.expect("gated stable");
+        assert!(
+            t_tech < t_base - 0.5,
+            "gating the cache must cool the chip: {t_tech} vs {t_base}"
+        );
+        assert!(tech.power_watts < base.power_watts);
+    }
+
+    #[test]
+    fn gated_cools_more_than_drowsy() {
+        let mut s = study();
+        let (_, gated) = compare_thermal(
+            &mut s,
+            Benchmark::Gzip,
+            Technique::gated_vss(4096),
+            11,
+            package(),
+        )
+        .expect("solves");
+        let (_, drowsy) = compare_thermal(
+            &mut s,
+            Benchmark::Gzip,
+            Technique::drowsy(4096),
+            11,
+            package(),
+        )
+        .expect("solves");
+        let tg = gated.temperature_c.expect("stable");
+        let td = drowsy.temperature_c.expect("stable");
+        assert!(tg <= td + 0.05, "deeper standby must run at least as cool: {tg} vs {td}");
+    }
+
+    #[test]
+    fn steady_state_is_above_ambient() {
+        let mut s = study();
+        let (base, _) = compare_thermal(
+            &mut s,
+            Benchmark::Perl,
+            Technique::drowsy(4096),
+            11,
+            package(),
+        )
+        .expect("solves");
+        assert!(base.temperature_c.expect("stable") > 45.0);
+    }
+}

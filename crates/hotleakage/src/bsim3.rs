@@ -1,0 +1,203 @@
+//! The BSIM3 v3.2 subthreshold unit-leakage equation (paper Eq. 2).
+//!
+//! ```text
+//! I_leak = µ0 · C_ox · (W/L) · e^{b(V_dd − V_dd0)} · v_t²
+//!          · (1 − e^{−V_dd / v_t}) · e^{(−|V_th| − V_off) / (n · v_t)}
+//! ```
+//!
+//! The equation assumes the transistor is **off** (`V_gs = 0`) with the full
+//! supply across it (`V_ds = V_dd`); stacking and multi-transistor
+//! interactions are folded into the `k_design` factors of [`crate::kdesign`].
+//!
+//! `µ0`, `C_ox`, `W/L`, `V_dd0` are static per node; the DIBL coefficient
+//! `b`, swing coefficient `n`, and `V_off` come from curve fits; `V_dd`,
+//! `V_th` and `v_t = kT/q` are evaluated dynamically, which is what lets the
+//! model track temperature drift and DVS at runtime.
+
+use crate::consts;
+use crate::technology::{DeviceParams, DeviceType};
+use crate::Environment;
+
+/// Everything Eq. 2 needs about one transistor at one operating point.
+///
+/// `TransistorState` is the "explicit-input" form of the model: tests and the
+/// Fig. 1 validation sweep construct it directly to vary one input at a time,
+/// while simulator code goes through [`Environment::unit_leakage_n`] /
+/// [`Environment::unit_leakage_p`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorState {
+    /// Zero-bias mobility at the evaluation temperature, m²/(V·s).
+    pub mobility: f64,
+    /// Gate-oxide capacitance per unit area, F/m².
+    pub cox: f64,
+    /// Aspect ratio W/L (1.0 for *unit leakage*).
+    pub w_over_l: f64,
+    /// Supply voltage across the device, volts.
+    pub vdd: f64,
+    /// Node default supply voltage `V_dd0`, volts.
+    pub vdd0: f64,
+    /// Threshold-voltage magnitude at the evaluation temperature, volts.
+    pub vth: f64,
+    /// DIBL curve-fit coefficient, 1/V.
+    pub dibl_b: f64,
+    /// Subthreshold swing coefficient `n`.
+    pub swing_n: f64,
+    /// BSIM3 `V_off` parameter, volts.
+    pub voff: f64,
+    /// Temperature, kelvin.
+    pub temperature_k: f64,
+}
+
+impl TransistorState {
+    /// Builds the state of a unit (W/L = 1) device of `device` polarity at
+    /// operating point `env`, pulling fit parameters from the node tables.
+    pub fn at(env: &Environment, device: DeviceType) -> Self {
+        let tech = env.tech();
+        let d: &DeviceParams = tech.device(device);
+        Self {
+            mobility: d.mobility_at(env.temperature_k()),
+            cox: tech.cox(),
+            w_over_l: 1.0,
+            vdd: env.vdd(),
+            vdd0: tech.vdd0,
+            vth: d.vth_at(env.temperature_k()),
+            dibl_b: d.dibl_b,
+            swing_n: d.swing_n,
+            voff: d.voff,
+            temperature_k: env.temperature_k(),
+        }
+    }
+
+    /// Returns a copy with a different aspect ratio.
+    pub fn with_w_over_l(mut self, w_over_l: f64) -> Self {
+        self.w_over_l = w_over_l;
+        self
+    }
+
+    /// Returns a copy with a different threshold voltage (used by the Fig. 1d
+    /// sweep and by sleep-transistor modelling).
+    pub fn with_vth(mut self, vth: f64) -> Self {
+        self.vth = vth;
+        self
+    }
+
+    /// Returns a copy with a different supply voltage (Fig. 1b sweep, DVS).
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+}
+
+/// Evaluates paper Eq. 2 for the given transistor state, returning the
+/// subthreshold (off-state) drain current in amperes.
+///
+/// The result is always non-negative and is zero when `vdd` is zero (a fully
+/// power-gated device sees no drain bias).
+///
+/// ```
+/// use hotleakage::{bsim3, Environment, TechNode, TransistorState, DeviceType};
+///
+/// let env = Environment::new(TechNode::N70, 0.9, 300.0)?;
+/// let state = TransistorState::at(&env, DeviceType::Nmos);
+/// let i = bsim3::unit_leakage(&state);
+/// // Tens of nanoamps for a unit 70 nm NMOS at room temperature.
+/// assert!(i > 1e-9 && i < 1e-6);
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+pub fn unit_leakage(state: &TransistorState) -> f64 {
+    if state.vdd <= 0.0 {
+        return 0.0;
+    }
+    let vt = consts::thermal_voltage(state.temperature_k);
+    let dibl = (state.dibl_b * (state.vdd - state.vdd0)).exp();
+    let drain_term = 1.0 - (-state.vdd / vt).exp();
+    let gate_term = ((-state.vth.abs() - state.voff) / (state.swing_n * vt)).exp();
+    (state.mobility * state.cox * state.w_over_l * dibl * vt * vt * drain_term * gate_term)
+        .max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn n70_state() -> TransistorState {
+        let env = Environment::new(TechNode::N70, 1.0, 300.0).unwrap();
+        TransistorState::at(&env, DeviceType::Nmos)
+    }
+
+    #[test]
+    fn magnitude_is_tens_of_nanoamps_at_70nm_room_temp() {
+        let i = unit_leakage(&n70_state());
+        assert!(i > 10e-9 && i < 200e-9, "got {i}");
+    }
+
+    #[test]
+    fn linear_in_aspect_ratio() {
+        let s = n70_state();
+        let i1 = unit_leakage(&s);
+        let i4 = unit_leakage(&s.with_w_over_l(4.0));
+        assert!((i4 / i1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_when_fully_gated() {
+        let s = n70_state().with_vdd(0.0);
+        assert_eq!(unit_leakage(&s), 0.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_vth() {
+        let s = n70_state();
+        let mut prev = f64::INFINITY;
+        for vth in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let i = unit_leakage(&s.with_vth(vth));
+            assert!(i < prev);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn monotone_increasing_in_vdd_via_dibl() {
+        let s = n70_state();
+        let mut prev = 0.0;
+        for vdd in [0.3, 0.5, 0.7, 0.9, 1.0] {
+            let i = unit_leakage(&s.with_vdd(vdd));
+            assert!(i > prev, "vdd={vdd}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn exponential_temperature_sensitivity() {
+        // Leakage at 110 C should be several times the 27 C value, dominated
+        // by the (−Vth/ n·vt) exponent relaxing and Vth(T) falling.
+        let env27 = Environment::new(TechNode::N70, 1.0, 300.0).unwrap();
+        let env110 = Environment::new(TechNode::N70, 1.0, 383.15).unwrap();
+        let i27 = unit_leakage(&TransistorState::at(&env27, DeviceType::Nmos));
+        let i110 = unit_leakage(&TransistorState::at(&env110, DeviceType::Nmos));
+        let ratio = i110 / i27;
+        assert!(ratio > 3.0 && ratio < 30.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn pmos_leaks_less_than_nmos() {
+        let env = Environment::new(TechNode::N70, 1.0, 300.0).unwrap();
+        let n = unit_leakage(&TransistorState::at(&env, DeviceType::Nmos));
+        let p = unit_leakage(&TransistorState::at(&env, DeviceType::Pmos));
+        assert!(p < n);
+    }
+
+    #[test]
+    fn newer_nodes_leak_more_per_device() {
+        // Scaling lowers Vth faster than the Vdd-driven DIBL term shrinks, so
+        // per-device subthreshold leakage grows with each generation.
+        let mut prev = 0.0;
+        for node in TechNode::ALL {
+            let env = Environment::nominal(node);
+            let i = unit_leakage(&TransistorState::at(&env, DeviceType::Nmos));
+            assert!(i > prev, "{node} should leak more than previous node");
+            prev = i;
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The original Butts–Sohi static-power model, for comparison.
+//!
+//! Butts and Sohi (MICRO-33, 2000) proposed
+//!
+//! ```text
+//! P_static = V_CC · N · k_design · Î_leak        (paper Eq. 1)
+//! ```
+//!
+//! with a *single* `k_design` and a unit leakage `Î_leak` computed **once**
+//! at fixed threshold voltage and temperature. The paper's §3 critique —
+//! the reason HotLeakage exists — is that `k_design` in fact varies with
+//! temperature, supply voltage, threshold voltage and channel length, so a
+//! fixed-point calibration goes wrong as soon as any of them moves (DVS,
+//! thermal drift, drowsy retention voltages).
+//!
+//! This module implements the fixed-point model faithfully and exposes the
+//! error it accrues away from its calibration point, quantifying the
+//! paper's argument.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{Cell, CellKind};
+use crate::Environment;
+
+/// A Butts–Sohi model calibrated for one cell type at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ButtsSohiModel {
+    /// The cell kind the model was calibrated for.
+    pub kind: CellKind,
+    /// The single `k_design` factor folded from the calibration point.
+    pub k_design: f64,
+    /// The frozen unit leakage `Î_leak` at calibration, amperes.
+    pub unit_leakage: f64,
+    /// Transistor count per cell.
+    pub transistors: usize,
+    /// Calibration supply voltage, volts.
+    pub calibrated_vdd: f64,
+    /// Calibration temperature, kelvin.
+    pub calibrated_temp_k: f64,
+}
+
+impl ButtsSohiModel {
+    /// Calibrates the single-`k_design` model so it matches HotLeakage
+    /// exactly at `env`.
+    pub fn calibrate(kind: CellKind, env: &Environment) -> Self {
+        let cell = Cell::new(kind);
+        let (n_n, n_p) = kind.device_counts();
+        let transistors = n_n + n_p;
+        let unit_leakage = env.unit_leakage_n();
+        let i_cell = cell.leakage_current(env);
+        // Fold everything (P/N asymmetry, stacking, sizing, gate leakage)
+        // into the one factor: I_cell = N · k_design · Î_leak.
+        let k_design = i_cell / (transistors as f64 * unit_leakage);
+        ButtsSohiModel {
+            kind,
+            k_design,
+            unit_leakage,
+            transistors,
+            calibrated_vdd: env.vdd(),
+            calibrated_temp_k: env.temperature_k(),
+        }
+    }
+
+    /// Static power the fixed model predicts for `n_cells` cells at supply
+    /// `vdd` — note `Î_leak` and `k_design` do **not** move with the
+    /// operating point; only the `V_CC` prefactor does (Eq. 1).
+    pub fn predicted_power(&self, n_cells: usize, vdd: f64) -> f64 {
+        vdd * n_cells as f64
+            * self.transistors as f64
+            * self.k_design
+            * self.unit_leakage
+    }
+
+    /// Relative error of the fixed model against HotLeakage at operating
+    /// point `env` (0 at the calibration point, growing as `env` departs
+    /// from it).
+    pub fn relative_error(&self, env: &Environment) -> f64 {
+        let truth = Cell::new(self.kind).leakage_power(env);
+        if truth <= 0.0 {
+            return 0.0;
+        }
+        let predicted = self.predicted_power(1, env.vdd());
+        (predicted - truth).abs() / truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn calib_env() -> Environment {
+        Environment::new(TechNode::N70, 1.0, 300.0).expect("valid operating point")
+    }
+
+    #[test]
+    fn exact_at_calibration_point() {
+        let env = calib_env();
+        let model = ButtsSohiModel::calibrate(CellKind::Sram6t, &env);
+        assert!(model.relative_error(&env) < 1e-12);
+    }
+
+    #[test]
+    fn kdesign_is_order_unity() {
+        let model = ButtsSohiModel::calibrate(CellKind::Sram6t, &calib_env());
+        assert!(model.k_design > 0.1 && model.k_design < 3.0, "k={}", model.k_design);
+    }
+
+    #[test]
+    fn error_grows_with_temperature_departure() {
+        // The paper's point: leakage is exponential in T but the fixed model
+        // cannot follow it.
+        let model = ButtsSohiModel::calibrate(CellKind::Sram6t, &calib_env());
+        let mild = calib_env().with_temperature(330.0).expect("valid");
+        let hot = calib_env().with_temperature(383.15).expect("valid");
+        let e_mild = model.relative_error(&mild);
+        let e_hot = model.relative_error(&hot);
+        assert!(e_mild > 0.3, "30 K off calibration already costs {e_mild}");
+        assert!(e_hot > e_mild, "and it worsens: {e_hot}");
+        // The frozen model cannot follow the ~8x exponential growth: it
+        // underestimates the true leakage by more than 80 %.
+        assert!(e_hot > 0.8, "at 110 C the fixed model misses {e_hot} of the truth");
+    }
+
+    #[test]
+    fn error_grows_under_dvs() {
+        // Lowering Vdd only scales the V_CC prefactor in the fixed model,
+        // missing the exponential DIBL reduction entirely.
+        let model = ButtsSohiModel::calibrate(CellKind::Sram6t, &calib_env());
+        let scaled = calib_env().with_vdd(0.5).expect("valid");
+        assert!(
+            model.relative_error(&scaled) > 0.5,
+            "DVS error {} must be large",
+            model.relative_error(&scaled)
+        );
+    }
+
+    #[test]
+    fn recalibration_fixes_it() {
+        // The Butts-Sohi workaround the paper calls "inconvenient although
+        // feasible": recompute the model at every new operating point.
+        let hot = calib_env().with_temperature(383.15).expect("valid");
+        let recal = ButtsSohiModel::calibrate(CellKind::Sram6t, &hot);
+        assert!(recal.relative_error(&hot) < 1e-12);
+    }
+
+    #[test]
+    fn per_cell_kinds_need_different_kdesign() {
+        let env = calib_env();
+        let inv = ButtsSohiModel::calibrate(CellKind::Inverter, &env);
+        let nor = ButtsSohiModel::calibrate(CellKind::Nor2, &env);
+        assert!(
+            (inv.k_design - nor.k_design).abs() > 0.05,
+            "topology must show up in k_design: {} vs {}",
+            inv.k_design,
+            nor.k_design
+        );
+    }
+}

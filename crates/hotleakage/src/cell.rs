@@ -1,0 +1,267 @@
+//! Leakage of individual cells via the double-`k_design` model
+//! (paper Eq. 3: `I_cell = n_n·k_n·I_n + n_p·k_p·I_p`) plus per-cell gate
+//! (tunnelling) leakage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate_leakage;
+use crate::kdesign::{self, GateTopology, KDesign, Network};
+use crate::Environment;
+
+/// Aspect ratio of the SRAM pull-down NMOS devices.
+pub const SRAM_WL_PULL_DOWN: f64 = 2.0;
+/// Aspect ratio of the SRAM access NMOS devices. The paper notes drowsy
+/// designs use high-Vt access devices but deliberately models the *same* Vt
+/// for all transistors of a type to keep the comparison fair (§2.3); we
+/// follow that.
+pub const SRAM_WL_ACCESS: f64 = 1.2;
+/// Aspect ratio of the SRAM pull-up PMOS devices.
+pub const SRAM_WL_PULL_UP: f64 = 1.0;
+
+/// The cell types the cache and register-file structure models are built
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// A six-transistor SRAM bit cell (4 NMOS, 2 PMOS).
+    Sram6t,
+    /// A static CMOS inverter (wordline drivers, buffers).
+    Inverter,
+    /// A two-input NAND (predecode, control).
+    Nand2,
+    /// A three-input NAND (row decoders).
+    Nand3,
+    /// A two-input NOR (decode, match logic).
+    Nor2,
+    /// A differential sense amplifier, approximated as a cross-coupled
+    /// inverter pair plus bias devices (4 NMOS, 2 PMOS, roughly one side
+    /// off at a time).
+    SenseAmp,
+}
+
+impl CellKind {
+    /// All cell kinds used by the structure models.
+    pub const ALL: [CellKind; 6] = [
+        CellKind::Sram6t,
+        CellKind::Inverter,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::SenseAmp,
+    ];
+
+    /// `(n_n, n_p)`: NMOS / PMOS device counts of one cell.
+    pub fn device_counts(self) -> (usize, usize) {
+        match self {
+            CellKind::Sram6t => (4, 2),
+            CellKind::Inverter => (1, 1),
+            CellKind::Nand2 => (2, 2),
+            CellKind::Nand3 => (3, 3),
+            CellKind::Nor2 => (2, 2),
+            CellKind::SenseAmp => (4, 2),
+        }
+    }
+
+    /// Total gate width of the cell in micrometres of minimum feature,
+    /// used for gate-tunnelling leakage. Width = (W/L)·L_feature summed over
+    /// devices.
+    pub fn total_gate_width_um(self, feature_nm: f64) -> f64 {
+        let l_um = feature_nm / 1000.0;
+        let wl_sum: f64 = match self {
+            CellKind::Sram6t => {
+                2.0 * SRAM_WL_PULL_DOWN + 2.0 * SRAM_WL_ACCESS + 2.0 * SRAM_WL_PULL_UP
+            }
+            CellKind::Inverter => kdesign::LOGIC_WL_N + kdesign::LOGIC_WL_P,
+            CellKind::Nand2 => 2.0 * (2.0 * kdesign::LOGIC_WL_N) + 2.0 * kdesign::LOGIC_WL_P,
+            CellKind::Nand3 => 3.0 * (3.0 * kdesign::LOGIC_WL_N) + 3.0 * kdesign::LOGIC_WL_P,
+            CellKind::Nor2 => 2.0 * kdesign::LOGIC_WL_N + 2.0 * (2.0 * kdesign::LOGIC_WL_P),
+            CellKind::SenseAmp => 4.0 * kdesign::LOGIC_WL_N + 2.0 * kdesign::LOGIC_WL_P,
+        };
+        wl_sum * l_um
+    }
+}
+
+/// One cell instance whose leakage can be queried at any operating point.
+///
+/// ```
+/// use hotleakage::{Cell, CellKind, Environment, TechNode};
+///
+/// let env = Environment::new(TechNode::N70, 0.9, 383.15)?;
+/// let bit = Cell::new(CellKind::Sram6t);
+/// let i = bit.leakage_current(&env);
+/// assert!(i > 0.0);
+/// // P_static = Vdd · I (Eq. 4, for a single cell)
+/// let p = bit.leakage_power(&env);
+/// assert!((p - env.vdd() * i).abs() < 1e-18);
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    kind: CellKind,
+}
+
+impl Cell {
+    /// Creates a cell of the given kind.
+    pub fn new(kind: CellKind) -> Self {
+        Cell { kind }
+    }
+
+    /// The kind of this cell.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The derived `(k_n, k_p)` design factors at the given operating point.
+    pub fn kdesign(&self, env: &Environment) -> KDesign {
+        match self.kind {
+            CellKind::Sram6t => sram_kdesign(env),
+            CellKind::Inverter => kdesign::derive(env, &GateTopology::inverter()),
+            CellKind::Nand2 => kdesign::derive(env, &GateTopology::nand(2)),
+            CellKind::Nand3 => kdesign::derive(env, &GateTopology::nand(3)),
+            CellKind::Nor2 => kdesign::derive(env, &GateTopology::nor(2)),
+            CellKind::SenseAmp => sense_amp_kdesign(env),
+        }
+    }
+
+    /// Subthreshold leakage current of the cell, amperes (paper Eq. 3).
+    pub fn subthreshold_current(&self, env: &Environment) -> f64 {
+        let (n_n, n_p) = self.kind.device_counts();
+        let k = self.kdesign(env);
+        n_n as f64 * k.kn * env.unit_leakage_n() + n_p as f64 * k.kp * env.unit_leakage_p()
+    }
+
+    /// Gate (tunnelling) leakage current of the cell, amperes.
+    pub fn gate_current(&self, env: &Environment) -> f64 {
+        // Roughly half the devices in a static cell hold their gate at Vdd
+        // over an inverting device; only those tunnel significantly.
+        let width = self.kind.total_gate_width_um(env.tech().feature_nm);
+        0.5 * gate_leakage::gate_current(env, width)
+    }
+
+    /// Total leakage current (subthreshold + gate), amperes.
+    pub fn leakage_current(&self, env: &Environment) -> f64 {
+        self.subthreshold_current(env) + self.gate_current(env)
+    }
+
+    /// Static power of the cell, watts: `P = V_dd · I_cell` (paper Eq. 4
+    /// specialised to one cell).
+    pub fn leakage_power(&self, env: &Environment) -> f64 {
+        env.vdd() * self.leakage_current(env)
+    }
+}
+
+/// SRAM 6T `k_design`: the "inputs" are the two stored states. In either
+/// state one pull-down NMOS, one access NMOS (bitlines precharged high over
+/// a low node) and one pull-up PMOS are off with full drain bias; the rest
+/// see no bias.
+fn sram_kdesign(env: &Environment) -> KDesign {
+    let gate = GateTopology {
+        name: "sram6t-half",
+        num_inputs: 1,
+        // Per stored state: off pull-down N (full bias) in parallel with the
+        // off access N discharging the precharged bitline.
+        pull_down: Network::Parallel(vec![
+            Network::device(0, SRAM_WL_PULL_DOWN, true),
+            Network::device(0, SRAM_WL_ACCESS, true),
+        ]),
+        pull_up: Network::device(0, SRAM_WL_PULL_UP, false),
+    };
+    // The half gate leaks only in one of its two pseudo-states, while the
+    // full cell leaks through exactly one (symmetric) half in *each* state.
+    // Both ratios divide the same per-state current by (2 states · half the
+    // device count), so the derived factors carry over unchanged:
+    //   half: I_state / (2 · n/2 · I_unit)  ==  full: 2·I_state / (2 · n · I_unit)
+    kdesign::derive(env, &gate)
+}
+
+/// Sense-amp `k_design`: cross-coupled pair biased like an SRAM cell without
+/// access devices, plus always-off equalisation devices.
+fn sense_amp_kdesign(env: &Environment) -> KDesign {
+    let gate = GateTopology {
+        name: "senseamp-half",
+        num_inputs: 1,
+        pull_down: Network::Parallel(vec![
+            Network::device(0, kdesign::LOGIC_WL_N, true),
+            Network::device(0, kdesign::LOGIC_WL_N, true),
+        ]),
+        pull_up: Network::device(0, kdesign::LOGIC_WL_P, false),
+    };
+    // Same half-cell symmetry argument as `sram_kdesign`.
+    kdesign::derive(env, &gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn env() -> Environment {
+        Environment::new(TechNode::N70, 0.9, 383.15).unwrap()
+    }
+
+    #[test]
+    fn sram_cell_leaks_nanoamps_at_110c() {
+        let i = Cell::new(CellKind::Sram6t).leakage_current(&env());
+        assert!(i > 1e-9 && i < 5e-6, "6T cell at 110C/0.9V should leak nA-scale, got {i}");
+    }
+
+    #[test]
+    fn power_is_vdd_times_current() {
+        let c = Cell::new(CellKind::Nand2);
+        let e = env();
+        assert!((c.leakage_power(&e) - e.vdd() * c.leakage_current(&e)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn all_cells_have_positive_leakage() {
+        let e = env();
+        for kind in CellKind::ALL {
+            let i = Cell::new(kind).leakage_current(&e);
+            assert!(i > 0.0, "{kind:?} must leak");
+        }
+    }
+
+    #[test]
+    fn bigger_gates_leak_more() {
+        let e = env();
+        let inv = Cell::new(CellKind::Inverter).leakage_current(&e);
+        let nand3 = Cell::new(CellKind::Nand3).leakage_current(&e);
+        assert!(nand3 > inv);
+    }
+
+    #[test]
+    fn retention_voltage_slashes_cell_leakage() {
+        // A drowsy cell at ~1.5 Vth retains its value but leaks a small
+        // fraction of its full-Vdd leakage (DIBL + drain term + gate
+        // collapse).
+        let full = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
+        let drowsy_v = 1.5 * TechNode::N70.vth_n();
+        let drowsy = Environment::new(TechNode::N70, drowsy_v, 383.15).unwrap();
+        let cell = Cell::new(CellKind::Sram6t);
+        let ratio = cell.leakage_power(&drowsy) / cell.leakage_power(&full);
+        assert!(
+            ratio > 0.02 && ratio < 0.35,
+            "drowsy cells leak a small but nonzero fraction; ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn gate_leakage_significant_at_70nm_only() {
+        let e70 = Environment::nominal(TechNode::N70);
+        let e130 = Environment::nominal(TechNode::N130);
+        let c = Cell::new(CellKind::Sram6t);
+        let frac70 = c.gate_current(&e70) / c.leakage_current(&e70);
+        let frac130 = c.gate_current(&e130) / c.leakage_current(&e130);
+        assert!(frac70 > 0.05, "gate leakage should matter at 70nm: {frac70}");
+        assert!(frac130 < 0.02, "gate leakage should be minor at 130nm: {frac130}");
+    }
+
+    #[test]
+    fn sram_kdesign_reflects_sizing() {
+        let k = Cell::new(CellKind::Sram6t).kdesign(&env());
+        // Per state, off NMOS width = pull-down + access = 3.2 across 4
+        // devices → kn ≈ 0.8; off PMOS width = 1.0 across 2 → kp ≈ 0.5.
+        assert!((k.kn - (SRAM_WL_PULL_DOWN + SRAM_WL_ACCESS) / 4.0).abs() < 1e-9, "kn={}", k.kn);
+        assert!((k.kp - SRAM_WL_PULL_UP / 2.0).abs() < 1e-9, "kp={}", k.kp);
+    }
+}

@@ -1,0 +1,57 @@
+//! Physical constants used throughout the leakage model.
+//!
+//! All values are CODATA 2018 exact or recommended values, in SI units.
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELECTRON_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity, F/m.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+/// Relative permittivity of SiO₂ gate oxide.
+pub const EPSILON_R_SIO2: f64 = 3.9;
+
+/// Reference temperature for parameter tables, K (27 °C / 300 K).
+pub const T_REF: f64 = 300.0;
+
+/// Thermal voltage `kT/q` at temperature `t_k`, in volts.
+///
+/// ```
+/// let vt = hotleakage::consts::thermal_voltage(300.0);
+/// assert!((vt - 0.025852).abs() < 1e-5);
+/// ```
+pub fn thermal_voltage(t_k: f64) -> f64 {
+    BOLTZMANN * t_k / ELECTRON_CHARGE
+}
+
+/// Gate-oxide capacitance per unit area for oxide thickness `tox_m` (metres),
+/// in F/m².
+///
+/// ```
+/// // 1.2 nm oxide at 70 nm node
+/// let cox = hotleakage::consts::oxide_capacitance(1.2e-9);
+/// assert!(cox > 0.02 && cox < 0.04);
+/// ```
+pub fn oxide_capacitance(tox_m: f64) -> f64 {
+    EPSILON_0 * EPSILON_R_SIO2 / tox_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        assert!((thermal_voltage(600.0) / thermal_voltage(300.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oxide_capacitance_inverse_in_thickness() {
+        let thin = oxide_capacitance(1.2e-9);
+        let thick = oxide_capacitance(4.8e-9);
+        assert!((thin / thick - 4.0).abs() < 1e-9);
+    }
+}

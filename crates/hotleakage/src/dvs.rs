@@ -1,0 +1,179 @@
+//! Time-varying operating points: DVS schedules and leakage integration.
+//!
+//! The paper's §3 motivation for HotLeakage is that fixed-point models are
+//! "intractable for any leakage studies that account for dynamically
+//! varying temperature or involve dynamic voltage scaling". This module
+//! provides the piece that makes such studies one-liners: a schedule of
+//! operating-point segments and an integrator that re-evaluates leakage per
+//! segment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::structure::SramArray;
+use crate::Environment;
+
+/// One segment of a DVS/thermal schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Supply voltage during the segment, volts.
+    pub vdd: f64,
+    /// Temperature during the segment, kelvin.
+    pub temperature_k: f64,
+    /// Segment duration, seconds.
+    pub seconds: f64,
+}
+
+/// A piecewise-constant schedule of operating points.
+///
+/// ```
+/// use hotleakage::dvs::{Schedule, Segment};
+/// use hotleakage::{structure::SramArray, Environment, TechNode};
+///
+/// let schedule = Schedule::new(vec![
+///     Segment { vdd: 1.0, temperature_k: 360.0, seconds: 1e-3 },
+///     Segment { vdd: 0.7, temperature_k: 350.0, seconds: 1e-3 },
+/// ])?;
+/// let base = Environment::nominal(TechNode::N70);
+/// let array = SramArray::cache_data_array(1024, 512);
+/// let joules = schedule.leakage_energy(&base, &array)?;
+/// assert!(joules > 0.0);
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    segments: Vec<Segment>,
+}
+
+impl Schedule {
+    /// Builds a schedule from segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidGeometry`] if the schedule is empty or
+    /// any duration is non-positive or non-finite.
+    pub fn new(segments: Vec<Segment>) -> Result<Self, ModelError> {
+        if segments.is_empty() {
+            return Err(ModelError::InvalidGeometry("schedule must have segments".into()));
+        }
+        for s in &segments {
+            if !(s.seconds.is_finite() && s.seconds > 0.0) {
+                return Err(ModelError::InvalidGeometry(format!(
+                    "segment duration {} must be positive",
+                    s.seconds
+                )));
+            }
+        }
+        Ok(Schedule { segments })
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total schedule duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Integrates the leakage energy of `array` over the schedule, with the
+    /// full model re-evaluated per segment (temperature, DIBL, gate
+    /// leakage, k_design all move). `base` supplies the node and any
+    /// variation factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any segment is an invalid operating point.
+    pub fn leakage_energy(&self, base: &Environment, array: &SramArray) -> Result<f64, ModelError> {
+        let mut joules = 0.0;
+        for s in &self.segments {
+            let env = base.with_vdd(s.vdd)?.with_temperature(s.temperature_k)?;
+            joules += array.leakage_power(&env) * s.seconds;
+        }
+        Ok(joules)
+    }
+
+    /// Average leakage power over the schedule, watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any segment is an invalid operating point.
+    pub fn average_power(&self, base: &Environment, array: &SramArray) -> Result<f64, ModelError> {
+        Ok(self.leakage_energy(base, array)? / self.duration())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn base() -> Environment {
+        Environment::nominal(TechNode::N70)
+    }
+
+    fn array() -> SramArray {
+        SramArray::cache_data_array(1024, 512)
+    }
+
+    #[test]
+    fn rejects_empty_and_nonpositive() {
+        assert!(Schedule::new(vec![]).is_err());
+        assert!(Schedule::new(vec![Segment { vdd: 1.0, temperature_k: 300.0, seconds: 0.0 }])
+            .is_err());
+        assert!(Schedule::new(vec![Segment {
+            vdd: 1.0,
+            temperature_k: 300.0,
+            seconds: f64::NAN
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn constant_schedule_matches_direct_evaluation() {
+        let s = Schedule::new(vec![Segment { vdd: 0.9, temperature_k: 383.15, seconds: 2e-3 }])
+            .expect("valid");
+        let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
+        let direct = array().leakage_power(&env) * 2e-3;
+        let via = s.leakage_energy(&base(), &array()).expect("valid");
+        assert!((via - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dvs_saves_leakage_energy() {
+        let always_high = Schedule::new(vec![Segment {
+            vdd: 1.0,
+            temperature_k: 360.0,
+            seconds: 2e-3,
+        }])
+        .expect("valid");
+        let scaled = Schedule::new(vec![
+            Segment { vdd: 1.0, temperature_k: 360.0, seconds: 1e-3 },
+            Segment { vdd: 0.6, temperature_k: 360.0, seconds: 1e-3 },
+        ])
+        .expect("valid");
+        let high = always_high.leakage_energy(&base(), &array()).expect("valid");
+        let less = scaled.leakage_energy(&base(), &array()).expect("valid");
+        assert!(less < 0.85 * high, "halving time at 0.6 V must save: {less} vs {high}");
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let s = Schedule::new(vec![
+            Segment { vdd: 0.9, temperature_k: 360.0, seconds: 1e-3 },
+            Segment { vdd: 0.7, temperature_k: 340.0, seconds: 3e-3 },
+        ])
+        .expect("valid");
+        let e = s.leakage_energy(&base(), &array()).expect("valid");
+        let p = s.average_power(&base(), &array()).expect("valid");
+        assert!((p - e / 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_segment_point_is_reported() {
+        let s = Schedule::new(vec![Segment { vdd: -0.5, temperature_k: 300.0, seconds: 1e-3 }])
+            .expect("schedule builds; the operating point fails later");
+        assert!(s.leakage_energy(&base(), &array()).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the leakage model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing model inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The supplied supply voltage was not physical (non-finite, ≤ 0, or far
+    /// above the node's default supply).
+    InvalidVdd(f64),
+    /// The supplied temperature (kelvin) was outside the 200–500 K range the
+    /// curve fits are valid over.
+    InvalidTemperature(f64),
+    /// A geometric parameter (W/L, transistor count, array dimension) was
+    /// non-positive or non-finite.
+    InvalidGeometry(String),
+    /// A variation specification was invalid (negative sigma, zero samples).
+    InvalidVariation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidVdd(v) => write!(f, "supply voltage {v} V is not physical"),
+            ModelError::InvalidTemperature(t) => {
+                write!(f, "temperature {t} K is outside the validated 200-500 K range")
+            }
+            ModelError::InvalidGeometry(what) => write!(f, "invalid geometry: {what}"),
+            ModelError::InvalidVariation(what) => write!(f, "invalid variation spec: {what}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msg = ModelError::InvalidVdd(-1.0).to_string();
+        assert!(msg.starts_with("supply"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

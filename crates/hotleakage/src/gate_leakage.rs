@@ -1,0 +1,173 @@
+//! Direct-tunnelling gate leakage and the GIDL limit on reverse body bias.
+//!
+//! An explicit equation for gate tunnelling is (per the paper, §3.2)
+//! "very difficult and also unnecessary" at the architecture level, so —
+//! like HotLeakage — this module uses a curve fit anchored to the ITRS-2001
+//! projection the paper quotes: **40 nA/µm of gate width at the 70 nm node,
+//! 1.2 nm oxide, 0.9 V supply, 300 K**.
+//!
+//! The fit captures the dependences the paper lists:
+//!
+//! * **strong** (exponential) in oxide thickness `t_ox` — direct tunnelling
+//!   gains roughly a decade per 0.2 nm of thinning;
+//! * **strong** (power-law) in supply voltage;
+//! * **weak** (linear) in temperature.
+
+use crate::Environment;
+
+/// Gate-leakage calibration anchor: 40 nA per µm of gate width.
+pub const ANCHOR_CURRENT_PER_UM: f64 = 40e-9;
+/// Oxide thickness at the calibration anchor, metres.
+pub const ANCHOR_TOX: f64 = 1.2e-9;
+/// Supply voltage at the calibration anchor, volts.
+pub const ANCHOR_VDD: f64 = 0.9;
+/// Temperature at the calibration anchor, kelvin.
+pub const ANCHOR_TEMP: f64 = 300.0;
+
+/// Decades of tunnelling current gained per metre of oxide thinning
+/// (≈ one decade per 0.2 nm).
+const DECADES_PER_METRE: f64 = 1.0 / 0.2e-9;
+/// Supply-voltage power-law exponent of the tunnelling fit.
+const VDD_EXPONENT: f64 = 4.0;
+/// Weak linear temperature coefficient, 1/K.
+const TEMP_COEFF: f64 = 1.0e-3;
+
+/// Gate tunnelling current for `width_um` micrometres of gate width at
+/// operating point `env`, in amperes.
+///
+/// The current scales linearly with gate width, exponentially with oxide
+/// thinning relative to the 1.2 nm anchor, with the fourth power of supply
+/// voltage, and weakly (linearly) with temperature. At thick oxides
+/// (≥ 2.5 nm, i.e. 100 nm node and older) the value is negligible, matching
+/// the paper's statement that gate leakage only "becomes dominant" at 70 nm.
+///
+/// ```
+/// use hotleakage::{gate_leakage, Environment, TechNode};
+///
+/// let env = Environment::new(TechNode::N70, 0.9, 300.0)?;
+/// let i = gate_leakage::gate_current(&env, 1.0);
+/// assert!((i - 40e-9).abs() / 40e-9 < 1e-9, "calibration anchor");
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+pub fn gate_current(env: &Environment, width_um: f64) -> f64 {
+    if width_um <= 0.0 || env.vdd() <= 0.0 {
+        return 0.0;
+    }
+    let tox = env.tech().tox;
+    let tox_factor = 10f64.powf((ANCHOR_TOX - tox) * DECADES_PER_METRE);
+    let vdd_factor = (env.vdd() / ANCHOR_VDD).powf(VDD_EXPONENT);
+    let temp_factor = 1.0 + TEMP_COEFF * (env.temperature_k() - ANCHOR_TEMP);
+    env.variation_factor()
+        * ANCHOR_CURRENT_PER_UM
+        * width_um
+        * tox_factor
+        * vdd_factor
+        * temp_factor.max(0.0)
+}
+
+/// Reverse-body-bias effectiveness limit due to gate-induced drain leakage.
+///
+/// GIDL current rises when the substrate of an NMOS is biased negative (or a
+/// PMOS substrate positive), eroding the subthreshold savings RBB buys. The
+/// paper cites this (plus manufacturing difficulty) as the reason it does not
+/// study RBB at 70 nm. This function returns the *effective* leakage
+/// reduction factor RBB achieves once GIDL is accounted for: the ideal
+/// body-effect reduction saturates, and beyond roughly 0.5 V of bias GIDL
+/// gives the increase back.
+///
+/// `body_bias_v` is the magnitude of the reverse bias in volts.
+///
+/// ```
+/// use hotleakage::{gate_leakage, Environment, TechNode};
+/// let env = Environment::nominal(TechNode::N70);
+/// let mild = gate_leakage::rbb_effective_reduction(&env, 0.3);
+/// let hard = gate_leakage::rbb_effective_reduction(&env, 1.0);
+/// assert!(mild < 1.0);            // some savings
+/// assert!(hard > mild);           // GIDL claws savings back
+/// ```
+pub fn rbb_effective_reduction(env: &Environment, body_bias_v: f64) -> f64 {
+    if body_bias_v <= 0.0 {
+        return 1.0;
+    }
+    // Body effect: ΔVth ≈ γ·√bias raises Vth, cutting subthreshold leakage
+    // exponentially (γ ≈ 0.15 V/√V at 70 nm, weaker at short channels).
+    let gamma = 0.15 * (env.tech().feature_nm / 70.0).sqrt();
+    let delta_vth = gamma * body_bias_v.sqrt();
+    let vt = env.thermal_voltage();
+    let n = env.tech().nmos.swing_n;
+    let sub_reduction = (-delta_vth / (n * vt)).exp();
+    // GIDL: grows exponentially with bias once past ~0.4 V, scaled so it
+    // dominates at ≥ 1 V of reverse bias at 70 nm (thin oxide).
+    let gidl_scale = 0.02 * (ANCHOR_TOX / env.tech().tox).powi(2);
+    let gidl = gidl_scale * ((body_bias_v / 0.35).exp() - 1.0);
+    (sub_reduction + gidl).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    #[test]
+    fn anchor_point_is_exact() {
+        let env = Environment::new(TechNode::N70, 0.9, 300.0).unwrap();
+        let i = gate_current(&env, 1.0);
+        assert!((i - ANCHOR_CURRENT_PER_UM).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_in_width() {
+        let env = Environment::new(TechNode::N70, 0.9, 300.0).unwrap();
+        assert!((gate_current(&env, 3.0) / gate_current(&env, 1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negligible_at_older_nodes() {
+        let old = Environment::nominal(TechNode::N180);
+        let new = Environment::nominal(TechNode::N70);
+        // 4.5 nm oxide vs 1.2 nm: > 15 decades less tunnelling per µm even
+        // after the higher Vdd is accounted for.
+        assert!(gate_current(&old, 1.0) < 1e-6 * gate_current(&new, 1.0));
+    }
+
+    #[test]
+    fn strong_vdd_dependence() {
+        let hi = Environment::new(TechNode::N70, 1.0, 300.0).unwrap();
+        let lo = Environment::new(TechNode::N70, 0.5, 300.0).unwrap();
+        let ratio = gate_current(&hi, 1.0) / gate_current(&lo, 1.0);
+        assert!(ratio > 10.0, "gate leakage must collapse at retention voltages, ratio={ratio}");
+    }
+
+    #[test]
+    fn weak_temperature_dependence() {
+        let cold = Environment::new(TechNode::N70, 0.9, 300.0).unwrap();
+        let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
+        let ratio = gate_current(&hot, 1.0) / gate_current(&cold, 1.0);
+        assert!(ratio > 1.0 && ratio < 1.2, "T dependence should be weak, ratio={ratio}");
+    }
+
+    #[test]
+    fn zero_width_or_gated_gives_zero() {
+        let env = Environment::nominal(TechNode::N70);
+        assert_eq!(gate_current(&env, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rbb_has_sweet_spot_then_gidl_takes_over() {
+        let env = Environment::nominal(TechNode::N70);
+        let no_bias = rbb_effective_reduction(&env, 0.0);
+        let sweet = rbb_effective_reduction(&env, 0.4);
+        let over = rbb_effective_reduction(&env, 1.5);
+        assert_eq!(no_bias, 1.0);
+        assert!(sweet < 0.6, "moderate RBB should save meaningfully, got {sweet}");
+        assert!(over > sweet, "hard bias loses to GIDL");
+    }
+
+    #[test]
+    fn rbb_less_effective_at_70nm_than_180nm() {
+        // The paper's reason for skipping RBB: GIDL limits it at future nodes.
+        let new = rbb_effective_reduction(&Environment::nominal(TechNode::N70), 0.5);
+        let old = rbb_effective_reduction(&Environment::nominal(TechNode::N180), 0.5);
+        assert!(new > old, "70nm RBB ({new}) should retain less savings than 180nm ({old})");
+    }
+}

@@ -1,0 +1,429 @@
+//! The double-`k_design` circuit-topology model (paper §3.1.2, Eqs. 5–8).
+//!
+//! Butts and Sohi fold all topology effects (transistor sizing, stacking,
+//! N/P mix) into a single `k_design`. HotLeakage found N and P parameters
+//! differ too much for that, so it derives **two** factors per cell type:
+//!
+//! ```text
+//! k_n = (I_1n + I_2n + … ) / (N · n_n · I_n)     (Eq. 5)
+//! k_p = (I_1p + I_2p + … ) / (N · n_p · I_p)     (Eq. 6)
+//! ```
+//!
+//! where the sums run over all `N` input combinations, `I_kn` is the leakage
+//! through the pull-down network when that combination turns it off, and
+//! `I_n`/`I_p` are unit leakages. The derivation below *enumerates* every
+//! input combination of a gate exactly as the paper's NAND2 worked example
+//! (Fig. 2) does.
+//!
+//! The **stack effect** — series-connected off transistors leak far less than
+//! one — is modelled physically: a chain of `m` off devices divides the drain
+//! bias, so the limiting device is evaluated at `V_dd/m`, which both weakens
+//! its DIBL term and shrinks its drain term. Because that reduction depends
+//! on `V_dd` and temperature, the derived `k_n`/`k_p` vary (approximately
+//! linearly) with both, matching the paper's observation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bsim3::{self, TransistorState};
+use crate::technology::DeviceType;
+use crate::Environment;
+
+/// A series-parallel transistor network driven by gate inputs.
+///
+/// Leaves are devices gated by an input index; internal nodes compose
+/// children in series or parallel. This is expressive enough for every
+/// static CMOS gate the cache model needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Network {
+    /// One transistor, gated by input `input`, with aspect ratio `w_over_l`.
+    /// `active_high` is true if the device conducts when the input is 1
+    /// (NMOS in a pull-down network) and false if it conducts on 0 (PMOS).
+    Device {
+        /// Index of the gate input controlling this device.
+        input: usize,
+        /// Aspect ratio W/L.
+        w_over_l: f64,
+        /// Conducts when the controlling input is high.
+        active_high: bool,
+    },
+    /// All children in series (current must pass through each).
+    Series(Vec<Network>),
+    /// Children in parallel (current may pass through any).
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// A single device shorthand.
+    pub fn device(input: usize, w_over_l: f64, active_high: bool) -> Self {
+        Network::Device { input, w_over_l, active_high }
+    }
+
+    /// Whether the network conducts under the given input assignment.
+    pub fn conducts(&self, inputs: &[bool]) -> bool {
+        match self {
+            Network::Device { input, active_high, .. } => inputs[*input] == *active_high,
+            Network::Series(children) => children.iter().all(|c| c.conducts(inputs)),
+            Network::Parallel(children) => children.iter().any(|c| c.conducts(inputs)),
+        }
+    }
+
+    /// Number of devices in the network.
+    pub fn device_count(&self) -> usize {
+        match self {
+            Network::Device { .. } => 1,
+            Network::Series(c) | Network::Parallel(c) => c.iter().map(Network::device_count).sum(),
+        }
+    }
+
+    /// `(off_device_count, limiting_w_over_l)` along the least-resistive
+    /// leakage path when the network is off; `None` if it conducts.
+    fn leak_path(&self, inputs: &[bool]) -> Option<(usize, f64)> {
+        match self {
+            Network::Device { input, w_over_l, active_high } => {
+                if inputs[*input] == *active_high {
+                    None // conducting: contributes no series off-device
+                } else {
+                    Some((1, *w_over_l))
+                }
+            }
+            Network::Series(children) => {
+                // Current through a series chain is limited by its off
+                // members; conducting members are transparent.
+                let mut off = 0usize;
+                let mut limiting = f64::INFINITY;
+                for c in children {
+                    if let Some((n, w)) = c.leak_path(inputs) {
+                        off += n;
+                        limiting = limiting.min(w);
+                    }
+                }
+                if off == 0 {
+                    None
+                } else {
+                    Some((off, limiting))
+                }
+            }
+            Network::Parallel(children) => {
+                // If any branch conducts the whole network conducts. Else the
+                // leakage is the *sum* of branch leakages; we fold that into
+                // an effective width at the shallowest branch depth.
+                let mut paths = Vec::new();
+                for c in children {
+                    match c.leak_path(inputs) {
+                        None => return None,
+                        Some(p) => paths.push(p),
+                    }
+                }
+                let min_depth = paths.iter().map(|p| p.0).min()?;
+                let total_w: f64 =
+                    paths.iter().filter(|p| p.0 == min_depth).map(|p| p.1).sum();
+                Some((min_depth, total_w))
+            }
+        }
+    }
+
+    /// Leakage current through this (off) network at operating point `env`
+    /// for device polarity `device`, in amperes. Returns 0 if the network
+    /// conducts under `inputs`.
+    pub fn leakage(&self, env: &Environment, device: DeviceType, inputs: &[bool]) -> f64 {
+        match self.leak_path(inputs) {
+            None => 0.0,
+            Some((off_count, w_over_l)) => {
+                stack_leakage(env, device, off_count, w_over_l)
+            }
+        }
+    }
+}
+
+/// Leakage of a series stack of `off_count` off devices with limiting aspect
+/// ratio `w_over_l`.
+///
+/// For a two-device stack the intermediate node floats to the voltage `V_x`
+/// at which the bottom device's current (`V_ds = V_x`, `V_gs = 0`) balances
+/// the top device's (`V_ds = V_dd − V_x`, `V_gs = −V_x`): the negative
+/// gate-source bias on the top device plus its weakened DIBL is the physical
+/// stack effect, and because `V_x` settles at a few thermal voltages the
+/// derived `k_design` factors inherit the (approximately linear) temperature
+/// and supply-voltage dependence the paper reports. Deeper stacks apply the
+/// pairwise reduction once more per extra device.
+pub fn stack_leakage(env: &Environment, device: DeviceType, off_count: usize, w_over_l: f64) -> f64 {
+    debug_assert!(off_count >= 1);
+    let base = TransistorState::at(env, device).with_w_over_l(w_over_l);
+    let single = bsim3::unit_leakage(&base);
+    let current = match off_count {
+        1 => single,
+        _ => {
+            let two = two_stack_leakage(env, &base);
+            if single <= 0.0 {
+                0.0
+            } else {
+                // Each additional series device applies roughly the same
+                // pairwise reduction again.
+                two * (two / single).powi(off_count as i32 - 2)
+            }
+        }
+    };
+    env.variation_factor() * current
+}
+
+/// Current through two series off devices, found by bisecting for the
+/// intermediate-node voltage where the device currents balance.
+fn two_stack_leakage(env: &Environment, base: &TransistorState) -> f64 {
+    let vdd = env.vdd();
+    let vt = env.thermal_voltage();
+    let bottom = |vx: f64| bsim3::unit_leakage(&base.with_vdd(vx));
+    let top = |vx: f64| {
+        // Top device: V_ds = Vdd − V_x, V_gs = −V_x (source at the floating
+        // node). The negative gate bias scales current by e^{−V_x/(n·v_t)}.
+        bsim3::unit_leakage(&base.with_vdd(vdd - vx)) * (-vx / (base.swing_n * vt)).exp()
+    };
+    let (mut lo, mut hi) = (0.0_f64, vdd);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        // bottom() rises with vx, top() falls: find the crossing.
+        if bottom(mid) < top(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    bottom(0.5 * (lo + hi))
+}
+
+/// A complete static CMOS gate: complementary pull-down (NMOS) and pull-up
+/// (PMOS) networks over `num_inputs` inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateTopology {
+    /// Human-readable gate name (for reports).
+    pub name: &'static str,
+    /// Number of gate inputs.
+    pub num_inputs: usize,
+    /// NMOS pull-down network.
+    pub pull_down: Network,
+    /// PMOS pull-up network.
+    pub pull_up: Network,
+}
+
+/// Default aspect ratio of NMOS devices in logic gates.
+pub const LOGIC_WL_N: f64 = 2.0;
+/// Default aspect ratio of PMOS devices in logic gates (sized up for equal
+/// drive given lower hole mobility).
+pub const LOGIC_WL_P: f64 = 4.0;
+
+impl GateTopology {
+    /// A static CMOS inverter.
+    pub fn inverter() -> Self {
+        GateTopology {
+            name: "inv",
+            num_inputs: 1,
+            pull_down: Network::device(0, LOGIC_WL_N, true),
+            pull_up: Network::device(0, LOGIC_WL_P, false),
+        }
+    }
+
+    /// A `k`-input NAND gate: `k` series NMOS, `k` parallel PMOS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn nand(k: usize) -> Self {
+        assert!(k >= 1, "nand gate needs at least one input");
+        GateTopology {
+            name: "nand",
+            num_inputs: k,
+            pull_down: Network::Series(
+                (0..k).map(|i| Network::device(i, LOGIC_WL_N * k as f64, true)).collect(),
+            ),
+            pull_up: Network::Parallel(
+                (0..k).map(|i| Network::device(i, LOGIC_WL_P, false)).collect(),
+            ),
+        }
+    }
+
+    /// A `k`-input NOR gate: `k` parallel NMOS, `k` series PMOS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn nor(k: usize) -> Self {
+        assert!(k >= 1, "nor gate needs at least one input");
+        GateTopology {
+            name: "nor",
+            num_inputs: k,
+            pull_down: Network::Parallel(
+                (0..k).map(|i| Network::device(i, LOGIC_WL_N, true)).collect(),
+            ),
+            pull_up: Network::Series(
+                (0..k).map(|i| Network::device(i, LOGIC_WL_P * k as f64, false)).collect(),
+            ),
+        }
+    }
+
+    /// Total NMOS devices.
+    pub fn n_n(&self) -> usize {
+        self.pull_down.device_count()
+    }
+
+    /// Total PMOS devices.
+    pub fn n_p(&self) -> usize {
+        self.pull_up.device_count()
+    }
+}
+
+/// The pair of design factors for a cell type at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KDesign {
+    /// NMOS design factor (Eq. 5).
+    pub kn: f64,
+    /// PMOS design factor (Eq. 6).
+    pub kp: f64,
+}
+
+/// Derives `k_n` and `k_p` for a gate by enumerating all `2^num_inputs`
+/// input combinations, exactly as the paper's NAND2 example does.
+///
+/// ```
+/// use hotleakage::{kdesign, Environment, TechNode};
+///
+/// let env = Environment::nominal(TechNode::N70);
+/// let k = kdesign::derive(&env, &kdesign::GateTopology::nand(2));
+/// assert!(k.kn > 0.0 && k.kp > 0.0);
+/// ```
+pub fn derive(env: &Environment, gate: &GateTopology) -> KDesign {
+    let n_combos = 1usize << gate.num_inputs;
+    let unit_n = bsim3::unit_leakage(&TransistorState::at(env, DeviceType::Nmos));
+    let unit_p = bsim3::unit_leakage(&TransistorState::at(env, DeviceType::Pmos));
+    let mut sum_n = 0.0;
+    let mut sum_p = 0.0;
+    let mut inputs = vec![false; gate.num_inputs];
+    for combo in 0..n_combos {
+        for (bit, value) in inputs.iter_mut().enumerate() {
+            *value = (combo >> bit) & 1 == 1;
+        }
+        sum_n += gate.pull_down.leakage(env, DeviceType::Nmos, &inputs);
+        sum_p += gate.pull_up.leakage(env, DeviceType::Pmos, &inputs);
+    }
+    // Variation factor appears in both numerator (via Network::leakage) and
+    // is deliberately *not* applied to the unit leakages here so it cancels:
+    // k_design is a pure topology factor.
+    let vf = env.variation_factor();
+    KDesign {
+        kn: sum_n / vf / (n_combos as f64 * gate.n_n() as f64 * unit_n),
+        kp: sum_p / vf / (n_combos as f64 * gate.n_p() as f64 * unit_p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn env() -> Environment {
+        Environment::nominal(TechNode::N70)
+    }
+
+    #[test]
+    fn nand2_enumeration_matches_paper_example() {
+        // Fig. 2: three combos turn the pull-down off, one turns the
+        // pull-up off.
+        let gate = GateTopology::nand(2);
+        let mut pd_off = 0;
+        let mut pu_off = 0;
+        for combo in 0..4u32 {
+            let inputs = [(combo & 1) == 1, (combo & 2) == 2];
+            if !gate.pull_down.conducts(&inputs) {
+                pd_off += 1;
+            }
+            if !gate.pull_up.conducts(&inputs) {
+                pu_off += 1;
+            }
+        }
+        assert_eq!(pd_off, 3);
+        assert_eq!(pu_off, 1);
+    }
+
+    #[test]
+    fn complementary_networks_never_both_conduct() {
+        for gate in [GateTopology::inverter(), GateTopology::nand(3), GateTopology::nor(2)] {
+            for combo in 0..(1u32 << gate.num_inputs) {
+                let inputs: Vec<bool> =
+                    (0..gate.num_inputs).map(|b| (combo >> b) & 1 == 1).collect();
+                let pd = gate.pull_down.conducts(&inputs);
+                let pu = gate.pull_up.conducts(&inputs);
+                assert!(pd != pu, "{}: exactly one network conducts (static CMOS)", gate.name);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_effect_reduces_leakage() {
+        let e = env();
+        let one = stack_leakage(&e, DeviceType::Nmos, 1, 2.0);
+        let two = stack_leakage(&e, DeviceType::Nmos, 2, 2.0);
+        let three = stack_leakage(&e, DeviceType::Nmos, 3, 2.0);
+        assert!(two < 0.5 * one, "2-stack should cut leakage sharply: {two} vs {one}");
+        assert!(three < two);
+    }
+
+    #[test]
+    fn nand_kn_below_simple_width_scaling() {
+        // Series stacking means kn is well below the bare W/L the devices
+        // have: the stack effect is visible in the derived factor.
+        let e = env();
+        let k = derive(&e, &GateTopology::nand(2));
+        assert!(k.kn < LOGIC_WL_N * 2.0, "kn={} should reflect stacking", k.kn);
+        assert!(k.kn > 0.0);
+    }
+
+    #[test]
+    fn inverter_kdesign_is_half_width() {
+        // One input: combo 0 leaks through the off NMOS (W/L = LOGIC_WL_N),
+        // combo 1 through the off PMOS. kn = WL_N/2, kp = WL_P/2 exactly.
+        let e = env();
+        let k = derive(&e, &GateTopology::inverter());
+        assert!((k.kn - LOGIC_WL_N / 2.0).abs() < 1e-9, "kn={}", k.kn);
+        assert!((k.kp - LOGIC_WL_P / 2.0).abs() < 1e-9, "kp={}", k.kp);
+    }
+
+    #[test]
+    fn kdesign_varies_with_vdd_and_temperature() {
+        // The paper: k_n/k_p have a (roughly linear) relationship with
+        // temperature and supply voltage. Our physical stack model produces
+        // that dependence for stacked gates.
+        let gate = GateTopology::nand(2);
+        let base = derive(&Environment::new(TechNode::N70, 1.0, 300.0).unwrap(), &gate);
+        let low_v = derive(&Environment::new(TechNode::N70, 0.7, 300.0).unwrap(), &gate);
+        let hot = derive(&Environment::new(TechNode::N70, 1.0, 383.15).unwrap(), &gate);
+        assert!((base.kn - low_v.kn).abs() > 1e-6, "kn must move with Vdd");
+        assert!((base.kn - hot.kn).abs() > 1e-6, "kn must move with T");
+    }
+
+    #[test]
+    fn kdesign_independent_of_variation_factor() {
+        let gate = GateTopology::nand(3);
+        let e = env();
+        let k1 = derive(&e, &gate);
+        let k2 = derive(&e.with_variation_factor(1.5), &gate);
+        assert!((k1.kn - k2.kn).abs() < 1e-12);
+        assert!((k1.kp - k2.kp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nor_gate_mirrors_nand() {
+        let e = env();
+        let nand = derive(&e, &GateTopology::nand(2));
+        let nor = derive(&e, &GateTopology::nor(2));
+        // A NOR's parallel NMOS network is only off in 1 of 4 combos, so its
+        // kn sits well below a NAND's (whose series NMOS is off in 3 of 4).
+        assert!(nor.kn < nand.kn, "nor.kn={} nand.kn={}", nor.kn, nand.kn);
+        // Its series PMOS is off in 3 of 4 combos (and sized up 2x), so its
+        // kp sits above the NAND's single-combo kp.
+        assert!(nor.kp > nand.kp, "nor.kp={} nand.kp={}", nor.kp, nand.kp);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_input_nand_panics() {
+        GateTopology::nand(0);
+    }
+}

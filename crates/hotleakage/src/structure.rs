@@ -1,0 +1,258 @@
+//! Leakage of whole microarchitectural structures.
+//!
+//! HotLeakage exploits the regularity of SRAM-based structures: a cache data
+//! array is `rows × cols` identical 6T cells plus *edge logic* — decoders,
+//! wordline drivers, sense amplifiers, precharge — whose leakage is modelled
+//! from the same cell library. The functions here are pure in the
+//! [`Environment`], so a caller reacting to temperature or voltage changes
+//! just re-queries (the "recalculate dynamically" interface of §3.4).
+//!
+//! Leakage-control techniques deactivate *rows* (cache lines), so the salient
+//! quantities are [`SramArray::row_power`] (what one standby line stops
+//! leaking) and [`SramArray::edge_power`] (what stays awake regardless).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{Cell, CellKind};
+use crate::error::ModelError;
+use crate::Environment;
+
+/// Edge-logic inventory of an SRAM array, in cell counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeLogic {
+    /// Row-decoder NAND3 gates (one per row plus predecode).
+    pub decoder_nand3: usize,
+    /// Wordline driver inverters (one per row).
+    pub wordline_inverters: usize,
+    /// Sense amplifiers (one per bitline pair).
+    pub sense_amps: usize,
+    /// Precharge / equalisation devices, counted as inverter-equivalents.
+    pub precharge_inverters: usize,
+    /// Output drivers and mux gates, counted as NAND2-equivalents.
+    pub output_nand2: usize,
+}
+
+impl EdgeLogic {
+    /// CACTI-style edge inventory for an array of `rows × cols` bits.
+    pub fn for_array(rows: usize, cols: usize) -> Self {
+        EdgeLogic {
+            // one NAND3 per row, plus ~1/8 of that again for predecode
+            decoder_nand3: rows + rows / 8,
+            wordline_inverters: rows,
+            sense_amps: cols,
+            precharge_inverters: cols / 2,
+            output_nand2: cols / 4,
+        }
+    }
+
+    /// Total edge-logic leakage power at `env`, watts.
+    pub fn leakage_power(&self, env: &Environment) -> f64 {
+        let nand3 = Cell::new(CellKind::Nand3).leakage_power(env);
+        let inv = Cell::new(CellKind::Inverter).leakage_power(env);
+        let sa = Cell::new(CellKind::SenseAmp).leakage_power(env);
+        let nand2 = Cell::new(CellKind::Nand2).leakage_power(env);
+        self.decoder_nand3 as f64 * nand3
+            + self.wordline_inverters as f64 * inv
+            + self.sense_amps as f64 * sa
+            + self.precharge_inverters as f64 * inv
+            + self.output_nand2 as f64 * nand2
+    }
+
+    /// Total transistor count of the edge logic.
+    pub fn transistor_count(&self) -> usize {
+        self.decoder_nand3 * 6
+            + self.wordline_inverters * 2
+            + self.sense_amps * 6
+            + self.precharge_inverters * 2
+            + self.output_nand2 * 4
+    }
+}
+
+/// A regular SRAM array: `rows × cols` 6T cells plus edge logic.
+///
+/// ```
+/// use hotleakage::{structure::SramArray, Environment, TechNode};
+///
+/// // 64 KB of data in 64 B lines: 1024 rows of 512 bits.
+/// let data = SramArray::cache_data_array(1024, 512);
+/// let env = Environment::new(TechNode::N70, 0.9, 383.15)?;
+/// let total = data.leakage_power(&env);
+/// let one_row = data.row_power(&env);
+/// assert!(total > 1024.0 * one_row); // edge logic leaks on top of the cells
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramArray {
+    rows: usize,
+    cols: usize,
+    edge: EdgeLogic,
+}
+
+impl SramArray {
+    /// An array with an explicit edge inventory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidGeometry`] if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize, edge: EdgeLogic) -> Result<Self, ModelError> {
+        if rows == 0 || cols == 0 {
+            return Err(ModelError::InvalidGeometry(format!(
+                "array must be non-empty, got {rows}x{cols}"
+            )));
+        }
+        Ok(SramArray { rows, cols, edge })
+    }
+
+    /// A cache **data** array of `lines` lines of `bits_per_line` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn cache_data_array(lines: usize, bits_per_line: usize) -> Self {
+        Self::new(lines, bits_per_line, EdgeLogic::for_array(lines, bits_per_line))
+            .expect("cache data array dimensions must be positive")
+    }
+
+    /// A cache **tag** array of `lines` entries of `tag_bits` bits
+    /// (including status bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn cache_tag_array(lines: usize, tag_bits: usize) -> Self {
+        Self::new(lines, tag_bits, EdgeLogic::for_array(lines, tag_bits))
+            .expect("cache tag array dimensions must be positive")
+    }
+
+    /// A register file of `regs` registers of `width` bits (HotLeakage's
+    /// other built-in structure model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn register_file(regs: usize, width: usize) -> Self {
+        // Multi-ported cells are bigger; approximate the extra ports' access
+        // devices by widening the edge inventory (2 extra sense-amp sets).
+        let mut edge = EdgeLogic::for_array(regs, width);
+        edge.sense_amps *= 3;
+        edge.decoder_nand3 *= 3;
+        Self::new(regs, width, edge).expect("register file dimensions must be positive")
+    }
+
+    /// Number of rows (cache lines / registers).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bits per row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The edge-logic inventory.
+    pub fn edge(&self) -> &EdgeLogic {
+        &self.edge
+    }
+
+    /// Leakage power of a single 6T cell at `env`, watts.
+    pub fn cell_power(&self, env: &Environment) -> f64 {
+        Cell::new(CellKind::Sram6t).leakage_power(env)
+    }
+
+    /// Leakage power of one full row of cells (no edge logic), watts.
+    /// This is the quantum a leakage-control technique saves per standby
+    /// line.
+    pub fn row_power(&self, env: &Environment) -> f64 {
+        self.cols as f64 * self.cell_power(env)
+    }
+
+    /// Leakage power of the always-on edge logic, watts.
+    pub fn edge_power(&self, env: &Environment) -> f64 {
+        self.edge.leakage_power(env)
+    }
+
+    /// Total leakage power of the array (all rows active + edge), watts.
+    pub fn leakage_power(&self, env: &Environment) -> f64 {
+        self.rows as f64 * self.row_power(env) + self.edge_power(env)
+    }
+
+    /// Total transistor count (cells + edge), for Butts–Sohi style
+    /// cross-checks.
+    pub fn transistor_count(&self) -> usize {
+        self.rows * self.cols * 6 + self.edge.transistor_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn env() -> Environment {
+        Environment::new(TechNode::N70, 0.9, 383.15).unwrap()
+    }
+
+    #[test]
+    fn l1d_leakage_is_plausible() {
+        // 64 KB L1D at 70 nm / 0.9 V / 110 C: published architectural
+        // estimates put this in the tens-of-milliwatts to ~0.5 W band.
+        let array = SramArray::cache_data_array(1024, 512);
+        let p = array.leakage_power(&env());
+        assert!(p > 5e-3 && p < 2.0, "L1D leakage {p} W out of plausible band");
+    }
+
+    #[test]
+    fn row_power_times_rows_below_total() {
+        let array = SramArray::cache_data_array(256, 512);
+        let e = env();
+        assert!(array.rows() as f64 * array.row_power(&e) < array.leakage_power(&e));
+    }
+
+    #[test]
+    fn tags_are_small_fraction_of_cache_leakage() {
+        // Paper §5.3: tags account for ~5-10% of cache leakage energy.
+        let e = env();
+        let data = SramArray::cache_data_array(1024, 512);
+        let tags = SramArray::cache_tag_array(1024, 30);
+        let frac = tags.leakage_power(&e) / (tags.leakage_power(&e) + data.leakage_power(&e));
+        assert!(frac > 0.03 && frac < 0.15, "tag fraction {frac} outside 5-10% band");
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(SramArray::new(0, 512, EdgeLogic::for_array(1, 512)).is_err());
+        assert!(SramArray::new(512, 0, EdgeLogic::for_array(512, 1)).is_err());
+    }
+
+    #[test]
+    fn leakage_scales_with_rows() {
+        let e = env();
+        let small = SramArray::cache_data_array(256, 512);
+        let big = SramArray::cache_data_array(1024, 512);
+        let ratio = big.leakage_power(&e) / small.leakage_power(&e);
+        assert!(ratio > 3.5 && ratio < 4.5, "4x rows should give ~4x leakage, got {ratio}");
+    }
+
+    #[test]
+    fn register_file_leaks() {
+        let rf = SramArray::register_file(80, 64);
+        assert!(rf.leakage_power(&env()) > 0.0);
+    }
+
+    #[test]
+    fn hotter_array_leaks_more() {
+        let array = SramArray::cache_data_array(1024, 512);
+        let cool = Environment::new(TechNode::N70, 0.9, 358.15).unwrap(); // 85 C
+        let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap(); // 110 C
+        let ratio = array.leakage_power(&hot) / array.leakage_power(&cool);
+        assert!(ratio > 1.3, "25 C should raise leakage markedly, got {ratio}");
+    }
+
+    #[test]
+    fn transistor_count_dominated_by_cells() {
+        let array = SramArray::cache_data_array(1024, 512);
+        let cells = 1024 * 512 * 6;
+        assert!(array.transistor_count() > cells);
+        assert!((array.transistor_count() - cells) < cells / 10);
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-node technology parameter tables.
+//!
+//! HotLeakage ships lookup tables derived from transistor-level (Cadence /
+//! AIM-SPICE, BSIM3 v3.2) simulation for the 180 nm through 70 nm nodes. This
+//! module reproduces those tables from the constants the paper publishes:
+//!
+//! * default supply voltages `V_dd0` = 2.0 / 1.5 / 1.2 / 1.0 V for
+//!   180 / 130 / 100 / 70 nm (paper §3.1.1);
+//! * 70 nm threshold voltages 0.190 V (NMOS) and 0.213 V (PMOS) (paper §2.3);
+//! * 1.2 nm gate oxide and a 40 nA/µm gate-leakage target at 70 nm
+//!   (paper §3.2);
+//!
+//! with the remaining BSIM3 fit constants (mobility, subthreshold swing,
+//! DIBL coefficient, `V_off`) set to standard values for each generation and
+//! annotated below.
+
+use serde::{Deserialize, Serialize};
+
+use crate::consts;
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// N-channel MOSFET.
+    Nmos,
+    /// P-channel MOSFET.
+    Pmos,
+}
+
+impl DeviceType {
+    /// Both polarities, in the order `[Nmos, Pmos]`.
+    pub const ALL: [DeviceType; 2] = [DeviceType::Nmos, DeviceType::Pmos];
+}
+
+/// BSIM3-style fit parameters for one device polarity at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Zero-bias mobility `µ0` in m²/(V·s) at 300 K.
+    pub u0: f64,
+    /// Zero-bias threshold voltage at 300 K, volts (magnitude).
+    pub vth0: f64,
+    /// DIBL curve-fit coefficient `b` (1/V) in the `e^{b(Vdd − Vdd0)}` term.
+    pub dibl_b: f64,
+    /// Subthreshold swing coefficient `n` (dimensionless, ≈ 1.3–1.6).
+    pub swing_n: f64,
+    /// BSIM3 `V_off` fit parameter, volts (typically ≈ −0.08 V; a weak
+    /// function of threshold voltage in BSIM3, captured here as a constant
+    /// per polarity per node as the HotLeakage tables do).
+    pub voff: f64,
+    /// Threshold-voltage temperature coefficient `dVth/dT`, V/K (negative:
+    /// `Vth` falls as temperature rises).
+    pub vth_tc: f64,
+    /// Mobility temperature exponent: `µ(T) = µ0 · (T/300)^{u_te}`
+    /// (BSIM3 `ute`, typically ≈ −1.5).
+    pub mobility_te: f64,
+}
+
+impl DeviceParams {
+    /// Threshold voltage magnitude at temperature `t_k`.
+    pub fn vth_at(&self, t_k: f64) -> f64 {
+        (self.vth0 + self.vth_tc * (t_k - consts::T_REF)).max(0.0)
+    }
+
+    /// Mobility at temperature `t_k`, m²/(V·s).
+    pub fn mobility_at(&self, t_k: f64) -> f64 {
+        self.u0 * (t_k / consts::T_REF).powf(self.mobility_te)
+    }
+}
+
+/// Full parameter table for one technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Feature size in nanometres.
+    pub feature_nm: f64,
+    /// Default supply voltage `V_dd0`, volts.
+    pub vdd0: f64,
+    /// Gate-oxide thickness, metres.
+    pub tox: f64,
+    /// NMOS fit parameters.
+    pub nmos: DeviceParams,
+    /// PMOS fit parameters.
+    pub pmos: DeviceParams,
+    /// Nominal clock frequency the study uses at this node, Hz (the paper
+    /// runs the 70 nm machine at 5.6 GHz).
+    pub clock_hz: f64,
+    /// High threshold voltage available for sleep/header devices, volts.
+    pub vth_high: f64,
+}
+
+impl TechParams {
+    /// Gate-oxide capacitance per unit area, F/m².
+    pub fn cox(&self) -> f64 {
+        consts::oxide_capacitance(self.tox)
+    }
+
+    /// Parameters for the given polarity.
+    pub fn device(&self, device: DeviceType) -> &DeviceParams {
+        match device {
+            DeviceType::Nmos => &self.nmos,
+            DeviceType::Pmos => &self.pmos,
+        }
+    }
+}
+
+/// A supported technology node.
+///
+/// ```
+/// use hotleakage::TechNode;
+/// assert_eq!(TechNode::N70.params().vdd0, 1.0);
+/// assert_eq!(TechNode::N180.params().vdd0, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 180 nm generation (V_dd0 = 2.0 V).
+    N180,
+    /// 130 nm generation (V_dd0 = 1.5 V).
+    N130,
+    /// 100 nm generation (V_dd0 = 1.2 V).
+    N100,
+    /// 70 nm generation (V_dd0 = 1.0 V) — the node the paper's study uses.
+    N70,
+}
+
+impl TechNode {
+    /// All supported nodes, newest last.
+    pub const ALL: [TechNode; 4] = [TechNode::N180, TechNode::N130, TechNode::N100, TechNode::N70];
+
+    /// The static parameter table for this node.
+    pub fn params(self) -> &'static TechParams {
+        match self {
+            TechNode::N180 => &N180_PARAMS,
+            TechNode::N130 => &N130_PARAMS,
+            TechNode::N100 => &N100_PARAMS,
+            TechNode::N70 => &N70_PARAMS,
+        }
+    }
+
+    /// NMOS threshold voltage at 300 K (convenience).
+    pub fn vth_n(self) -> f64 {
+        self.params().nmos.vth0
+    }
+
+    /// PMOS threshold voltage magnitude at 300 K (convenience).
+    pub fn vth_p(self) -> f64 {
+        self.params().pmos.vth0
+    }
+}
+
+impl std::fmt::Display for TechNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nm = self.params().feature_nm;
+        write!(f, "{nm:.0}nm")
+    }
+}
+
+// PMOS mobility is ~4-5x lower than NMOS; |Vth_p| slightly above Vth_n at
+// every node, matching the paper's note that N and P parameters "differ too
+// much" for a single k_design. DIBL strengthens (larger b) and swing degrades
+// (larger n) as channels shorten.
+
+static N180_PARAMS: TechParams = TechParams {
+    feature_nm: 180.0,
+    vdd0: 2.0,
+    tox: 4.5e-9,
+    nmos: DeviceParams {
+        u0: 0.0450,
+        vth0: 0.398,
+        dibl_b: 1.2,
+        swing_n: 1.37,
+        voff: -0.080,
+        vth_tc: -0.9e-3,
+        mobility_te: -1.5,
+    },
+    pmos: DeviceParams {
+        u0: 0.0100,
+        vth0: 0.466,
+        dibl_b: 1.1,
+        swing_n: 1.42,
+        voff: -0.082,
+        vth_tc: -0.9e-3,
+        mobility_te: -1.4,
+    },
+    clock_hz: 1.0e9,
+    vth_high: 0.60,
+};
+
+static N130_PARAMS: TechParams = TechParams {
+    feature_nm: 130.0,
+    vdd0: 1.5,
+    tox: 3.3e-9,
+    nmos: DeviceParams {
+        u0: 0.0480,
+        vth0: 0.330,
+        dibl_b: 1.7,
+        swing_n: 1.40,
+        voff: -0.080,
+        vth_tc: -0.85e-3,
+        mobility_te: -1.5,
+    },
+    pmos: DeviceParams {
+        u0: 0.0105,
+        vth0: 0.380,
+        dibl_b: 1.5,
+        swing_n: 1.45,
+        voff: -0.082,
+        vth_tc: -0.85e-3,
+        mobility_te: -1.4,
+    },
+    clock_hz: 2.2e9,
+    vth_high: 0.52,
+};
+
+static N100_PARAMS: TechParams = TechParams {
+    feature_nm: 100.0,
+    vdd0: 1.2,
+    tox: 2.5e-9,
+    nmos: DeviceParams {
+        u0: 0.0510,
+        vth0: 0.260,
+        dibl_b: 2.3,
+        swing_n: 1.45,
+        voff: -0.080,
+        vth_tc: -0.8e-3,
+        mobility_te: -1.5,
+    },
+    pmos: DeviceParams {
+        u0: 0.0110,
+        vth0: 0.300,
+        dibl_b: 2.0,
+        swing_n: 1.50,
+        voff: -0.082,
+        vth_tc: -0.8e-3,
+        mobility_te: -1.4,
+    },
+    clock_hz: 3.5e9,
+    vth_high: 0.48,
+};
+
+static N70_PARAMS: TechParams = TechParams {
+    feature_nm: 70.0,
+    vdd0: 1.0,
+    tox: 1.2e-9,
+    nmos: DeviceParams {
+        // Paper §2.3: 0.190 V NMOS / 0.213 V PMOS thresholds at 70 nm.
+        u0: 0.0550,
+        vth0: 0.190,
+        dibl_b: 3.0,
+        swing_n: 1.50,
+        voff: -0.080,
+        vth_tc: -0.8e-3,
+        mobility_te: -1.5,
+    },
+    pmos: DeviceParams {
+        u0: 0.0115,
+        vth0: 0.213,
+        dibl_b: 2.6,
+        swing_n: 1.55,
+        voff: -0.082,
+        vth_tc: -0.8e-3,
+        mobility_te: -1.4,
+    },
+    // Paper §4.1: 70 nm process at 0.9 V and 5600 MHz.
+    clock_hz: 5.6e9,
+    vth_high: 0.45,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdd0_matches_paper_table() {
+        assert_eq!(TechNode::N180.params().vdd0, 2.0);
+        assert_eq!(TechNode::N130.params().vdd0, 1.5);
+        assert_eq!(TechNode::N100.params().vdd0, 1.2);
+        assert_eq!(TechNode::N70.params().vdd0, 1.0);
+    }
+
+    #[test]
+    fn seventy_nm_thresholds_match_paper() {
+        assert_eq!(TechNode::N70.vth_n(), 0.190);
+        assert_eq!(TechNode::N70.vth_p(), 0.213);
+    }
+
+    #[test]
+    fn thresholds_fall_with_scaling() {
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let v = node.vth_n();
+            assert!(v < prev, "vth should shrink with each generation");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn vth_falls_with_temperature() {
+        let d = TechNode::N70.params().nmos;
+        assert!(d.vth_at(383.15) < d.vth_at(300.0));
+        assert!(d.vth_at(383.15) > 0.0);
+    }
+
+    #[test]
+    fn mobility_falls_with_temperature() {
+        let d = TechNode::N70.params().nmos;
+        assert!(d.mobility_at(383.15) < d.mobility_at(300.0));
+    }
+
+    #[test]
+    fn cox_larger_for_thinner_oxide() {
+        assert!(TechNode::N70.params().cox() > TechNode::N180.params().cox());
+    }
+
+    #[test]
+    fn display_formats_node_name() {
+        assert_eq!(TechNode::N70.to_string(), "70nm");
+        assert_eq!(TechNode::N180.to_string(), "180nm");
+    }
+
+    #[test]
+    fn pmos_slower_than_nmos_everywhere() {
+        for node in TechNode::ALL {
+            let p = node.params();
+            assert!(p.pmos.u0 < p.nmos.u0);
+            assert!(p.pmos.vth0 > p.nmos.vth0);
+        }
+    }
+}

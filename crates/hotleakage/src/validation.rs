@@ -1,0 +1,185 @@
+//! Reference curves for regenerating Fig. 1 of the paper.
+//!
+//! Fig. 1 compares the architectural model's unit leakage against
+//! transistor-level circuit simulation across four sweeps: (a) aspect ratio
+//! W/L, (b) supply voltage, (c) temperature, (d) threshold voltage. The
+//! paper reports a "perfect match" on (a)–(c) and a deliberate divergence on
+//! (d): beyond a threshold-voltage knee the *model* stops tracking the
+//! simulated current because it only captures subthreshold conduction and
+//! DIBL, while the reference includes mechanisms with different `V_th`
+//! sensitivity.
+//!
+//! We cannot run Cadence here, so the **reference** is the substitution
+//! documented in DESIGN.md: the same BSIM3 subthreshold physics evaluated
+//! with the gate-tunnelling component handled *properly* (suppressed for an
+//! off device), whereas the **model** adds the architectural gate-leakage
+//! floor. The floor is what makes the model flatten at high `V_th` in
+//! Fig. 1d, reproducing the published divergence; on sweeps (a)–(c) the two
+//! agree to within the floor's (small) contribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bsim3::{self, TransistorState};
+use crate::gate_leakage;
+use crate::technology::DeviceType;
+use crate::Environment;
+
+/// One point of a Fig. 1 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept input (W/L, V_dd in volts, T in kelvin, or V_th in volts).
+    pub x: f64,
+    /// Architectural-model current, amperes.
+    pub model: f64,
+    /// Circuit-simulation reference current, amperes.
+    pub reference: f64,
+}
+
+impl SweepPoint {
+    /// Relative error of the model against the reference.
+    pub fn relative_error(&self) -> f64 {
+        if self.reference == 0.0 {
+            0.0
+        } else {
+            (self.model - self.reference).abs() / self.reference
+        }
+    }
+}
+
+/// Which Fig. 1 panel a sweep corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepKind {
+    /// Fig. 1a: leakage vs. aspect ratio.
+    AspectRatio,
+    /// Fig. 1b: leakage vs. supply voltage.
+    SupplyVoltage,
+    /// Fig. 1c: leakage vs. temperature.
+    Temperature,
+    /// Fig. 1d: leakage vs. threshold voltage.
+    ThresholdVoltage,
+}
+
+fn model_current(state: &TransistorState, env: &Environment) -> f64 {
+    // The architectural model reports subthreshold + the per-µm gate floor
+    // (evaluated at the device's gate width, invariant in Vth).
+    let width_um = state.w_over_l * env.tech().feature_nm / 1000.0;
+    bsim3::unit_leakage(state) + gate_leakage::gate_current(env, width_um)
+}
+
+fn reference_current(state: &TransistorState) -> f64 {
+    // "Circuit-sim" reference: pure off-state channel current. Gate
+    // tunnelling of an off device (V_gs = 0) is negligible, which is what a
+    // SPICE run of the single-transistor testbench reports.
+    bsim3::unit_leakage(state)
+}
+
+/// Generates one Fig. 1 sweep with `points` samples at operating point
+/// `env` (the non-swept inputs are held at `env`'s values).
+///
+/// ```
+/// use hotleakage::{validation, validation::SweepKind, Environment, TechNode};
+///
+/// let env = Environment::nominal(TechNode::N70);
+/// let sweep = validation::sweep(&env, SweepKind::AspectRatio, 20);
+/// assert_eq!(sweep.len(), 20);
+/// // Fig. 1a: model matches the reference essentially perfectly.
+/// assert!(sweep.iter().all(|p| p.relative_error() < 0.10));
+/// ```
+pub fn sweep(env: &Environment, kind: SweepKind, points: usize) -> Vec<SweepPoint> {
+    let base = TransistorState::at(env, DeviceType::Nmos);
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points.max(2) - 1) as f64;
+            let (x, state, env_i) = match kind {
+                SweepKind::AspectRatio => {
+                    let wl = 1.0 + t * 9.0; // 1..10
+                    (wl, base.with_w_over_l(wl), *env)
+                }
+                SweepKind::SupplyVoltage => {
+                    let vdd = 0.2 + t * (env.tech().vdd0 * 1.2 - 0.2);
+                    (vdd, base.with_vdd(vdd), env.with_vdd(vdd).unwrap_or(*env))
+                }
+                SweepKind::Temperature => {
+                    let t_k = 300.0 + t * 120.0; // 300..420 K
+                    let e = env.with_temperature(t_k).unwrap_or(*env);
+                    (t_k, TransistorState::at(&e, DeviceType::Nmos), e)
+                }
+                SweepKind::ThresholdVoltage => {
+                    let vth = 0.10 + t * 0.50; // 0.10..0.60 V
+                    (vth, base.with_vth(vth), *env)
+                }
+            };
+            SweepPoint { x, model: model_current(&state, &env_i), reference: reference_current(&state) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn env() -> Environment {
+        Environment::nominal(TechNode::N70)
+    }
+
+    #[test]
+    fn fig1a_aspect_ratio_matches() {
+        for p in sweep(&env(), SweepKind::AspectRatio, 16) {
+            assert!(p.relative_error() < 0.10, "W/L={} err={}", p.x, p.relative_error());
+        }
+    }
+
+    #[test]
+    fn fig1b_vdd_matches() {
+        for p in sweep(&env(), SweepKind::SupplyVoltage, 16) {
+            assert!(p.relative_error() < 0.10, "Vdd={} err={}", p.x, p.relative_error());
+        }
+    }
+
+    #[test]
+    fn fig1c_temperature_matches() {
+        for p in sweep(&env(), SweepKind::Temperature, 16) {
+            assert!(p.relative_error() < 0.10, "T={} err={}", p.x, p.relative_error());
+        }
+    }
+
+    #[test]
+    fn fig1d_model_floors_at_high_vth() {
+        let points = sweep(&env(), SweepKind::ThresholdVoltage, 32);
+        let last = points.last().unwrap();
+        // At the top of the Vth sweep the reference keeps falling but the
+        // model has flattened onto its gate-leakage floor.
+        assert!(
+            last.model > 5.0 * last.reference,
+            "model {} should sit well above reference {} at Vth={}",
+            last.model,
+            last.reference,
+            last.x
+        );
+        // At the bottom of the sweep they agree.
+        let first = &points[0];
+        assert!(first.relative_error() < 0.1, "low-Vth err={}", first.relative_error());
+        // And the model is monotone non-increasing then flat.
+        for w in points.windows(2) {
+            assert!(w[1].model <= w[0].model * 1.0001);
+        }
+    }
+
+    #[test]
+    fn sweeps_have_requested_length_and_finite_values() {
+        for kind in [
+            SweepKind::AspectRatio,
+            SweepKind::SupplyVoltage,
+            SweepKind::Temperature,
+            SweepKind::ThresholdVoltage,
+        ] {
+            let s = sweep(&env(), kind, 8);
+            assert_eq!(s.len(), 8);
+            for p in s {
+                assert!(p.model.is_finite() && p.model >= 0.0);
+                assert!(p.reference.is_finite() && p.reference >= 0.0);
+            }
+        }
+    }
+}

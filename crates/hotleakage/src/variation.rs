@@ -1,0 +1,251 @@
+//! Inter-die parameter variation (paper §3.3).
+//!
+//! Inter-die variation shifts the mean of a parameter equally across a whole
+//! die, so it can be lumped into a single mean/variance per parameter. The
+//! paper models four: transistor length `L`, oxide thickness `t_ox`, supply
+//! voltage `V_dd`, and threshold voltage `V_th` — with 3σ values for 70 nm
+//! taken from Nassif (ASP-DAC 2001): **47 %, 16 %, 10 %, 13 %** respectively.
+//!
+//! In the initialisation phase `N` Gaussian samples are drawn per parameter,
+//! leakage is evaluated at each sampled corner, and the **mean of those
+//! leakages** is used thereafter. Because leakage is convex (exponential) in
+//! several parameters, this mean exceeds the leakage at the mean parameters —
+//! which is exactly why variation must be modelled.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bsim3::{self, TransistorState};
+use crate::error::ModelError;
+use crate::technology::DeviceType;
+use crate::Environment;
+
+/// Mean and 3σ fraction for one varied parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationSpec {
+    /// Fractional 3σ deviation (e.g. 0.47 for ±47 % at 3σ).
+    pub three_sigma_frac: f64,
+}
+
+impl VariationSpec {
+    /// Creates a spec from a fractional 3σ value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidVariation`] for negative or non-finite
+    /// values.
+    pub fn new(three_sigma_frac: f64) -> Result<Self, ModelError> {
+        if !three_sigma_frac.is_finite() || three_sigma_frac < 0.0 {
+            return Err(ModelError::InvalidVariation(format!(
+                "3-sigma fraction {three_sigma_frac} must be finite and non-negative"
+            )));
+        }
+        Ok(Self { three_sigma_frac })
+    }
+
+    /// One-σ fraction.
+    pub fn sigma_frac(&self) -> f64 {
+        self.three_sigma_frac / 3.0
+    }
+}
+
+/// Full inter-die variation configuration for the four varied parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationConfig {
+    /// Transistor channel-length variation.
+    pub length: VariationSpec,
+    /// Gate-oxide thickness variation.
+    pub tox: VariationSpec,
+    /// Supply-voltage variation.
+    pub vdd: VariationSpec,
+    /// Threshold-voltage variation.
+    pub vth: VariationSpec,
+    /// Number of Gaussian samples drawn per evaluation.
+    pub samples: usize,
+    /// PRNG seed (results are deterministic per seed).
+    pub seed: u64,
+}
+
+impl VariationConfig {
+    /// The 70 nm three-sigma values the paper quotes from Nassif:
+    /// L 47 %, t_ox 16 %, V_dd 10 %, V_th 13 %; 1000 samples.
+    pub fn paper_70nm() -> Self {
+        VariationConfig {
+            length: VariationSpec { three_sigma_frac: 0.47 },
+            tox: VariationSpec { three_sigma_frac: 0.16 },
+            vdd: VariationSpec { three_sigma_frac: 0.10 },
+            vth: VariationSpec { three_sigma_frac: 0.13 },
+            samples: 1000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidVariation`] if `samples` is zero.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.samples == 0 {
+            return Err(ModelError::InvalidVariation("sample count must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self::paper_70nm()
+    }
+}
+
+/// Draws a standard-normal variate via Box–Muller (keeps the dependency
+/// surface to `rand`'s core `Rng` trait only).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Computes the mean-leakage multiplier that inter-die variation induces at
+/// operating point `env`, relative to the no-variation leakage.
+///
+/// `N` parameter corners are sampled (Gaussian in L, t_ox, V_dd, V_th), the
+/// NMOS subthreshold current is evaluated at each, and the ratio of the mean
+/// sampled current to the nominal current is returned. Apply the result with
+/// [`Environment::with_variation_factor`].
+///
+/// Because leakage is convex in `V_th` and `L`, the factor is ≥ 1 for any
+/// nonzero variance.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidVariation`] if `config` fails validation.
+///
+/// ```
+/// use hotleakage::{variation, Environment, TechNode, VariationConfig};
+///
+/// let env = Environment::new(TechNode::N70, 0.9, 383.15)?;
+/// let f = variation::mean_leakage_factor(&env, &VariationConfig::paper_70nm())?;
+/// assert!(f > 1.0);
+/// let varied = env.with_variation_factor(f);
+/// assert!(varied.unit_leakage_n() > env.unit_leakage_n());
+/// # Ok::<(), hotleakage::ModelError>(())
+/// ```
+pub fn mean_leakage_factor(
+    env: &Environment,
+    config: &VariationConfig,
+) -> Result<f64, ModelError> {
+    config.validate()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let nominal = TransistorState::at(env, DeviceType::Nmos);
+    let i_nominal = bsim3::unit_leakage(&nominal);
+    if i_nominal <= 0.0 {
+        return Ok(1.0);
+    }
+    let mut sum = 0.0;
+    for _ in 0..config.samples {
+        let dl = 1.0 + config.length.sigma_frac() * standard_normal(&mut rng);
+        let dtox = 1.0 + config.tox.sigma_frac() * standard_normal(&mut rng);
+        let dvdd = 1.0 + config.vdd.sigma_frac() * standard_normal(&mut rng);
+        let dvth = 1.0 + config.vth.sigma_frac() * standard_normal(&mut rng);
+
+        let mut s = nominal;
+        // Shorter channel → larger W/L and (through Vth roll-off) lower Vth.
+        let dl = dl.clamp(0.4, 1.6);
+        s.w_over_l = nominal.w_over_l / dl;
+        // Thinner oxide → larger Cox (folded into mobility·Cox product here).
+        let dtox = dtox.clamp(0.5, 1.5);
+        s.cox = nominal.cox / dtox;
+        s.vdd = (nominal.vdd * dvdd).clamp(0.0, 2.0 * env.tech().vdd0);
+        // Vth shift: both its own variation and short-channel roll-off from
+        // the length sample (ΔVth ≈ −60 mV per −30 % L at 70 nm).
+        let rolloff = 0.2 * env.tech().nmos.vth0 * (dl - 1.0);
+        s.vth = (nominal.vth * dvth + rolloff).max(0.01);
+        sum += bsim3::unit_leakage(&s);
+    }
+    Ok((sum / config.samples as f64 / i_nominal).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn env() -> Environment {
+        Environment::new(TechNode::N70, 0.9, 383.15).unwrap()
+    }
+
+    #[test]
+    fn factor_exceeds_one_for_paper_config() {
+        let f = mean_leakage_factor(&env(), &VariationConfig::paper_70nm()).unwrap();
+        assert!(f > 1.0, "convexity of leakage in varied params must raise the mean, f={f}");
+        assert!(f < 5.0, "but not absurdly, f={f}");
+    }
+
+    #[test]
+    fn zero_variance_gives_factor_one() {
+        let cfg = VariationConfig {
+            length: VariationSpec { three_sigma_frac: 0.0 },
+            tox: VariationSpec { three_sigma_frac: 0.0 },
+            vdd: VariationSpec { three_sigma_frac: 0.0 },
+            vth: VariationSpec { three_sigma_frac: 0.0 },
+            samples: 100,
+            seed: 1,
+        };
+        let f = mean_leakage_factor(&env(), &cfg).unwrap();
+        assert!((f - 1.0).abs() < 1e-9, "f={f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = VariationConfig::paper_70nm();
+        let f1 = mean_leakage_factor(&env(), &cfg).unwrap();
+        let f2 = mean_leakage_factor(&env(), &cfg).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_seeds_differ_slightly() {
+        let mut cfg = VariationConfig::paper_70nm();
+        let f1 = mean_leakage_factor(&env(), &cfg).unwrap();
+        cfg.seed = 42;
+        let f2 = mean_leakage_factor(&env(), &cfg).unwrap();
+        assert_ne!(f1, f2);
+        assert!((f1 - f2).abs() / f1 < 0.5, "seeds should agree to within sampling noise");
+    }
+
+    #[test]
+    fn more_variation_more_leakage() {
+        let small = VariationConfig {
+            length: VariationSpec { three_sigma_frac: 0.10 },
+            ..VariationConfig::paper_70nm()
+        };
+        let big = VariationConfig {
+            length: VariationSpec { three_sigma_frac: 0.60 },
+            ..VariationConfig::paper_70nm()
+        };
+        let fs = mean_leakage_factor(&env(), &small).unwrap();
+        let fb = mean_leakage_factor(&env(), &big).unwrap();
+        assert!(fb > fs);
+    }
+
+    #[test]
+    fn zero_samples_is_an_error() {
+        let cfg = VariationConfig { samples: 0, ..VariationConfig::paper_70nm() };
+        assert!(mean_leakage_factor(&env(), &cfg).is_err());
+    }
+
+    #[test]
+    fn negative_sigma_rejected() {
+        assert!(VariationSpec::new(-0.1).is_err());
+        assert!(VariationSpec::new(f64::NAN).is_err());
+        assert!(VariationSpec::new(0.47).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! The break-even economics of cache decay.
+//!
+//! Deactivating a line that will be reused gambles energy: the standby
+//! leakage saved while it sleeps against the cost of bringing its data back
+//! (a rail recharge for drowsy; an L2 access plus refill for gated-V_ss).
+//! The *break-even sleep time* — how long a line must sleep to amortise its
+//! reactivation — is what separates the two techniques' preferred decay
+//! intervals in the paper's Table 3: gated's break-even is orders of
+//! magnitude longer, so it wants long intervals on workloads with
+//! medium-interval reuse, while drowsy can decay almost anything.
+
+use hotleakage::structure::SramArray;
+use hotleakage::Environment;
+use serde::{Deserialize, Serialize};
+use wattch::{Event, PowerModel};
+
+use crate::technique::{Technique, TechniqueKind};
+
+/// The energy ledger of one sleep/wake round trip for a reused line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrip {
+    /// Leakage power saved per cycle of standby, watts.
+    pub saved_watts: f64,
+    /// One-off energy cost of the sleep + wake transitions and the data
+    /// restoration (L2 refill for non-state-preserving techniques), joules.
+    pub cost_joules: f64,
+    /// Clock frequency used to convert cycles to seconds, Hz.
+    pub clock_hz: f64,
+}
+
+impl RoundTrip {
+    /// Standby cycles needed before the trip pays for itself.
+    pub fn break_even_cycles(&self) -> f64 {
+        if self.saved_watts <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.cost_joules / self.saved_watts * self.clock_hz
+    }
+
+    /// Net energy of sleeping a line that is reused after `reuse_gap`
+    /// cycles under decay interval `interval`: positive = profit, joules.
+    /// Lines with `reuse_gap ≤ interval` never decay (zero).
+    pub fn net_joules(&self, interval: u64, reuse_gap: u64) -> f64 {
+        if reuse_gap <= interval {
+            return 0.0;
+        }
+        let standby_cycles = (reuse_gap - interval) as f64;
+        standby_cycles / self.clock_hz * self.saved_watts - self.cost_joules
+    }
+}
+
+/// Computes the round-trip economics of `technique` at `env` for the given
+/// cache arrays.
+///
+/// # Errors
+///
+/// Propagates [`hotleakage::ModelError`] from the technique physics.
+pub fn round_trip(
+    technique: &Technique,
+    env: &Environment,
+    data: &SramArray,
+    tags: &SramArray,
+) -> Result<RoundTrip, hotleakage::ModelError> {
+    let physics = technique.physics(env, data, tags)?;
+    let model = PowerModel::alpha21264_like(env);
+    let mut cost = technique.sleep_energy(&model, env) + technique.wake_energy(&model, env);
+    if !technique.kind.preserves_state() && technique.kind != TechniqueKind::None {
+        // Reactivation re-fetches the line: an L2 access plus the L1 refill
+        // write.
+        cost += model.energy(Event::L2Access) + model.energy(Event::L1dWrite);
+    }
+    Ok(RoundTrip {
+        saved_watts: physics.active_row_watts - physics.standby_row_watts,
+        cost_joules: cost,
+        clock_hz: env.tech().clock_hz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotleakage::TechNode;
+
+    fn setup() -> (Environment, SramArray, SramArray) {
+        (
+            Environment::new(TechNode::N70, 0.9, 383.15).expect("valid"),
+            SramArray::cache_data_array(1024, 512),
+            SramArray::cache_tag_array(1024, 30),
+        )
+    }
+
+    #[test]
+    fn gated_break_even_is_orders_longer_than_drowsy() {
+        let (env, data, tags) = setup();
+        let g = round_trip(&Technique::gated_vss(4096), &env, &data, &tags).expect("physics");
+        let d = round_trip(&Technique::drowsy(4096), &env, &data, &tags).expect("physics");
+        let gb = g.break_even_cycles();
+        let db = d.break_even_cycles();
+        assert!(
+            gb > 20.0 * db,
+            "gated break-even {gb} must dwarf drowsy {db}: that asymmetry is Table 3"
+        );
+    }
+
+    #[test]
+    fn break_even_magnitudes_match_the_interval_menu() {
+        // The sweep menu is 1k-64k cycles: gated's break-even must land
+        // inside it (else the whole interval study would be moot), drowsy's
+        // far below it.
+        let (env, data, tags) = setup();
+        let g = round_trip(&Technique::gated_vss(4096), &env, &data, &tags).expect("physics");
+        let d = round_trip(&Technique::drowsy(4096), &env, &data, &tags).expect("physics");
+        assert!(
+            g.break_even_cycles() > 500.0 && g.break_even_cycles() < 100_000.0,
+            "gated break-even {} out of menu range",
+            g.break_even_cycles()
+        );
+        assert!(d.break_even_cycles() < 500.0, "drowsy break-even {}", d.break_even_cycles());
+    }
+
+    #[test]
+    fn cooler_chips_lengthen_break_even() {
+        // Less leakage to save per cycle, same reactivation cost.
+        let (_, data, tags) = setup();
+        let hot = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
+        let cool = Environment::new(TechNode::N70, 0.9, 338.15).expect("valid");
+        let t = Technique::gated_vss(4096);
+        let b_hot = round_trip(&t, &hot, &data, &tags).expect("physics").break_even_cycles();
+        let b_cool = round_trip(&t, &cool, &data, &tags).expect("physics").break_even_cycles();
+        assert!(b_cool > 2.0 * b_hot, "cooling must lengthen break-even: {b_cool} vs {b_hot}");
+    }
+
+    #[test]
+    fn net_joules_sign_flips_at_break_even() {
+        let (env, data, tags) = setup();
+        let rt = round_trip(&Technique::gated_vss(1024), &env, &data, &tags).expect("physics");
+        let be = rt.break_even_cycles() as u64;
+        assert!(rt.net_joules(1024, 1024 + be / 2) < 0.0, "early reuse loses energy");
+        assert!(rt.net_joules(1024, 1024 + be * 2) > 0.0, "late reuse profits");
+        assert_eq!(rt.net_joules(1024, 512), 0.0, "reuse inside the interval never decays");
+    }
+
+    #[test]
+    fn baseline_has_no_economics() {
+        let (env, data, tags) = setup();
+        let rt = round_trip(&Technique::none(), &env, &data, &tags).expect("physics");
+        assert_eq!(rt.break_even_cycles(), f64::INFINITY);
+    }
+}

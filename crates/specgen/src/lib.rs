@@ -1,0 +1,49 @@
+//! # specgen
+//!
+//! Deterministic statistical workload generators standing in for the 11
+//! SPECint2000 benchmarks of the study (gcc, gzip, parser, vortex, gap,
+//! perl, twolf, bzip2, vpr, mcf, crafty).
+//!
+//! ## Why synthetic workloads are a faithful substitution
+//!
+//! The paper runs Alpha binaries of SPECint2000 under SimpleScalar. Neither
+//! the binaries, the reference inputs, nor an Alpha functional simulator is
+//! available here, so each benchmark is replaced by a *statistical
+//! generator* (documented in DESIGN.md). The leakage-control comparison is
+//! sensitive to exactly three workload properties, all of which the
+//! generators parameterise explicitly:
+//!
+//! 1. **Line inter-access ("decay") interval structure** — how long cache
+//!    lines sit idle between reuses determines the turnoff ratio, the
+//!    induced-miss rate, and each benchmark's best decay interval
+//!    (paper Table 3). Each profile mixes five address streams with very
+//!    different reuse behaviour: a tiny hot *stack*, a *hot pool* of
+//!    frequently-reused lines, a *resident set* reused at medium-to-long
+//!    intervals (the decay-interval-sensitive component), dead-on-arrival
+//!    *streaming* data, and uniform *pointer-chase* traffic.
+//! 2. **Miss ratios / working-set size** — set by the region footprints.
+//! 3. **Available ILP** — set by register-dependence probability/distance,
+//!    branch predictability, and (for mcf-like codes) address-dependent
+//!    serialised chase loads. ILP controls how much induced-miss latency
+//!    the out-of-order window hides (paper §5.1 reason 4).
+//!
+//! Everything is driven by a seeded ChaCha8 PRNG: the same
+//! benchmark + seed always produces the same trace.
+//!
+//! ```
+//! use specgen::{Benchmark, SpecTrace};
+//! use uarch::TraceSource;
+//!
+//! let mut trace = SpecTrace::new(Benchmark::Gcc, 42);
+//! let op = trace.next_op().expect("generators are endless");
+//! assert!(op.pc > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod profile;
+
+pub use generator::SpecTrace;
+pub use profile::{Benchmark, BenchmarkProfile};

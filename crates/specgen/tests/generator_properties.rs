@@ -1,0 +1,68 @@
+//! Property tests on the workload generators: any benchmark, any seed,
+//! structurally valid streams.
+
+use proptest::prelude::*;
+use specgen::{Benchmark, SpecTrace};
+use uarch::insn::OpClass;
+use uarch::TraceSource;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streams_are_structurally_valid(b in arb_benchmark(), seed in 0u64..1000) {
+        let mut t = SpecTrace::new(b, seed);
+        let mut prev_pc_after_seq = None::<u64>;
+        for _ in 0..3000 {
+            let op = t.next_op().expect("endless");
+            // PCs are word-aligned and inside the code/function regions.
+            prop_assert_eq!(op.pc % 4, 0, "pc {:#x} must be word-aligned", op.pc);
+            prop_assert!(op.pc >= 0x0040_0000 && op.pc < 0x1000_0000, "pc {:#x}", op.pc);
+            if op.class.is_mem() {
+                // Data addresses live in the data regions, never in code.
+                prop_assert!(op.mem_addr >= 0x1000_0000, "addr {:#x}", op.mem_addr);
+            }
+            if op.class.is_control() && op.taken {
+                prop_assert_eq!(op.target % 4, 0);
+            }
+            // Sequential ops advance the PC by 4.
+            if let Some(prev) = prev_pc_after_seq {
+                prop_assert_eq!(op.pc, prev, "sequential flow must advance by 4");
+            }
+            prev_pc_after_seq = if op.class.is_control() && op.taken {
+                Some(op.target)
+            } else if op.class == OpClass::Return {
+                None
+            } else {
+                Some(op.pc + 4)
+            };
+        }
+    }
+
+    #[test]
+    fn seeds_change_data_not_structure(b in arb_benchmark(), s1 in 0u64..500, s2 in 500u64..1000) {
+        let count_mem = |seed: u64| -> usize {
+            let mut t = SpecTrace::new(b, seed);
+            (0..5000).filter(|_| t.next_op().expect("endless").class.is_mem()).count()
+        };
+        let m1 = count_mem(s1);
+        let m2 = count_mem(s2);
+        // Memory-op density is a structural property: stable within a few
+        // percent across seeds.
+        let diff = (m1 as f64 - m2 as f64).abs() / 5000.0;
+        prop_assert!(diff < 0.09, "mem density moved {diff} between seeds");
+    }
+
+    #[test]
+    fn emitted_counter_tracks_ops(b in arb_benchmark(), n in 1u64..2000) {
+        let mut t = SpecTrace::new(b, 1);
+        for _ in 0..n {
+            t.next_op().expect("endless");
+        }
+        prop_assert_eq!(t.emitted(), n);
+    }
+}

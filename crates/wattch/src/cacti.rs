@@ -1,0 +1,191 @@
+//! CACTI-style analytical capacitance estimation for SRAM arrays.
+//!
+//! CACTI decomposes an array access into decoder, wordline, bitline, sense,
+//! and output stages and sums `C·V²` (with reduced swing on the bitlines).
+//! This module reproduces that decomposition with per-node unit
+//! capacitances derived from the gate-oxide capacitance of the
+//! [`hotleakage`] technology tables, so the dynamic-energy scale moves with
+//! the same technology parameters the leakage model uses.
+
+use hotleakage::{Environment, TechNode};
+use serde::{Deserialize, Serialize};
+
+/// Per-node unit capacitances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitCaps {
+    /// Gate capacitance per micrometre of transistor width, farads.
+    pub gate_per_um: f64,
+    /// Drain/source diffusion capacitance per micrometre of width, farads.
+    pub diff_per_um: f64,
+    /// Wire capacitance per micrometre of length, farads.
+    pub wire_per_um: f64,
+    /// Cell pitch (width = height assumed) in micrometres.
+    pub cell_pitch_um: f64,
+}
+
+impl UnitCaps {
+    /// Unit capacitances for the given node, derived from `C_ox · L` plus
+    /// standard diffusion/wire ratios.
+    pub fn for_node(node: TechNode) -> Self {
+        let p = node.params();
+        let l_um = p.feature_nm / 1000.0;
+        // C_ox is F/m²; width 1 µm × length L gives gate cap in farads.
+        let gate_per_um = p.cox() * 1.0e-6 * (p.feature_nm * 1.0e-9);
+        UnitCaps {
+            gate_per_um,
+            // Diffusion cap tracks gate cap at roughly half its value.
+            diff_per_um: 0.5 * gate_per_um,
+            // Local-layer wire: ~0.2 fF/µm, nearly constant across nodes.
+            wire_per_um: 0.2e-15,
+            // SRAM cell pitch ≈ 20 feature sizes on a side.
+            cell_pitch_um: 20.0 * l_um,
+        }
+    }
+}
+
+/// Geometry of one SRAM array bank for energy purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Number of rows (wordlines).
+    pub rows: usize,
+    /// Number of columns (bitline pairs).
+    pub cols: usize,
+    /// Bits actually read/written per access (after column muxing).
+    pub access_bits: usize,
+}
+
+impl ArrayGeometry {
+    /// Geometry for a cache data array: `lines` rows of `bits_per_line`
+    /// columns, reading a full line per access.
+    pub fn cache_data(lines: usize, bits_per_line: usize) -> Self {
+        ArrayGeometry { rows: lines, cols: bits_per_line, access_bits: bits_per_line }
+    }
+
+    /// Geometry for a cache tag array.
+    pub fn cache_tag(lines: usize, tag_bits: usize) -> Self {
+        ArrayGeometry { rows: lines, cols: tag_bits, access_bits: tag_bits }
+    }
+}
+
+/// Capacitances of one access path through an array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayCaps {
+    /// Decoder input + predecode capacitance, farads.
+    pub decoder: f64,
+    /// One wordline (gate cap of a row's access devices + wire), farads.
+    pub wordline: f64,
+    /// One bitline (diffusion of all rows + wire), farads.
+    pub bitline: f64,
+    /// Sense-amplifier internal capacitance per column, farads.
+    pub sense: f64,
+    /// Output-driver and bus capacitance per bit, farads.
+    pub output: f64,
+}
+
+/// Fraction of `V_dd` the bitlines swing before the sense amps fire.
+pub const BITLINE_SWING: f64 = 0.15;
+
+/// Computes the access-path capacitances of `geom` at `node`.
+pub fn array_caps(node: TechNode, geom: &ArrayGeometry) -> ArrayCaps {
+    let u = UnitCaps::for_node(node);
+    let row_wire_um = geom.cols as f64 * u.cell_pitch_um;
+    let col_wire_um = geom.rows as f64 * u.cell_pitch_um;
+    // Access-device widths ≈ 1.2 feature sizes (matches the SRAM cell model).
+    let access_w_um = 1.2 * node.params().feature_nm / 1000.0;
+    ArrayCaps {
+        // Predecode + final NAND gates: ~4 gate loads per address bit.
+        decoder: 4.0 * (geom.rows.max(2) as f64).log2() * 3.0 * u.gate_per_um * access_w_um * 8.0,
+        wordline: geom.cols as f64 * 2.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,
+        bitline: geom.rows as f64 * u.diff_per_um * access_w_um + col_wire_um * u.wire_per_um,
+        sense: 10.0 * u.gate_per_um * access_w_um,
+        output: 20.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,
+    }
+}
+
+/// Dynamic energy of one **read** access to the array, joules.
+///
+/// Decoder and wordline swing the full supply; each of the `cols` bitline
+/// pairs swings `BITLINE_SWING·V_dd`; sensing and output driving swing the
+/// accessed bits full rail.
+pub fn read_energy(env: &Environment, geom: &ArrayGeometry) -> f64 {
+    let caps = array_caps(env.node(), geom);
+    let v = env.vdd();
+    let full = v * v;
+    let swing = v * (BITLINE_SWING * v);
+    caps.decoder * full
+        + caps.wordline * full
+        + geom.cols as f64 * 2.0 * caps.bitline * swing
+        + geom.cols as f64 * caps.sense * full
+        + geom.access_bits as f64 * caps.output * full
+}
+
+/// Dynamic energy of one **write** access, joules: like a read, but the
+/// written bits drive their bitlines full-rail instead of sensing.
+pub fn write_energy(env: &Environment, geom: &ArrayGeometry) -> f64 {
+    let caps = array_caps(env.node(), geom);
+    let v = env.vdd();
+    let full = v * v;
+    let swing = v * (BITLINE_SWING * v);
+    caps.decoder * full
+        + caps.wordline * full
+        + geom.access_bits as f64 * 2.0 * caps.bitline * full
+        + (geom.cols - geom.access_bits.min(geom.cols)) as f64 * 2.0 * caps.bitline * swing
+        + geom.access_bits as f64 * caps.output * full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::new(TechNode::N70, 0.9, 383.15).unwrap()
+    }
+
+    #[test]
+    fn l1_access_energy_plausible() {
+        // A 64 KB L1 read at 70 nm should land in the 0.05–2 nJ band
+        // (Wattch-class models report ~0.1–1 nJ).
+        let geom = ArrayGeometry::cache_data(1024, 512);
+        let e = read_energy(&env(), &geom);
+        assert!(e > 0.05e-9 && e < 5e-9, "L1 read energy {e} J implausible");
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more() {
+        let small = ArrayGeometry::cache_data(256, 512);
+        let large = ArrayGeometry::cache_data(4096, 512);
+        assert!(read_energy(&env(), &large) > read_energy(&env(), &small));
+    }
+
+    #[test]
+    fn tag_probe_cheaper_than_data_read() {
+        let data = ArrayGeometry::cache_data(1024, 512);
+        let tag = ArrayGeometry::cache_tag(1024, 30);
+        assert!(read_energy(&env(), &tag) < 0.25 * read_energy(&env(), &data));
+    }
+
+    #[test]
+    fn write_and_read_same_order_of_magnitude() {
+        let geom = ArrayGeometry::cache_data(1024, 512);
+        let r = read_energy(&env(), &geom);
+        let w = write_energy(&env(), &geom);
+        assert!(w > 0.2 * r && w < 20.0 * r, "r={r} w={w}");
+    }
+
+    #[test]
+    fn energy_scales_with_vdd_squared() {
+        let geom = ArrayGeometry::cache_data(1024, 512);
+        let hi = Environment::new(TechNode::N70, 1.0, 383.15).unwrap();
+        let lo = Environment::new(TechNode::N70, 0.5, 383.15).unwrap();
+        let ratio = read_energy(&hi, &geom) / read_energy(&lo, &geom);
+        assert!((ratio - 4.0).abs() < 0.1, "CV² scaling, got {ratio}");
+    }
+
+    #[test]
+    fn newer_nodes_cheaper_per_access() {
+        let geom = ArrayGeometry::cache_data(1024, 512);
+        let old = Environment::nominal(TechNode::N180);
+        let new = Environment::nominal(TechNode::N70);
+        assert!(read_energy(&new, &geom) < read_energy(&old, &geom));
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-event dynamic energies for the simulated machine.
+//!
+//! [`PowerModel`] pre-computes the energy of every countable event at a
+//! given operating point. The geometries default to the paper's Table 2
+//! machine (64 KB 2-way L1s with 64 B lines, unified 2 MB 2-way L2, 80-entry
+//! RUU, 40-entry LSQ), but every structure can be overridden for sensitivity
+//! studies.
+
+use hotleakage::Environment;
+use serde::{Deserialize, Serialize};
+
+use crate::cacti::{self, ArrayGeometry};
+use crate::ledger::Event;
+
+/// Geometries of the power-modelled structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineGeometry {
+    /// L1 data-cache data array.
+    pub l1d_data: ArrayGeometry,
+    /// L1 data-cache tag array.
+    pub l1d_tag: ArrayGeometry,
+    /// L1 instruction-cache data array.
+    pub l1i_data: ArrayGeometry,
+    /// L1 instruction-cache tag array.
+    pub l1i_tag: ArrayGeometry,
+    /// Unified L2 data array (one bank's worth per access).
+    pub l2_data: ArrayGeometry,
+    /// L2 tag array.
+    pub l2_tag: ArrayGeometry,
+    /// Integer/FP register file.
+    pub regfile: ArrayGeometry,
+    /// Branch-predictor pattern tables (bimod + GAg + chooser lumped).
+    pub bpred: ArrayGeometry,
+}
+
+impl MachineGeometry {
+    /// The paper's Table 2 machine.
+    pub fn alpha21264_like() -> Self {
+        MachineGeometry {
+            // 64 KB / 64 B lines = 1024 lines of 512 bits.
+            l1d_data: ArrayGeometry::cache_data(1024, 512),
+            // 38-bit phys addr − 10 index − 6 offset ≈ 22 tag + status ≈ 30.
+            l1d_tag: ArrayGeometry::cache_tag(1024, 30),
+            l1i_data: ArrayGeometry::cache_data(1024, 512),
+            l1i_tag: ArrayGeometry::cache_tag(1024, 30),
+            // 2 MB / 64 B = 32 K lines; a 4 K-line bank is accessed at a time.
+            l2_data: ArrayGeometry::cache_data(4096, 512),
+            l2_tag: ArrayGeometry::cache_tag(4096, 26),
+            regfile: ArrayGeometry { rows: 80, cols: 64, access_bits: 64 },
+            // 4 K-entry 2-bit tables × 3 structures, lumped.
+            bpred: ArrayGeometry { rows: 4096, cols: 6, access_bits: 6 },
+        }
+    }
+}
+
+/// Pre-computed per-event dynamic energies (joules) at one operating point.
+///
+/// Rebuild the model whenever `V_dd` changes (all energies scale as `C·V²`);
+/// temperature does not enter dynamic energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    geometry: MachineGeometry,
+    l1d_read: f64,
+    l1d_write: f64,
+    l1d_tag_probe: f64,
+    l1i_read: f64,
+    l2_access: f64,
+    mem_access: f64,
+    regfile_read: f64,
+    regfile_write: f64,
+    alu_op: f64,
+    fp_op: f64,
+    bpred_access: f64,
+    clock_cycle: f64,
+    counter_tick: f64,
+    line_rail_per_volt2: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for the Table 2 machine at operating point `env`.
+    pub fn alpha21264_like(env: &Environment) -> Self {
+        Self::with_geometry(env, MachineGeometry::alpha21264_like())
+    }
+
+    /// Builds the model for an explicit machine geometry.
+    pub fn with_geometry(env: &Environment, geometry: MachineGeometry) -> Self {
+        let v2 = env.vdd() * env.vdd();
+        let l1d_data_r = cacti::read_energy(env, &geometry.l1d_data);
+        let l1d_data_w = cacti::write_energy(env, &geometry.l1d_data);
+        let l1d_tag_r = cacti::read_energy(env, &geometry.l1d_tag);
+        let l1i_r = cacti::read_energy(env, &geometry.l1i_data)
+            + cacti::read_energy(env, &geometry.l1i_tag);
+        let l2 = cacti::read_energy(env, &geometry.l2_data)
+            + cacti::read_energy(env, &geometry.l2_tag);
+        // One line's worth of supply-rail capacitance: the quantum charged
+        // when a drowsy line is restored to full V_dd or a gated line is
+        // reconnected. ~1 fF of rail per cell.
+        let rail_cap = geometry.l1d_data.cols as f64 * 1.0e-15;
+        PowerModel {
+            geometry,
+            l1d_read: l1d_data_r + l1d_tag_r,
+            l1d_write: l1d_data_w + l1d_tag_r,
+            l1d_tag_probe: l1d_tag_r,
+            l1i_read: l1i_r,
+            l2_access: l2,
+            // Off-chip/DRAM access: dominated by I/O and DRAM core energy;
+            // a fixed 2 nJ is representative for early-2000s parts.
+            mem_access: 2.0e-9,
+            regfile_read: cacti::read_energy(env, &geometry.regfile),
+            regfile_write: cacti::write_energy(env, &geometry.regfile),
+            // Datapath ops: effective switched capacitance ~60 pF·bit-ops →
+            // a few tens of pJ per 64-bit ALU op at 0.9 V.
+            alu_op: 40.0e-12 * v2 / (0.9 * 0.9),
+            fp_op: 120.0e-12 * v2 / (0.9 * 0.9),
+            bpred_access: cacti::read_energy(env, &geometry.bpred),
+            // Global clock network: ~300 pF switched per cycle.
+            clock_cycle: 300.0e-12 * v2,
+            // A 2-bit saturating counter increment: ~10 fF of switched gates.
+            counter_tick: 10.0e-15 * v2,
+            line_rail_per_volt2: rail_cap,
+        }
+    }
+
+    /// The geometry the model was built for.
+    pub fn geometry(&self) -> &MachineGeometry {
+        &self.geometry
+    }
+
+    /// Energy of one occurrence of `event`, joules.
+    pub fn energy(&self, event: Event) -> f64 {
+        match event {
+            Event::L1dAccess => self.l1d_read,
+            Event::L1dWrite => self.l1d_write,
+            Event::L1dTagProbe => self.l1d_tag_probe,
+            Event::L1iAccess => self.l1i_read,
+            Event::L2Access => self.l2_access,
+            Event::MemAccess => self.mem_access,
+            Event::RegfileRead => self.regfile_read,
+            Event::RegfileWrite => self.regfile_write,
+            Event::AluOp => self.alu_op,
+            Event::FpOp => self.fp_op,
+            Event::BpredAccess => self.bpred_access,
+            Event::ClockCycle => self.clock_cycle,
+            Event::CounterTick => self.counter_tick,
+        }
+    }
+
+    /// Energy to recharge one cache line's supply rail across a voltage step
+    /// of `delta_v` volts (drowsy wake: `V_dd − V_drowsy`; gated-V_ss
+    /// reconnect: full `V_dd`), joules.
+    pub fn line_rail_energy(&self, delta_v: f64) -> f64 {
+        self.line_rail_per_volt2 * delta_v * delta_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotleakage::TechNode;
+
+    fn model() -> PowerModel {
+        let env = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
+        PowerModel::alpha21264_like(&env)
+    }
+
+    #[test]
+    fn l2_costs_more_than_l1() {
+        let m = model();
+        assert!(m.energy(Event::L2Access) > 1.5 * m.energy(Event::L1dAccess));
+    }
+
+    #[test]
+    fn memory_costs_more_than_l2() {
+        let m = model();
+        assert!(m.energy(Event::MemAccess) > m.energy(Event::L2Access));
+    }
+
+    #[test]
+    fn tag_probe_much_cheaper_than_full_access() {
+        let m = model();
+        assert!(m.energy(Event::L1dTagProbe) < 0.3 * m.energy(Event::L1dAccess));
+    }
+
+    #[test]
+    fn counter_tick_is_negligible_vs_cache_access() {
+        let m = model();
+        assert!(m.energy(Event::CounterTick) < 1e-3 * m.energy(Event::L1dAccess));
+    }
+
+    #[test]
+    fn all_events_have_positive_energy() {
+        let m = model();
+        for event in Event::ALL {
+            assert!(m.energy(event) > 0.0, "{event:?}");
+        }
+    }
+
+    #[test]
+    fn rail_energy_quadratic_in_step() {
+        let m = model();
+        let e1 = m.line_rail_energy(0.3);
+        let e2 = m.line_rail_energy(0.6);
+        assert!((e2 / e1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wake_energy_far_below_l2_access() {
+        // The key energy asymmetry of the study: restoring a drowsy line
+        // (~0.6 V step on one line's rail) must be much cheaper than an
+        // L2 access, else drowsy would never win anywhere.
+        let m = model();
+        assert!(m.line_rail_energy(0.62) < 0.05 * m.energy(Event::L2Access));
+    }
+
+    #[test]
+    fn clock_power_reasonable_at_5_6ghz() {
+        let m = model();
+        let p = m.energy(Event::ClockCycle) * 5.6e9;
+        assert!(p > 0.3 && p < 5.0, "clock power {p} W");
+    }
+}

@@ -1,0 +1,200 @@
+//! Activity counting and energy accumulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::PowerModel;
+
+/// A countable dynamic-energy event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Event {
+    /// L1 data-cache read access (data + tag).
+    L1dAccess,
+    /// L1 data-cache write access (data + tag).
+    L1dWrite,
+    /// L1 data-cache tag-only probe (drowsy wake checks, decay snooping).
+    L1dTagProbe,
+    /// L1 instruction-cache access.
+    L1iAccess,
+    /// Unified L2 access (any cause: true miss, induced miss, writeback).
+    L2Access,
+    /// Main-memory access.
+    MemAccess,
+    /// Register-file read port use.
+    RegfileRead,
+    /// Register-file write port use.
+    RegfileWrite,
+    /// Integer ALU operation.
+    AluOp,
+    /// Floating-point operation.
+    FpOp,
+    /// Branch-predictor + BTB access.
+    BpredAccess,
+    /// One clock cycle of global clock-network switching.
+    ClockCycle,
+    /// One decay-counter update (global or per-line two-bit counter).
+    CounterTick,
+}
+
+impl Event {
+    /// Every event kind, for iteration in tests and reports.
+    pub const ALL: [Event; 13] = [
+        Event::L1dAccess,
+        Event::L1dWrite,
+        Event::L1dTagProbe,
+        Event::L1iAccess,
+        Event::L2Access,
+        Event::MemAccess,
+        Event::RegfileRead,
+        Event::RegfileWrite,
+        Event::AluOp,
+        Event::FpOp,
+        Event::BpredAccess,
+        Event::ClockCycle,
+        Event::CounterTick,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Event::L1dAccess => 0,
+            Event::L1dWrite => 1,
+            Event::L1dTagProbe => 2,
+            Event::L1iAccess => 3,
+            Event::L2Access => 4,
+            Event::MemAccess => 5,
+            Event::RegfileRead => 6,
+            Event::RegfileWrite => 7,
+            Event::AluOp => 8,
+            Event::FpOp => 9,
+            Event::BpredAccess => 10,
+            Event::ClockCycle => 11,
+            Event::CounterTick => 12,
+        }
+    }
+}
+
+/// Per-event activity counts plus ad-hoc energy deposits.
+///
+/// The ledger separates *counting* (cheap, done every cycle in the timing
+/// loop) from *pricing* (done once at the end with a [`PowerModel`]), so a
+/// single run can be re-priced at different operating points.
+///
+/// ```
+/// use wattch::{EnergyLedger, Event};
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.record(Event::AluOp, 3);
+/// ledger.record(Event::AluOp, 2);
+/// assert_eq!(ledger.count(Event::AluOp), 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    counts: [u64; 13],
+    /// Energy recorded directly in joules (e.g. technique-specific
+    /// transition energies priced at record time).
+    direct_joules: f64,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` occurrences of `event`.
+    pub fn record(&mut self, event: Event, n: u64) {
+        self.counts[event.index()] += n;
+    }
+
+    /// Deposits a pre-priced energy amount in joules (used for transition
+    /// energies whose price depends on technique state).
+    pub fn deposit_joules(&mut self, joules: f64) {
+        self.direct_joules += joules;
+    }
+
+    /// The number of recorded occurrences of `event`.
+    pub fn count(&self, event: Event) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Direct joules deposited so far.
+    pub fn direct_joules(&self) -> f64 {
+        self.direct_joules
+    }
+
+    /// Total dynamic energy priced with `model`, joules (counted events plus
+    /// direct deposits).
+    pub fn total_energy(&self, model: &PowerModel) -> f64 {
+        Event::ALL
+            .iter()
+            .map(|&e| self.count(e) as f64 * model.energy(e))
+            .sum::<f64>()
+            + self.direct_joules
+    }
+
+    /// Merges another ledger's activity into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.direct_joules += other.direct_joules;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotleakage::{Environment, TechNode};
+
+    fn model() -> PowerModel {
+        PowerModel::alpha21264_like(&Environment::new(TechNode::N70, 0.9, 383.15).unwrap())
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut l = EnergyLedger::new();
+        l.record(Event::L2Access, 10);
+        l.record(Event::L2Access, 5);
+        assert_eq!(l.count(Event::L2Access), 15);
+        assert_eq!(l.count(Event::MemAccess), 0);
+    }
+
+    #[test]
+    fn total_energy_is_linear_in_counts() {
+        let m = model();
+        let mut a = EnergyLedger::new();
+        a.record(Event::L1dAccess, 100);
+        let mut b = EnergyLedger::new();
+        b.record(Event::L1dAccess, 200);
+        assert!((b.total_energy(&m) - 2.0 * a.total_energy(&m)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_deposits() {
+        let mut a = EnergyLedger::new();
+        a.record(Event::AluOp, 7);
+        a.deposit_joules(1e-9);
+        let mut b = EnergyLedger::new();
+        b.record(Event::AluOp, 3);
+        b.deposit_joules(2e-9);
+        a.merge(&b);
+        assert_eq!(a.count(Event::AluOp), 10);
+        assert!((a.direct_joules() - 3e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn index_mapping_is_a_bijection() {
+        let mut seen = [false; 13];
+        for e in Event::ALL {
+            let i = e.index();
+            assert!(!seen[i], "duplicate index for {e:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_ledger_prices_to_zero() {
+        assert_eq!(EnergyLedger::new().total_energy(&model()), 0.0);
+    }
+}

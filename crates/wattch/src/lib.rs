@@ -1,0 +1,47 @@
+//! # wattch
+//!
+//! A from-scratch, Wattch-style architectural **dynamic power** model.
+//!
+//! Wattch (Brooks, Tiwari, Martonosi — ISCA 2000) estimates per-access
+//! energies of microarchitectural structures from CACTI-derived analytical
+//! capacitances, then multiplies by activity counts gathered during timing
+//! simulation. This crate provides the same two halves:
+//!
+//! * [`cacti`] — analytical capacitance estimation for regular SRAM arrays
+//!   (decoder, wordline, bitline, sense amplifier, output path), scaled by
+//!   technology node;
+//! * [`energy`] — per-access/per-event energies for the structures the
+//!   leakage study needs (L1/L2 caches, tag-only probes, register file,
+//!   ALU operations, branch predictor, clock), and
+//! * [`ledger`] — activity counters that turn event counts into joules.
+//!
+//! The leakage paper's *net savings* metric charges a leakage-control
+//! technique for every extra unit of dynamic energy it induces (extra L2
+//! accesses, extra tag wakeups, decay-counter activity, longer runtime), all
+//! measured against a no-control baseline run. Those charges are computed
+//! with the energies defined here, so leakage savings and dynamic costs are
+//! expressed on one consistent scale.
+//!
+//! ```
+//! use wattch::{energy::PowerModel, ledger::EnergyLedger, Event};
+//! use hotleakage::{Environment, TechNode};
+//!
+//! let env = Environment::new(TechNode::N70, 0.9, 383.15)?;
+//! let model = PowerModel::alpha21264_like(&env);
+//! let mut ledger = EnergyLedger::new();
+//! ledger.record(Event::L1dAccess, 1_000);
+//! ledger.record(Event::L2Access, 40);
+//! let joules = ledger.total_energy(&model);
+//! assert!(joules > 0.0);
+//! # Ok::<(), hotleakage::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cacti;
+pub mod energy;
+pub mod ledger;
+
+pub use energy::PowerModel;
+pub use ledger::{EnergyLedger, Event};

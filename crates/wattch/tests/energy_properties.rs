@@ -1,0 +1,76 @@
+//! Property tests on the dynamic-energy model.
+
+use hotleakage::{Environment, TechNode};
+use proptest::prelude::*;
+use wattch::cacti::{self, ArrayGeometry};
+use wattch::{EnergyLedger, Event, PowerModel};
+
+fn arb_env() -> impl Strategy<Value = Environment> {
+    (0.3f64..1.3, 280.0f64..420.0).prop_filter_map("valid point", |(vdd, t)| {
+        Environment::new(TechNode::N70, vdd, t).ok()
+    })
+}
+
+fn arb_geom() -> impl Strategy<Value = ArrayGeometry> {
+    (16usize..8192, 8usize..1024).prop_map(|(rows, cols)| ArrayGeometry {
+        rows,
+        cols,
+        access_bits: cols,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_energy_positive_and_finite(env in arb_env(), geom in arb_geom()) {
+        let e = cacti::read_energy(&env, &geom);
+        prop_assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn energy_monotone_in_rows(env in arb_env(), cols in 32usize..512, rows in 32usize..2048) {
+        let small = ArrayGeometry { rows, cols, access_bits: cols };
+        let large = ArrayGeometry { rows: rows * 2, cols, access_bits: cols };
+        prop_assert!(cacti::read_energy(&env, &large) > cacti::read_energy(&env, &small));
+    }
+
+    #[test]
+    fn energy_monotone_in_vdd(geom in arb_geom(), v in 0.3f64..1.0) {
+        let lo = Environment::new(TechNode::N70, v, 300.0).expect("valid");
+        let hi = Environment::new(TechNode::N70, v + 0.2, 300.0).expect("valid");
+        prop_assert!(cacti::read_energy(&hi, &geom) > cacti::read_energy(&lo, &geom));
+    }
+
+    #[test]
+    fn ledger_total_is_additive(
+        counts in proptest::collection::vec(0u64..10_000, Event::ALL.len()),
+        extra in 0f64..1e-6,
+    ) {
+        let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
+        let model = PowerModel::alpha21264_like(&env);
+        let mut a = EnergyLedger::new();
+        let mut b = EnergyLedger::new();
+        let mut merged = EnergyLedger::new();
+        for (i, &event) in Event::ALL.iter().enumerate() {
+            a.record(event, counts[i]);
+            b.record(event, counts[Event::ALL.len() - 1 - i]);
+            merged.record(event, counts[i] + counts[Event::ALL.len() - 1 - i]);
+        }
+        a.deposit_joules(extra);
+        merged.deposit_joules(extra);
+        let sum = a.total_energy(&model) + b.total_energy(&model);
+        let whole = merged.total_energy(&model);
+        prop_assert!((sum - whole).abs() <= 1e-12 * whole.max(1e-30) + 1e-24);
+    }
+
+    #[test]
+    fn rail_energy_nonnegative_and_quadratic(dv in 0.0f64..1.2) {
+        let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
+        let model = PowerModel::alpha21264_like(&env);
+        let e1 = model.line_rail_energy(dv);
+        let e2 = model.line_rail_energy(2.0 * dv);
+        prop_assert!(e1 >= 0.0);
+        prop_assert!((e2 - 4.0 * e1).abs() <= 1e-9 * e2.max(1e-30));
+    }
+}

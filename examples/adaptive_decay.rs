@@ -1,0 +1,81 @@
+//! Adaptive decay intervals (paper §5.4): compare a fixed default interval,
+//! the per-benchmark oracle (Figures 12/13), and the two runtime
+//! controllers the paper cites — Zhou-style adaptive mode control and the
+//! Velusamy et al. feedback controller — for gated-V_ss, the technique
+//! adaptivity helps most.
+//!
+//! ```text
+//! cargo run --release --example adaptive_decay
+//! ```
+
+use leakctl::{Technique, TechniqueKind};
+use simcore::adaptive::{run_adaptive, Controller};
+use simcore::pricing::{self, CacheArrays};
+use simcore::{Study, StudyConfig, SWEEP_INTERVALS};
+use specgen::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = StudyConfig::with_insts(250_000);
+    let arrays = CacheArrays::table2_l1d();
+    let env = cfg.environment(110.0)?;
+    let mut study = Study::new(cfg);
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark", "fixed 4k", "oracle", "AMC", "feedback", "oracle-ivl"
+    );
+    let mut avgs = [0.0f64; 4];
+    for b in [Benchmark::Gcc, Benchmark::Gzip, Benchmark::Twolf, Benchmark::Crafty, Benchmark::Mcf]
+    {
+        let fixed = study.compare(b, Technique::gated_vss(4096), 11, 110.0)?;
+        let oracle =
+            study.best_interval(b, TechniqueKind::GatedVss, 11, 110.0, &SWEEP_INTERVALS)?;
+
+        // Closed-loop runs: price them against the same baseline.
+        let base = study.baseline(b, 11)?;
+        let p_base = pricing::price(&base, &Technique::none(), &env, &arrays)?;
+        let mut closed = [0.0f64; 2];
+        for (i, controller) in [
+            Controller::AdaptiveModeControl,
+            Controller::Feedback { setpoint: 0.01 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let run = run_adaptive(b, TechniqueKind::GatedVss, controller, study.config(), 11, 25_000)?;
+            // The closed-loop runs keep tags awake (the controllers need
+            // them); price with the matching technique parameters.
+            let tech =
+                Technique { tags_decay: false, ..Technique::gated_vss(run.final_interval) };
+            let p = pricing::price(&run.raw, &tech, &env, &arrays)?;
+            closed[i] = pricing::net_savings(&p_base, &p) * 100.0;
+        }
+
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>10}",
+            b.name(),
+            fixed.net_savings_pct,
+            oracle.net_savings_pct,
+            closed[0],
+            closed[1],
+            oracle.interval,
+        );
+        avgs[0] += fixed.net_savings_pct / 5.0;
+        avgs[1] += oracle.net_savings_pct / 5.0;
+        avgs[2] += closed[0] / 5.0;
+        avgs[3] += closed[1] / 5.0;
+    }
+    println!(
+        "{:<10} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+        "AVERAGE", avgs[0], avgs[1], avgs[2], avgs[3]
+    );
+    println!(
+        "\nThe oracle shows what adaptivity buys gated-Vss (paper: +10 points of\n\
+         savings and half the performance loss). The closed-loop controllers\n\
+         find workable intervals without oracle knowledge but pay a steep\n\
+         price for the live tags they observe induced misses with — the\n\
+         tags' leakage is never reclaimed, which is why the paper's own\n\
+         adaptive proposals keep that cost on the table (§5.4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The paper's headline experiment: sweep the L2 hit latency and watch the
+//! state-preserving vs. non-state-preserving ranking flip.
+//!
+//! For fast on-chip L2s, gated-V_ss (non-state-preserving) wins on both
+//! energy and performance; as the L2 slows down, induced misses get more
+//! expensive and drowsy takes over — §5.1's debunking of "state-preserving
+//! is inherently superior".
+//!
+//! ```text
+//! cargo run --release --example l2_crossover
+//! ```
+
+use leakctl::TechniqueKind;
+use simcore::study::technique_of;
+use simcore::{Study, StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL};
+use specgen::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut study = Study::new(StudyConfig::with_insts(250_000));
+    println!("Average over the 11 SPECint2000 workloads, 110C:\n");
+    println!(
+        "{:>3}  {:>14} {:>14}   {:>14} {:>14}",
+        "L2", "drowsy sav%", "gated sav%", "drowsy loss%", "gated loss%"
+    );
+    for l2 in [5u32, 8, 11, 14, 17] {
+        let mut sav = [0.0f64; 2];
+        let mut loss = [0.0f64; 2];
+        for b in Benchmark::ALL {
+            for (i, (kind, interval)) in [
+                (TechniqueKind::Drowsy, DEFAULT_DROWSY_INTERVAL),
+                (TechniqueKind::GatedVss, DEFAULT_GATED_INTERVAL),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let r = study.compare(b, technique_of(kind, interval), l2, 110.0)?;
+                sav[i] += r.net_savings_pct / 11.0;
+                loss[i] += r.perf_loss_pct / 11.0;
+            }
+        }
+        let energy_winner = if sav[1] > sav[0] { "gated" } else { "drowsy" };
+        println!(
+            "{l2:>3}  {:>14.2} {:>14.2}   {:>14.2} {:>14.2}   <- {energy_winner} wins energy",
+            sav[0], sav[1], loss[0], loss[1]
+        );
+    }
+    println!(
+        "\nGated-Vss dominates at 5-8 cycles, the picture blurs near 11, and\n\
+         drowsy is clearly superior by 17 — the paper's Figures 3-11."
+    );
+    Ok(())
+}

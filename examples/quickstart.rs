@@ -1,0 +1,41 @@
+//! Quickstart: compare drowsy and gated-V_ss leakage control on one
+//! benchmark at the paper's operating point (70 nm, 0.9 V, 110 °C, 11-cycle
+//! L2) and print the paper's headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leakctl::Technique;
+use simcore::{Study, StudyConfig};
+use specgen::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut study = Study::new(StudyConfig::with_insts(300_000));
+    let benchmark = Benchmark::Gzip;
+
+    println!("benchmark: {benchmark}, 70nm @ 0.9V, 110C, L2 = 11 cycles\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14}",
+        "technique", "net savings", "perf loss", "turnoff", "induced misses"
+    );
+    for technique in [Technique::drowsy(4096), Technique::gated_vss(4096)] {
+        let r = study.compare(benchmark, technique, 11, 110.0)?;
+        println!(
+            "{:<12} {:>11.1}% {:>11.2}% {:>11.1}% {:>14}",
+            technique.kind.name(),
+            r.net_savings_pct,
+            r.perf_loss_pct,
+            r.turnoff_pct,
+            r.induced_misses,
+        );
+    }
+
+    println!(
+        "\nDrowsy preserves data (slow hits, no induced misses); gated-Vss \
+         loses it\nbut cuts standby leakage to the sleep transistor's \
+         off-current. Which one\nwins depends on the L2 latency — try \
+         `cargo run --release --example l2_crossover`."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # leakage-study
+//!
+//! Umbrella crate for the reproduction of *"Comparison of State-Preserving
+//! vs. Non-State-Preserving Leakage Control in Caches"* (WDDD 2003 /
+//! DATE 2004). It re-exports every workspace crate so examples and
+//! integration tests can reach the full stack through one dependency:
+//!
+//! * [`hotleakage`] — the leakage model (BSIM3 subthreshold, gate leakage,
+//!   double-k_design, parameter variation);
+//! * [`wattch`] — CACTI-style dynamic energy;
+//! * [`cachesim`] — the cache hierarchy with per-line decay machinery;
+//! * [`uarch`] — the out-of-order core timing model;
+//! * [`specgen`] — SPECint2000-calibrated workload generators;
+//! * [`leakctl`] — the leakage-control techniques (gated-V_ss, drowsy, RBB);
+//! * [`simcore`] — the full-system study: net-savings accounting,
+//!   experiment runner, figure regeneration.
+
+#![forbid(unsafe_code)]
+
+pub use cachesim;
+pub use hotleakage;
+pub use leakctl;
+pub use simcore;
+pub use specgen;
+pub use uarch;
+pub use wattch;

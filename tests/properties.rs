@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants, across random inputs rather than chosen examples.
+
+use cachesim::{AccessKind, Cache, CacheConfig, DecayConfig, DecayPolicy, StandbyBehavior};
+use hotleakage::bsim3::{self, TransistorState};
+use hotleakage::kdesign::{self, GateTopology};
+use hotleakage::technology::DeviceType;
+use hotleakage::{Environment, TechNode};
+use proptest::prelude::*;
+use simcore::pricing::{net_savings, Priced};
+
+fn arb_node() -> impl Strategy<Value = TechNode> {
+    prop_oneof![
+        Just(TechNode::N180),
+        Just(TechNode::N130),
+        Just(TechNode::N100),
+        Just(TechNode::N70),
+    ]
+}
+
+fn arb_env() -> impl Strategy<Value = Environment> {
+    (arb_node(), 0.2f64..1.4, 250.0f64..450.0).prop_filter_map(
+        "valid operating point",
+        |(node, vdd, t)| Environment::new(node, vdd, t).ok(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- hotleakage ----
+
+    #[test]
+    fn unit_leakage_is_finite_and_nonnegative(env in arb_env(), wl in 0.1f64..50.0) {
+        let s = TransistorState::at(&env, DeviceType::Nmos).with_w_over_l(wl);
+        let i = bsim3::unit_leakage(&s);
+        prop_assert!(i.is_finite());
+        prop_assert!(i >= 0.0);
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature(node in arb_node(), t1 in 260.0f64..440.0, dt in 1.0f64..40.0) {
+        let vdd = node.params().vdd0 * 0.9;
+        let cold = Environment::new(node, vdd, t1).expect("valid");
+        let hot = Environment::new(node, vdd, (t1 + dt).min(450.0)).expect("valid");
+        prop_assert!(hot.unit_leakage_n() > cold.unit_leakage_n());
+    }
+
+    #[test]
+    fn leakage_monotone_in_vdd(node in arb_node(), v in 0.25f64..1.0, dv in 0.01f64..0.3) {
+        let t = 360.0;
+        let lo = Environment::new(node, v, t).expect("valid");
+        let hi = Environment::new(node, (v + dv).min(1.35), t).expect("valid");
+        prop_assert!(hi.unit_leakage_n() > lo.unit_leakage_n());
+    }
+
+    #[test]
+    fn stack_effect_never_amplifies(env in arb_env(), depth in 1usize..5, wl in 0.5f64..10.0) {
+        let single = kdesign::stack_leakage(&env, DeviceType::Nmos, 1, wl);
+        let stacked = kdesign::stack_leakage(&env, DeviceType::Nmos, depth, wl);
+        prop_assert!(stacked <= single * 1.0000001, "depth {depth}: {stacked} vs {single}");
+    }
+
+    #[test]
+    fn static_cmos_gates_have_exactly_one_conducting_network(
+        env in arb_env(),
+        k in 1usize..4,
+        combo in 0u32..64,
+    ) {
+        for gate in [GateTopology::nand(k), GateTopology::nor(k)] {
+            let inputs: Vec<bool> = (0..gate.num_inputs).map(|b| (combo >> b) & 1 == 1).collect();
+            let pd = gate.pull_down.conducts(&inputs);
+            let pu = gate.pull_up.conducts(&inputs);
+            prop_assert!(pd != pu);
+            // And the off network always leaks a positive, finite current.
+            let leak = if pd {
+                gate.pull_up.leakage(&env, DeviceType::Pmos, &inputs)
+            } else {
+                gate.pull_down.leakage(&env, DeviceType::Nmos, &inputs)
+            };
+            prop_assert!(leak.is_finite() && leak > 0.0);
+        }
+    }
+
+    // ---- cachesim ----
+
+    #[test]
+    fn cache_mode_cycles_always_conserved(
+        addrs in proptest::collection::vec((0u64..1u64 << 20, 1u64..400), 1..120),
+        interval in 64u64..4096,
+        losing in proptest::bool::ANY,
+    ) {
+        let decay = DecayConfig {
+            interval_cycles: interval,
+            policy: DecayPolicy::NoAccess,
+            tags_decay: true,
+            behavior: if losing { StandbyBehavior::Losing } else { StandbyBehavior::Preserving },
+            sleep_settle_cycles: if losing { 30 } else { 3 },
+            wake_settle_cycles: 3,
+        };
+        let mut cache = Cache::new(CacheConfig::l1_64k_2way(), Some(decay)).expect("valid");
+        let mut now = 0u64;
+        for (addr, gap) in addrs {
+            now += gap;
+            cache.advance_to(now);
+            cache.access(addr & !63, AccessKind::Read, now);
+        }
+        cache.finalize(now);
+        let lines = cache.config().num_lines() as u64;
+        prop_assert_eq!(cache.stats().mode_cycles.total(), lines * now);
+    }
+
+    #[test]
+    fn hits_plus_misses_account_every_access(
+        addrs in proptest::collection::vec(0u64..1u64 << 16, 1..300),
+        losing in proptest::bool::ANY,
+    ) {
+        let decay = DecayConfig {
+            interval_cycles: 256,
+            policy: DecayPolicy::NoAccess,
+            tags_decay: true,
+            behavior: if losing { StandbyBehavior::Losing } else { StandbyBehavior::Preserving },
+            sleep_settle_cycles: 3,
+            wake_settle_cycles: 3,
+        };
+        let mut cache = Cache::new(CacheConfig::l1_64k_2way(), Some(decay)).expect("valid");
+        for (i, addr) in addrs.iter().enumerate() {
+            cache.access(*addr, AccessKind::Read, (i as u64) * 50);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(
+            s.hits + s.slow_hits + s.induced_misses + s.true_misses,
+            s.accesses()
+        );
+        if !losing {
+            prop_assert_eq!(s.induced_misses, 0, "preserving standby never induces misses");
+        } else {
+            prop_assert_eq!(s.slow_hits, 0, "losing standby never slow-hits");
+        }
+    }
+
+    #[test]
+    fn cache_contents_match_reference_model_without_decay(
+        addrs in proptest::collection::vec(0u64..1u64 << 14, 1..200),
+    ) {
+        // Reference: a simple software model of 2-way LRU.
+        let cfg = CacheConfig::l1_64k_2way();
+        let mut cache = Cache::new(cfg, None).expect("valid");
+        let mut model: std::collections::HashMap<usize, Vec<u64>> = Default::default();
+        for (i, addr) in addrs.iter().enumerate() {
+            let (tag, set) = cfg.split(*addr);
+            let ways = model.entry(set).or_default();
+            let model_hit = ways.contains(&tag);
+            let r = cache.access(*addr, AccessKind::Read, i as u64);
+            prop_assert_eq!(r.hit, model_hit, "access {} to {:#x}", i, addr);
+            if let Some(pos) = ways.iter().position(|&t| t == tag) {
+                ways.remove(pos);
+            } else if ways.len() == cfg.assoc {
+                ways.remove(0);
+            }
+            ways.push(tag); // most-recent at the back
+        }
+    }
+
+    // ---- pricing ----
+
+    #[test]
+    fn net_savings_bounded_by_gross(
+        base_leak in 1.0e-9f64..1.0e-3,
+        tech_leak_frac in 0.0f64..1.0,
+        dyn_base in 0.0f64..1.0e-3,
+        dyn_extra in 0.0f64..1.0e-4,
+    ) {
+        let base = Priced { leakage_j: base_leak, dynamic_j: dyn_base, seconds: 1e-3 };
+        let tech = Priced {
+            leakage_j: base_leak * tech_leak_frac,
+            dynamic_j: dyn_base + dyn_extra,
+            seconds: 1e-3,
+        };
+        let net = net_savings(&base, &tech);
+        let gross = 1.0 - tech_leak_frac;
+        prop_assert!(net <= gross + 1e-12, "net {net} cannot exceed gross {gross}");
+        // Net degrades exactly by the dynamic cost ratio.
+        let expected = gross - dyn_extra / base_leak;
+        prop_assert!((net - expected).abs() < 1e-9);
+    }
+}
