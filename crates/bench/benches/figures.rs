@@ -21,8 +21,10 @@ fn table_benches(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table3_best_intervals", |b| {
         b.iter(|| {
-            let mut study = fresh_study();
-            figures::best_interval_figures(&mut study, 11, 85.0).expect("runs succeed").2
+            let study = fresh_study();
+            figures::best_interval_figures(&study, 11, 85.0)
+                .expect("runs succeed")
+                .2
         })
     });
     group.finish();
@@ -40,8 +42,8 @@ fn savings_figures(c: &mut Criterion) {
     ] {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let mut study = fresh_study();
-                figures::savings_figure(&mut study, black_box(id), l2, temp).expect("runs succeed")
+                let study = fresh_study();
+                figures::savings_figure(&study, black_box(id), l2, temp).expect("runs succeed")
             })
         });
     }
@@ -51,13 +53,16 @@ fn savings_figures(c: &mut Criterion) {
 fn perf_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_figures");
     group.sample_size(10);
-    for (id, l2) in
-        [("fig04_l2_5", 5u32), ("fig06_l2_8", 8), ("fig09_l2_11", 11), ("fig11_l2_17", 17)]
-    {
+    for (id, l2) in [
+        ("fig04_l2_5", 5u32),
+        ("fig06_l2_8", 8),
+        ("fig09_l2_11", 11),
+        ("fig11_l2_17", 17),
+    ] {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let mut study = fresh_study();
-                figures::perf_figure(&mut study, black_box(id), l2, 110.0).expect("runs succeed")
+                let study = fresh_study();
+                figures::perf_figure(&study, black_box(id), l2, 110.0).expect("runs succeed")
             })
         });
     }
@@ -69,12 +74,18 @@ fn adaptivity_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fig12_fig13_best_interval_sweep", |b| {
         b.iter(|| {
-            let mut study = fresh_study();
-            figures::best_interval_figures(&mut study, 11, 85.0).expect("runs succeed")
+            let study = fresh_study();
+            figures::best_interval_figures(&study, 11, 85.0).expect("runs succeed")
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, table_benches, savings_figures, perf_figures, adaptivity_figures);
+criterion_group!(
+    benches,
+    table_benches,
+    savings_figures,
+    perf_figures,
+    adaptivity_figures
+);
 criterion_main!(benches);

@@ -52,5 +52,11 @@ fn variation_sampling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, fig1_unit_leakage, fig2_nand_kdesign, structure_leakage, variation_sampling);
+criterion_group!(
+    benches,
+    fig1_unit_leakage,
+    fig2_nand_kdesign,
+    structure_leakage,
+    variation_sampling
+);
 criterion_main!(benches);

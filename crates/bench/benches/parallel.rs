@@ -1,0 +1,58 @@
+//! 1-thread vs N-thread figure regeneration: each iteration rebuilds a
+//! figure's full series from a cold run-cache, so the measured time is
+//! the end-to-end cost of all timing runs plus pricing. On a
+//! multi-core host the N-thread variants should approach the
+//! sequential time divided by the worker count (timing runs dominate;
+//! pricing stays serial by design).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{figures, Study, StudyConfig};
+
+/// Instruction budget per run inside the benches (kept small: one
+/// figure regenerates 22+ timing runs per iteration).
+const BENCH_INSTS: u64 = 20_000;
+
+fn fresh_study(threads: usize) -> Study {
+    Study::with_threads(StudyConfig::with_insts(BENCH_INSTS), threads)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4, n];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn savings_figure_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_savings_figure");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_function(format!("fig3_threads_{threads}"), |b| {
+            b.iter(|| {
+                let study = fresh_study(threads);
+                figures::savings_figure(&study, "fig3", 5, 110.0).expect("runs succeed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn best_interval_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_best_interval");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_function(format!("fig12_fig13_threads_{threads}"), |b| {
+            b.iter(|| {
+                let study = fresh_study(threads);
+                figures::best_interval_figures(&study, 11, 85.0).expect("runs succeed")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, savings_figure_scaling, best_interval_scaling);
+criterion_main!(benches);

@@ -95,5 +95,11 @@ fn workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cache_access, branch_predictor, ooo_engine, workload_generation);
+criterion_group!(
+    benches,
+    cache_access,
+    branch_predictor,
+    ooo_engine,
+    workload_generation
+);
 criterion_main!(benches);

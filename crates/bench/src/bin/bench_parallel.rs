@@ -1,0 +1,118 @@
+//! Measures the wall-clock cost of regenerating the fig-3 savings sweep
+//! from a cold run-cache at 1, 2, and all-hardware-threads workers, and
+//! writes the results to `BENCH_parallel.json`.
+//!
+//! ```text
+//! bench_parallel [--insts N] [--repeats R] [--out FILE]
+//! ```
+//!
+//! Each thread count is timed `repeats` times and the fastest repeat is
+//! reported (the standard minimum-of-k noise filter). The host's
+//! available parallelism is recorded alongside, since speedups are only
+//! observable where the hardware has cores to spare.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use simcore::{figures, Study, StudyConfig};
+
+#[derive(Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    /// Fastest repeat, seconds.
+    best_seconds: f64,
+    /// All repeats, seconds.
+    repeats_seconds: Vec<f64>,
+    /// best_seconds(1 thread) / best_seconds(this point).
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    workload: String,
+    insts: u64,
+    repeats: usize,
+    host_available_parallelism: usize,
+    points: Vec<ThreadPoint>,
+}
+
+fn main() {
+    let mut insts: u64 = 60_000;
+    let mut repeats: usize = 3;
+    let mut out = String::from("BENCH_parallel.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--insts" => {
+                insts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--insts needs a number"))
+            }
+            "--repeats" => {
+                repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs a number"))
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .to_string()
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, hw];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut points: Vec<ThreadPoint> = Vec::new();
+    for &threads in &counts {
+        let mut times = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            // A fresh study per repeat: cold cache, so every timing run
+            // executes and the fan-out is actually exercised.
+            let study = Study::with_threads(StudyConfig::with_insts(insts), threads);
+            let start = Instant::now();
+            figures::savings_figure(&study, "fig3", 5, 110.0)
+                .unwrap_or_else(|e| die(&format!("fig3 sweep: {e}")));
+            times.push(start.elapsed().as_secs_f64());
+        }
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let base = points
+            .first()
+            .map(|p: &ThreadPoint| p.best_seconds)
+            .unwrap_or(best);
+        eprintln!("threads={threads}: best {best:.3}s over {repeats} repeats");
+        points.push(ThreadPoint {
+            threads,
+            best_seconds: best,
+            repeats_seconds: times,
+            speedup_vs_1: base / best,
+        });
+    }
+
+    let report = BenchReport {
+        workload: "fig3 savings sweep (11 benchmarks x 2 techniques + baselines, L2=5)".into(),
+        insts,
+        repeats,
+        host_available_parallelism: hw,
+        points,
+    };
+    let json =
+        serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("serialise: {e}")));
+    std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    eprintln!("wrote {out}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_parallel: {msg}");
+    std::process::exit(1);
+}

@@ -2,12 +2,14 @@
 //! extension analyses.
 //!
 //! ```text
-//! figures [--insts N] [--json FILE]
+//! figures [--insts N] [--json FILE] [--threads N]
 //!         [fig1|table1|table2|table3|fig3..fig13|calibrate|ablations|reuse|thermal|all]
 //! ```
 //!
 //! With no selector, prints everything (`all`). `--json FILE` additionally
-//! dumps every per-run result as JSON for downstream plotting.
+//! dumps every per-run result as JSON for downstream plotting. `--threads N`
+//! sets the worker count for the parallel sweeps (default: the
+//! `LEAKAGE_THREADS` environment variable, else all hardware threads).
 
 use hotleakage::validation::{self, SweepKind};
 use hotleakage::{Environment, TechNode};
@@ -18,6 +20,7 @@ fn main() {
     let mut insts: u64 = 300_000;
     let mut what = String::from("all");
     let mut json_path: Option<String> = None;
+    let mut threads = simcore::default_threads();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -28,13 +31,23 @@ fn main() {
                     .unwrap_or_else(|| die("--insts needs a number"));
             }
             "--json" => {
-                json_path =
-                    Some(it.next().unwrap_or_else(|| die("--json needs a path")).to_string());
+                json_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--json needs a path"))
+                        .to_string(),
+                );
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--threads needs a positive number"));
             }
             other => what = other.to_string(),
         }
     }
-    let mut study = Study::new(StudyConfig::with_insts(insts));
+    let study = Study::with_threads(StudyConfig::with_insts(insts), threads);
     let all = what == "all";
     let mut json_figures: Vec<simcore::FigureSeries> = Vec::new();
 
@@ -51,7 +64,7 @@ fn main() {
         print_fig2();
     }
     if all || what == "calibrate" || what == "cal" {
-        print_calibration(&mut study);
+        print_calibration(&study);
     }
     for (name, l2, temp, kind) in [
         ("fig3", 5u32, 110.0, 's'),
@@ -66,9 +79,9 @@ fn main() {
     ] {
         if all || what == name {
             let fig = if kind == 's' {
-                figures::savings_figure(&mut study, name, l2, temp)
+                figures::savings_figure(&study, name, l2, temp)
             } else {
-                figures::perf_figure(&mut study, name, l2, temp)
+                figures::perf_figure(&study, name, l2, temp)
             }
             .unwrap_or_else(|e| die(&format!("{name}: {e}")));
             println!("=== {name} ===\n{}", report::render_figure(&fig));
@@ -76,7 +89,7 @@ fn main() {
         }
     }
     if all || what == "fig12" || what == "fig13" || what == "table3" {
-        let (fig12, fig13, table3) = figures::best_interval_figures(&mut study, 11, 85.0)
+        let (fig12, fig13, table3) = figures::best_interval_figures(&study, 11, 85.0)
             .unwrap_or_else(|e| die(&format!("fig12/13: {e}")));
         if all || what == "fig12" {
             println!("=== fig12 ===\n{}", report::render_figure(&fig12));
@@ -91,13 +104,13 @@ fn main() {
         json_figures.push(fig13);
     }
     if all || what == "ablations" {
-        print_ablations(&mut study);
+        print_ablations(&study);
     }
     if all || what == "reuse" {
         print_reuse(&study);
     }
     if all || what == "thermal" {
-        print_thermal(&mut study);
+        print_thermal(&study);
     }
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&json_figures)
@@ -108,9 +121,12 @@ fn main() {
 }
 
 /// Extension: the §5.3 / §2.3 / latency-tolerance ablations.
-fn print_ablations(study: &mut Study) {
+fn print_ablations(study: &Study) {
     println!("=== ablations (averages over 11 benchmarks, 110C, L2=11) ===");
-    println!("{:<28} {:>14} {:>14}", "configuration", "net savings %", "perf loss %");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "configuration", "net savings %", "perf loss %"
+    );
     let rows = simcore::ablation::tag_decay(study, 11, 110.0)
         .and_then(|mut r| {
             r.extend(simcore::ablation::decay_policy(study, 11, 110.0)?);
@@ -118,7 +134,10 @@ fn print_ablations(study: &mut Study) {
         })
         .unwrap_or_else(|e| die(&format!("ablations: {e}")));
     for row in rows {
-        println!("{:<28} {:>14.2} {:>14.2}", row.label, row.net_savings_pct, row.perf_loss_pct);
+        println!(
+            "{:<28} {:>14.2} {:>14.2}",
+            row.label, row.net_savings_pct, row.perf_loss_pct
+        );
     }
     let mshr = simcore::ablation::mshr_sensitivity(
         specgen::Benchmark::Gzip,
@@ -158,24 +177,32 @@ fn print_reuse(study: &Study) {
 }
 
 /// Extension: closed-loop thermal steady states.
-fn print_thermal(study: &mut Study) {
+fn print_thermal(study: &Study) {
     use hotleakage::thermal::ThermalParams;
     use leakctl::Technique;
     println!("=== thermal co-simulation (extension; cache-scale package) ===");
-    println!("{:<10} {:>12} {:>12} {:>12}", "benchmark", "baseline C", "drowsy C", "gated C");
-    let params = ThermalParams { r_th: 18.0, c_th: 20.0, t_ambient: 318.15 };
-    for b in [specgen::Benchmark::Gzip, specgen::Benchmark::Mcf, specgen::Benchmark::Perl] {
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "benchmark", "baseline C", "drowsy C", "gated C"
+    );
+    let params = ThermalParams {
+        r_th: 18.0,
+        c_th: 20.0,
+        t_ambient: 318.15,
+    };
+    for b in [
+        specgen::Benchmark::Gzip,
+        specgen::Benchmark::Mcf,
+        specgen::Benchmark::Perl,
+    ] {
         let fmt = |o: simcore::thermal_loop::ThermalOutcome| -> String {
-            o.temperature_c.map(|t| format!("{t:.1}")).unwrap_or_else(|| "runaway".into())
+            o.temperature_c
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "runaway".into())
         };
-        let (base, drowsy) = simcore::thermal_loop::compare_thermal(
-            study,
-            b,
-            Technique::drowsy(4096),
-            11,
-            params,
-        )
-        .unwrap_or_else(|e| die(&format!("thermal: {e}")));
+        let (base, drowsy) =
+            simcore::thermal_loop::compare_thermal(study, b, Technique::drowsy(4096), 11, params)
+                .unwrap_or_else(|e| die(&format!("thermal: {e}")));
         let (_, gated) = simcore::thermal_loop::compare_thermal(
             study,
             b,
@@ -222,27 +249,36 @@ fn print_fig2() {
     println!("              (1,1) turns the pull-up off. N = 4.");
     for combo in 0..4u32 {
         let inputs = [(combo & 1) == 1, (combo & 2) == 2];
-        let i_n = gate.pull_down.leakage(&env, hotleakage::DeviceType::Nmos, &inputs);
-        let i_p = gate.pull_up.leakage(&env, hotleakage::DeviceType::Pmos, &inputs);
+        let i_n = gate
+            .pull_down
+            .leakage(&env, hotleakage::DeviceType::Nmos, &inputs);
+        let i_p = gate
+            .pull_up
+            .leakage(&env, hotleakage::DeviceType::Pmos, &inputs);
         println!(
             "  X={} Y={}: I_n = {:>10.3e} A   I_p = {:>10.3e} A",
             inputs[0] as u8, inputs[1] as u8, i_n, i_p
         );
     }
     let k = kdesign::derive(&env, &gate);
-    println!("  => k_n = {:.4}, k_p = {:.4} (70 nm nominal point)\n", k.kn, k.kp);
+    println!(
+        "  => k_n = {:.4}, k_p = {:.4} (70 nm nominal point)\n",
+        k.kn, k.kp
+    );
 }
 
 /// Per-benchmark baseline characteristics (not a paper figure; used to
 /// check the workload generators land in SPECint-plausible ranges).
-fn print_calibration(study: &mut Study) {
+fn print_calibration(study: &Study) {
     println!("=== calibration: baseline characteristics (L2=11) ===");
     println!(
         "{:<10} {:>6} {:>9} {:>10} {:>12}",
         "benchmark", "IPC", "L1D MPKI", "miss%", "bpred-miss%"
     );
     for b in specgen::Benchmark::ALL {
-        let r = study.baseline(b, 11).unwrap_or_else(|e| die(&format!("{b}: {e}")));
+        let r = study
+            .baseline(b, 11)
+            .unwrap_or_else(|e| die(&format!("{b}: {e}")));
         let accesses = (r.core.loads + r.core.stores) as f64;
         let miss_pct = 100.0 * r.core.l1d_misses as f64 / accesses.max(1.0);
         let mpki = 1000.0 * r.core.l1d_misses as f64 / r.core.committed as f64;

@@ -274,7 +274,9 @@ impl Cache {
                 line.data = LineData::Ghost;
             }
         }
-        line.mode = LineMode::GoingToSleep { until: now + decay.sleep_settle_cycles as u64 };
+        line.mode = LineMode::GoingToSleep {
+            until: now + decay.sleep_settle_cycles as u64,
+        };
         line.mode_since = now;
         stats.sleeps += 1;
     }
@@ -348,7 +350,11 @@ impl Cache {
             }
         }
 
-        let miss_kind = if ghost_way.is_some() { MissKind::Induced } else { MissKind::True };
+        let miss_kind = if ghost_way.is_some() {
+            MissKind::Induced
+        } else {
+            MissKind::True
+        };
         let victim = ghost_way.unwrap_or_else(|| self.choose_victim(set));
         let line = &mut self.lines[victim];
 
@@ -367,7 +373,9 @@ impl Cache {
         let now = now.max(line.mode_since);
         let woke = !line.mode.is_fully_active();
         line.tag = tag;
-        line.data = LineData::Valid { dirty: kind == AccessKind::Write };
+        line.data = LineData::Valid {
+            dirty: kind == AccessKind::Write,
+        };
         line.mode = LineMode::Active;
         line.mode_since = now;
         line.local_counter = 0;
@@ -392,7 +400,14 @@ impl Cache {
                 }
             }
         };
-        AccessResult { hit: false, extra_latency: extra, miss: Some(miss), writeback, tag_probes, woke_line: woke }
+        AccessResult {
+            hit: false,
+            extra_latency: extra,
+            miss: Some(miss),
+            writeback,
+            tag_probes,
+            woke_line: woke,
+        }
     }
 
     /// Handles a hit on way `i`, including slow hits on standby lines.
@@ -431,7 +446,9 @@ impl Cache {
             }
         }
         if woke || matches!(line.mode, LineMode::Waking { .. }) {
-            line.mode = LineMode::Waking { until: now + extra as u64 };
+            line.mode = LineMode::Waking {
+                until: now + extra as u64,
+            };
             line.mode_since = now;
         }
         if !woke && matches!(line.mode, LineMode::Active) {
@@ -690,7 +707,10 @@ mod tests {
             saw_slow_hit |= r.hit && r.extra_latency > 0;
             now = run_idle(&mut c, now, 300);
         }
-        assert!(saw_slow_hit, "simple policy must put even hot lines to sleep");
+        assert!(
+            saw_slow_hit,
+            "simple policy must put even hot lines to sleep"
+        );
     }
 
     #[test]
@@ -702,7 +722,11 @@ mod tests {
         c.finalize(now);
         let mc = c.stats().mode_cycles;
         let expect = c.config().num_lines() as u64 * now;
-        assert_eq!(mc.total(), expect, "every line-cycle lands in exactly one bucket");
+        assert_eq!(
+            mc.total(),
+            expect,
+            "every line-cycle lands in exactly one bucket"
+        );
         assert!(mc.standby > 0);
     }
 
@@ -723,7 +747,10 @@ mod tests {
         let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
         run_idle(&mut c, 0, 1024);
         assert_eq!(c.stats().global_counter_wraps, 4);
-        assert_eq!(c.stats().local_counter_ticks, 4 * c.config().num_lines() as u64);
+        assert_eq!(
+            c.stats().local_counter_ticks,
+            4 * c.config().num_lines() as u64
+        );
     }
 
     #[test]
@@ -732,11 +759,15 @@ mod tests {
         let stride = (c.config().num_sets() * c.config().line_bytes) as u64;
         c.access(0x0, AccessKind::Read, 0);
         let now = run_idle(&mut c, 0, 1200); // 0x0 decays to ghost
-        // Two new tags fill both ways (ghost way is preferred victim).
+                                             // Two new tags fill both ways (ghost way is preferred victim).
         c.access(stride, AccessKind::Read, now);
         c.access(2 * stride, AccessKind::Read, now + 1);
         let r = c.access(0x0, AccessKind::Read, now + 2);
-        assert_eq!(r.miss, Some(MissKind::True), "displaced ghost would have been evicted anyway");
+        assert_eq!(
+            r.miss,
+            Some(MissKind::True),
+            "displaced ghost would have been evicted anyway"
+        );
     }
 
     #[test]

@@ -40,18 +40,31 @@ impl CacheConfig {
     /// The study's L1 configuration: 64 KB, 2-way, 64 B lines, 2-cycle hits
     /// (paper Table 2, D-cache; the I-cache uses 1-cycle hits).
     pub fn l1_64k_2way() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, assoc: 2, line_bytes: 64, hit_latency: 2 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 2,
+        }
     }
 
     /// The study's L1 I-cache: like the D-cache but with 1-cycle hits.
     pub fn l1i_64k_2way() -> Self {
-        CacheConfig { hit_latency: 1, ..Self::l1_64k_2way() }
+        CacheConfig {
+            hit_latency: 1,
+            ..Self::l1_64k_2way()
+        }
     }
 
     /// The study's unified L2: 2 MB, 2-way, 64 B lines. The paper sweeps the
     /// latency over {5, 8, 11, 17}; Table 2's default is 11.
     pub fn l2_2m_2way(latency: u32) -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, assoc: 2, line_bytes: 64, hit_latency: latency }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: latency,
+        }
     }
 
     /// Validates the geometry.
@@ -116,7 +129,10 @@ impl CacheConfig {
         let offset_bits = self.line_bytes.trailing_zeros();
         let index_mask = (self.num_sets() - 1) as u64;
         let line_addr = addr >> offset_bits;
-        ((line_addr >> self.num_sets().trailing_zeros()), (line_addr & index_mask) as usize)
+        (
+            (line_addr >> self.num_sets().trailing_zeros()),
+            (line_addr & index_mask) as usize,
+        )
     }
 }
 
@@ -164,11 +180,26 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        let bad = CacheConfig { size_bytes: 3000, assoc: 2, line_bytes: 64, hit_latency: 1 };
+        let bad = CacheConfig {
+            size_bytes: 3000,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 65536, assoc: 3, line_bytes: 64, hit_latency: 1 };
+        let bad = CacheConfig {
+            size_bytes: 65536,
+            assoc: 3,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 65536, assoc: 2, line_bytes: 0, hit_latency: 1 };
+        let bad = CacheConfig {
+            size_bytes: 65536,
+            assoc: 2,
+            line_bytes: 0,
+            hit_latency: 1,
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -106,7 +106,11 @@ pub struct GlobalCounter {
 impl GlobalCounter {
     /// A counter with the given wrap period (quarter interval).
     pub fn new(period: u64) -> Self {
-        GlobalCounter { period: period.max(1), value: 0, wraps: 0 }
+        GlobalCounter {
+            period: period.max(1),
+            value: 0,
+            wraps: 0,
+        }
     }
 
     /// Advances one cycle; returns `true` on wrap (local counters must then
@@ -176,7 +180,10 @@ mod tests {
                 wraps += 1;
             }
         }
-        assert_eq!(wraps, 4, "a line idle for the whole interval sees 4 local increments");
+        assert_eq!(
+            wraps, 4,
+            "a line idle for the whole interval sees 4 local increments"
+        );
     }
 
     #[test]

@@ -259,7 +259,11 @@ mod tests {
             h.tick(t);
         }
         let out = h.data_access(0x9999_0000, AccessKind::Read, 1200);
-        assert!(out.l2_accesses >= 2, "refill plus the decay writeback, got {}", out.l2_accesses);
+        assert!(
+            out.l2_accesses >= 2,
+            "refill plus the decay writeback, got {}",
+            out.l2_accesses
+        );
     }
 
     #[test]

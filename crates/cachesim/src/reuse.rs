@@ -170,7 +170,10 @@ mod tests {
             p.record(0x40 * (i % 4), i * 1000);
         }
         let d = p.interval_keeping(0.95);
-        assert!(d >= 4096, "4 lines touched round-robin every 1k: reuse gap 4k, got {d}");
+        assert!(
+            d >= 4096,
+            "4 lines touched round-robin every 1k: reuse gap 4k, got {d}"
+        );
         assert!(d <= 8192);
     }
 

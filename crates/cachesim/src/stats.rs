@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn turnoff_ratio_bounds() {
-        let mc = ModeCycles { active: 25, standby: 75, transitioning: 0 };
+        let mc = ModeCycles {
+            active: 25,
+            standby: 75,
+            transitioning: 0,
+        };
         assert!((mc.turnoff_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(ModeCycles::default().turnoff_ratio(), 0.0);
     }

@@ -9,8 +9,9 @@ use specgen::{Benchmark, SpecTrace};
 use uarch::{Core, CoreConfig};
 
 use crate::config::StudyConfig;
+use crate::parallel;
 use crate::pricing::{self, CacheArrays};
-use crate::study::{technique_of, RawRun, Study, StudyError};
+use crate::study::{default_threads, technique_of, CompareRequest, RawRun, Study, StudyError};
 
 /// One ablation row: a configuration label with the two study metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,21 +24,46 @@ pub struct AblationRow {
     pub perf_loss_pct: f64,
 }
 
-fn averaged(
-    study: &mut Study,
-    technique: Technique,
+/// Runs every labelled configuration over all 11 benchmarks as one
+/// parallel batch, then averages each configuration's row serially (so
+/// the floating-point accumulation order matches the sequential engine).
+fn averaged_rows(
+    study: &Study,
+    configs: &[(String, Technique)],
     l2: u32,
     temp: f64,
-    label: &str,
-) -> Result<AblationRow, StudyError> {
-    let mut sav = 0.0;
-    let mut loss = 0.0;
-    for b in Benchmark::ALL {
-        let r = study.compare(b, technique, l2, temp)?;
-        sav += r.net_savings_pct / 11.0;
-        loss += r.perf_loss_pct / 11.0;
-    }
-    Ok(AblationRow { label: label.to_string(), net_savings_pct: sav, perf_loss_pct: loss })
+) -> Result<Vec<AblationRow>, StudyError> {
+    let requests: Vec<CompareRequest> = configs
+        .iter()
+        .flat_map(|(_, technique)| {
+            Benchmark::ALL
+                .into_iter()
+                .map(move |benchmark| CompareRequest {
+                    benchmark,
+                    technique: *technique,
+                    l2_latency: l2,
+                    temperature_c: temp,
+                })
+        })
+        .collect();
+    let results = study.compare_many(&requests)?;
+    Ok(configs
+        .iter()
+        .zip(results.chunks_exact(Benchmark::ALL.len()))
+        .map(|((label, _), runs)| {
+            let mut sav = 0.0;
+            let mut loss = 0.0;
+            for r in runs {
+                sav += r.net_savings_pct / 11.0;
+                loss += r.perf_loss_pct / 11.0;
+            }
+            AblationRow {
+                label: label.clone(),
+                net_savings_pct: sav,
+                perf_loss_pct: loss,
+            }
+        })
+        .collect())
 }
 
 /// §5.3: decayed vs live tags for both techniques.
@@ -45,20 +71,23 @@ fn averaged(
 /// # Errors
 ///
 /// Returns [`StudyError`] if any run fails.
-pub fn tag_decay(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
-    let mut rows = Vec::new();
+pub fn tag_decay(study: &Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
+    let mut configs = Vec::new();
     for kind in TechniqueKind::STUDIED {
         for tags_decay in [true, false] {
-            let technique = Technique { tags_decay, ..technique_of(kind, 4096) };
+            let technique = Technique {
+                tags_decay,
+                ..technique_of(kind, 4096)
+            };
             let label = format!(
                 "{} / {} tags",
                 kind.name(),
                 if tags_decay { "decayed" } else { "live" }
             );
-            rows.push(averaged(study, technique, l2, temp, &label)?);
+            configs.push((label, technique));
         }
     }
-    Ok(rows)
+    averaged_rows(study, &configs, l2, temp)
 }
 
 /// §2.3: the `noaccess` counter policy vs the history-free `simple` policy.
@@ -66,11 +95,14 @@ pub fn tag_decay(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<AblationRo
 /// # Errors
 ///
 /// Returns [`StudyError`] if any run fails.
-pub fn decay_policy(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
-    let mut rows = Vec::new();
+pub fn decay_policy(study: &Study, l2: u32, temp: f64) -> Result<Vec<AblationRow>, StudyError> {
+    let mut configs = Vec::new();
     for kind in TechniqueKind::STUDIED {
         for policy in [DecayPolicy::NoAccess, DecayPolicy::Simple] {
-            let technique = Technique { policy, ..technique_of(kind, 4096) };
+            let technique = Technique {
+                policy,
+                ..technique_of(kind, 4096)
+            };
             let label = format!(
                 "{} / {}",
                 kind.name(),
@@ -79,10 +111,10 @@ pub fn decay_policy(study: &mut Study, l2: u32, temp: f64) -> Result<Vec<Ablatio
                     DecayPolicy::Simple => "simple",
                 }
             );
-            rows.push(averaged(study, technique, l2, temp, &label)?);
+            configs.push((label, technique));
         }
     }
-    Ok(rows)
+    averaged_rows(study, &configs, l2, temp)
 }
 
 /// Executes one run with a custom core configuration (MSHR / predictor
@@ -98,11 +130,18 @@ pub fn execute_with_core(
     l2_latency: u32,
     core_cfg: CoreConfig,
 ) -> Result<RawRun, StudyError> {
-    let hierarchy = Hierarchy::new(HierarchyConfig::table2(l2_latency, technique.decay_config()))?;
+    let hierarchy = Hierarchy::new(HierarchyConfig::table2(
+        l2_latency,
+        technique.decay_config(),
+    ))?;
     let mut core = Core::new(core_cfg, hierarchy);
     let mut trace = SpecTrace::new(benchmark, cfg.seed);
     let stats = core.run(&mut trace, cfg.insts);
-    Ok(RawRun { cycles: stats.cycles, core: stats, l1d: *core.hierarchy().l1d().stats() })
+    Ok(RawRun {
+        cycles: stats.cycles,
+        core: stats,
+        l1d: *core.hierarchy().l1d().stats(),
+    })
 }
 
 /// §5.1 reason 4 ablation: gated-V_ss's induced-miss tolerance vs the
@@ -119,15 +158,15 @@ pub fn mshr_sensitivity(
     mshr_counts: &[usize],
 ) -> Result<Vec<(usize, f64)>, StudyError> {
     let technique = Technique::gated_vss(4096);
-    let mut rows = Vec::new();
-    for &mshrs in mshr_counts {
-        let core_cfg = CoreConfig { mshrs, ..CoreConfig::table2() };
-        let base =
-            execute_with_core(benchmark, &Technique::none(), cfg, l2_latency, core_cfg)?;
+    parallel::map_ordered(default_threads(), mshr_counts, |&mshrs| {
+        let core_cfg = CoreConfig {
+            mshrs,
+            ..CoreConfig::table2()
+        };
+        let base = execute_with_core(benchmark, &Technique::none(), cfg, l2_latency, core_cfg)?;
         let tech = execute_with_core(benchmark, &technique, cfg, l2_latency, core_cfg)?;
-        rows.push((mshrs, pricing::perf_loss_pct(base.cycles, tech.cycles)));
-    }
-    Ok(rows)
+        Ok((mshrs, pricing::perf_loss_pct(base.cycles, tech.cycles)))
+    })
 }
 
 /// Net-savings comparison with perfect branch prediction (isolating the
@@ -149,14 +188,22 @@ pub fn bpred_sensitivity(
     let env = cfg.environment(temp)?;
     let mut rows = Vec::new();
     for perfect in [false, true] {
-        let core_cfg = CoreConfig { perfect_bpred: perfect, ..CoreConfig::table2() };
-        let mut sav = 0.0;
-        let mut loss = 0.0;
-        for &b in benchmarks {
+        let core_cfg = CoreConfig {
+            perfect_bpred: perfect,
+            ..CoreConfig::table2()
+        };
+        // Simulate all benchmarks in parallel, then accumulate serially
+        // in benchmark order so the averages match the sequential code.
+        let pairs = parallel::map_ordered(default_threads(), benchmarks, |&b| {
             let base = execute_with_core(b, &Technique::none(), cfg, l2_latency, core_cfg)?;
             let tech = execute_with_core(b, &technique, cfg, l2_latency, core_cfg)?;
-            let p_base = pricing::price(&base, &Technique::none(), &env, &arrays)?;
-            let p_tech = pricing::price(&tech, &technique, &env, &arrays)?;
+            Ok::<_, StudyError>((base, tech))
+        })?;
+        let mut sav = 0.0;
+        let mut loss = 0.0;
+        for (base, tech) in &pairs {
+            let p_base = pricing::price(base, &Technique::none(), &env, &arrays)?;
+            let p_tech = pricing::price(tech, &technique, &env, &arrays)?;
             sav += pricing::net_savings(&p_base, &p_tech) * 100.0 / benchmarks.len() as f64;
             loss += pricing::perf_loss_pct(base.cycles, tech.cycles) / benchmarks.len() as f64;
         }
@@ -180,13 +227,16 @@ mod tests {
     use super::*;
 
     fn cfg() -> StudyConfig {
-        StudyConfig { insts: 60_000, ..StudyConfig::default() }
+        StudyConfig {
+            insts: 60_000,
+            ..StudyConfig::default()
+        }
     }
 
     #[test]
     fn tag_decay_rows_cover_all_configs() {
-        let mut study = Study::new(cfg());
-        let rows = tag_decay(&mut study, 11, 110.0).expect("runs");
+        let study = Study::new(cfg());
+        let rows = tag_decay(&study, 11, 110.0).expect("runs");
         assert_eq!(rows.len(), 4);
         let drowsy_decayed = &rows[0];
         let drowsy_live = &rows[1];
@@ -198,8 +248,8 @@ mod tests {
 
     #[test]
     fn simple_policy_trades_performance_for_turnoff() {
-        let mut study = Study::new(cfg());
-        let rows = decay_policy(&mut study, 11, 110.0).expect("runs");
+        let study = Study::new(cfg());
+        let rows = decay_policy(&study, 11, 110.0).expect("runs");
         assert_eq!(rows.len(), 4);
         let (noaccess, simple) = (&rows[0], &rows[1]);
         assert!(
@@ -220,9 +270,14 @@ mod tests {
 
     #[test]
     fn bpred_sensitivity_runs() {
-        let (real, perfect) =
-            bpred_sensitivity(TechniqueKind::GatedVss, &cfg(), 11, 110.0, &[Benchmark::Twolf])
-                .expect("runs");
+        let (real, perfect) = bpred_sensitivity(
+            TechniqueKind::GatedVss,
+            &cfg(),
+            11,
+            110.0,
+            &[Benchmark::Twolf],
+        )
+        .expect("runs");
         assert!(real.net_savings_pct.is_finite());
         assert!(perfect.net_savings_pct.is_finite());
     }

@@ -15,7 +15,8 @@ use specgen::{Benchmark, SpecTrace};
 use uarch::{Core, CoreConfig};
 
 use crate::config::StudyConfig;
-use crate::study::{technique_of, RawRun, StudyError};
+use crate::parallel;
+use crate::study::{default_threads, technique_of, RawRun, StudyError};
 
 /// Which runtime controller drives the interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,16 +62,22 @@ pub fn run_adaptive(
     window_insts: u64,
 ) -> Result<AdaptiveRun, StudyError> {
     let initial = 4096;
-    let technique = Technique { tags_decay: false, ..technique_of(kind, initial) };
-    let hierarchy = Hierarchy::new(HierarchyConfig::table2(l2_latency, technique.decay_config()))?;
+    let technique = Technique {
+        tags_decay: false,
+        ..technique_of(kind, initial)
+    };
+    let hierarchy = Hierarchy::new(HierarchyConfig::table2(
+        l2_latency,
+        technique.decay_config(),
+    ))?;
     let mut core = Core::new(CoreConfig::table2(), hierarchy);
     let mut trace = SpecTrace::new(benchmark, cfg.seed);
 
     let mut amc = leakctl::AdaptiveModeControl::new(initial, 1024, 65536);
     let mut fc = match controller {
-        Controller::Feedback { setpoint } => {
-            Some(leakctl::FeedbackController::new(initial, 1024, 65536, setpoint))
-        }
+        Controller::Feedback { setpoint } => Some(leakctl::FeedbackController::new(
+            initial, 1024, 65536, setpoint,
+        )),
         Controller::AdaptiveModeControl => None,
     };
 
@@ -103,9 +110,51 @@ pub fn run_adaptive(
     let l1d = *core.hierarchy().l1d().stats();
     let final_interval = interval_trace.last().copied().unwrap_or(initial);
     Ok(AdaptiveRun {
-        raw: RawRun { cycles: stats.cycles, core: stats, l1d },
+        raw: RawRun {
+            cycles: stats.cycles,
+            core: stats,
+            l1d,
+        },
         interval_trace,
         final_interval,
+    })
+}
+
+/// One closed-loop run request for [`run_adaptive_many`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveRequest {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The technique kind.
+    pub kind: TechniqueKind,
+    /// The runtime controller.
+    pub controller: Controller,
+    /// Observation window, instructions.
+    pub window_insts: u64,
+}
+
+/// Runs many independent closed-loop experiments across
+/// [`default_threads`] workers, returning results in request order.
+/// Each run is a fully isolated core + hierarchy + controller, so
+/// results are identical to calling [`run_adaptive`] per request.
+///
+/// # Errors
+///
+/// Returns the first [`StudyError`] any run produced.
+pub fn run_adaptive_many(
+    requests: &[AdaptiveRequest],
+    cfg: &StudyConfig,
+    l2_latency: u32,
+) -> Result<Vec<AdaptiveRun>, StudyError> {
+    parallel::map_ordered(default_threads(), requests, |r| {
+        run_adaptive(
+            r.benchmark,
+            r.kind,
+            r.controller,
+            cfg,
+            l2_latency,
+            r.window_insts,
+        )
     })
 }
 
@@ -114,7 +163,42 @@ mod tests {
     use super::*;
 
     fn cfg() -> StudyConfig {
-        StudyConfig { insts: 120_000, ..StudyConfig::default() }
+        StudyConfig {
+            insts: 120_000,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let requests = [
+            AdaptiveRequest {
+                benchmark: Benchmark::Gzip,
+                kind: TechniqueKind::GatedVss,
+                controller: Controller::AdaptiveModeControl,
+                window_insts: 10_000,
+            },
+            AdaptiveRequest {
+                benchmark: Benchmark::Gcc,
+                kind: TechniqueKind::GatedVss,
+                controller: Controller::Feedback { setpoint: 0.02 },
+                window_insts: 10_000,
+            },
+        ];
+        let batch = run_adaptive_many(&requests, &cfg(), 11).expect("batch runs");
+        assert_eq!(batch.len(), 2);
+        for (req, got) in requests.iter().zip(&batch) {
+            let solo = run_adaptive(
+                req.benchmark,
+                req.kind,
+                req.controller,
+                &cfg(),
+                11,
+                req.window_insts,
+            )
+            .expect("solo run");
+            assert_eq!(*got, solo, "parallel batch must equal the sequential run");
+        }
     }
 
     #[test]

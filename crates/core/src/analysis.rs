@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn guidance_produces_all_rows() {
-        let cfg = StudyConfig { insts: 40_000, ..StudyConfig::default() };
+        let cfg = StudyConfig {
+            insts: 40_000,
+            ..StudyConfig::default()
+        };
         let rows = interval_guidance(&cfg, 110.0).expect("valid");
         assert_eq!(rows.len(), 11);
         for (_, interval, break_even) in rows {

@@ -43,13 +43,22 @@ pub struct StudyConfig {
 impl StudyConfig {
     /// The paper's operating point with a test-sized instruction budget.
     pub fn new() -> Self {
-        StudyConfig { node: TechNode::N70, vdd: 0.9, insts: 150_000, seed: 12345, variation: false }
+        StudyConfig {
+            node: TechNode::N70,
+            vdd: 0.9,
+            insts: 150_000,
+            seed: 12345,
+            variation: false,
+        }
     }
 
     /// A configuration with a larger instruction budget for figure-quality
     /// runs.
     pub fn with_insts(insts: u64) -> Self {
-        StudyConfig { insts, ..Self::new() }
+        StudyConfig {
+            insts,
+            ..Self::new()
+        }
     }
 
     /// The pricing environment at `temperature_c` degrees Celsius.
@@ -97,9 +106,12 @@ mod tests {
     #[test]
     fn variation_raises_leakage() {
         let plain = StudyConfig::default().environment(110.0).unwrap();
-        let varied = StudyConfig { variation: true, ..StudyConfig::default() }
-            .environment(110.0)
-            .unwrap();
+        let varied = StudyConfig {
+            variation: true,
+            ..StudyConfig::default()
+        }
+        .environment(110.0)
+        .unwrap();
         assert!(varied.variation_factor() > plain.variation_factor());
     }
 

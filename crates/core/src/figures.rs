@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use specgen::Benchmark;
 
 use crate::config::{DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
-use crate::study::{technique_of, RunResult, Study, StudyError};
+use crate::study::{best_of, technique_of, CompareRequest, RunResult, Study, StudyError};
 
 /// One figure's data: a per-benchmark series for each technique.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,13 +45,21 @@ impl FigureSeries {
     /// better for savings figures; call [`FigureSeries::gated_wins_lower`]
     /// for loss figures).
     pub fn gated_wins_higher(&self) -> usize {
-        self.drowsy.iter().zip(&self.gated).filter(|(d, g)| g > d).count()
+        self.drowsy
+            .iter()
+            .zip(&self.gated)
+            .filter(|(d, g)| g > d)
+            .count()
     }
 
     /// Number of benchmarks on which gated-V_ss has the *lower* value
     /// (performance-loss figures).
     pub fn gated_wins_lower(&self) -> usize {
-        self.drowsy.iter().zip(&self.gated).filter(|(d, g)| g < d).count()
+        self.drowsy
+            .iter()
+            .zip(&self.gated)
+            .filter(|(d, g)| g < d)
+            .count()
     }
 }
 
@@ -77,7 +85,7 @@ pub struct Table3 {
 ///
 /// Returns [`StudyError`] if any run fails.
 pub fn savings_figure(
-    study: &mut Study,
+    study: &Study,
     id: &str,
     l2_latency: u32,
     temperature_c: f64,
@@ -91,7 +99,7 @@ pub fn savings_figure(
 ///
 /// Returns [`StudyError`] if any run fails.
 pub fn perf_figure(
-    study: &mut Study,
+    study: &Study,
     id: &str,
     l2_latency: u32,
     temperature_c: f64,
@@ -113,34 +121,38 @@ fn metric_of(r: &RunResult, m: Metric) -> f64 {
 }
 
 fn default_interval_figure(
-    study: &mut Study,
+    study: &Study,
     id: &str,
     l2_latency: u32,
     temperature_c: f64,
     metric: Metric,
 ) -> Result<FigureSeries, StudyError> {
+    // One batch: [drowsy, gated] per benchmark, in the paper's order.
+    // `compare_many` preserves request order, so the series below read
+    // off consecutive pairs exactly as the sequential loop did.
+    let requests: Vec<CompareRequest> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| {
+            [
+                technique_of(TechniqueKind::Drowsy, DEFAULT_DROWSY_INTERVAL),
+                technique_of(TechniqueKind::GatedVss, DEFAULT_GATED_INTERVAL),
+            ]
+            .map(|technique| CompareRequest {
+                benchmark: b,
+                technique,
+                l2_latency,
+                temperature_c,
+            })
+        })
+        .collect();
+    let results = study.compare_many(&requests)?;
     let mut benchmarks = Vec::new();
     let mut drowsy = Vec::new();
     let mut gated = Vec::new();
-    let mut results = Vec::new();
-    for b in Benchmark::ALL {
-        let d = study.compare(
-            b,
-            technique_of(TechniqueKind::Drowsy, DEFAULT_DROWSY_INTERVAL),
-            l2_latency,
-            temperature_c,
-        )?;
-        let g = study.compare(
-            b,
-            technique_of(TechniqueKind::GatedVss, DEFAULT_GATED_INTERVAL),
-            l2_latency,
-            temperature_c,
-        )?;
+    for (b, pair) in Benchmark::ALL.into_iter().zip(results.chunks_exact(2)) {
         benchmarks.push(b.name().to_string());
-        drowsy.push(metric_of(&d, metric));
-        gated.push(metric_of(&g, metric));
-        results.push(d);
-        results.push(g);
+        drowsy.push(metric_of(&pair[0], metric));
+        gated.push(metric_of(&pair[1], metric));
     }
     let (what, unit) = match metric {
         Metric::Savings => ("Net leakage savings", "% of baseline L1D leakage energy"),
@@ -164,19 +176,40 @@ fn default_interval_figure(
 ///
 /// Returns [`StudyError`] if any run fails.
 pub fn best_interval_figures(
-    study: &mut Study,
+    study: &Study,
     l2_latency: u32,
     temperature_c: f64,
 ) -> Result<(FigureSeries, FigureSeries, Table3), StudyError> {
+    // One batch covering every benchmark x technique x sweep interval;
+    // the best-interval choice is then made from the priced results with
+    // the same comparator `Study::best_interval` uses.
+    let requests: Vec<CompareRequest> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| {
+            [TechniqueKind::Drowsy, TechniqueKind::GatedVss]
+                .into_iter()
+                .flat_map(move |kind| {
+                    SWEEP_INTERVALS
+                        .into_iter()
+                        .map(move |interval| CompareRequest {
+                            benchmark: b,
+                            technique: technique_of(kind, interval),
+                            l2_latency,
+                            temperature_c,
+                        })
+                })
+        })
+        .collect();
+    let sweeps = study.compare_many(&requests)?;
+    let mut per_pick = sweeps.chunks_exact(SWEEP_INTERVALS.len());
     let mut benchmarks = Vec::new();
     let mut savings = (Vec::new(), Vec::new());
     let mut losses = (Vec::new(), Vec::new());
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for b in Benchmark::ALL {
-        let d = study.best_interval(b, TechniqueKind::Drowsy, l2_latency, temperature_c, &SWEEP_INTERVALS)?;
-        let g =
-            study.best_interval(b, TechniqueKind::GatedVss, l2_latency, temperature_c, &SWEEP_INTERVALS)?;
+        let d = best_of(per_pick.next().expect("drowsy sweep chunk").to_vec())?;
+        let g = best_of(per_pick.next().expect("gated sweep chunk").to_vec())?;
         benchmarks.push(b.name().to_string());
         savings.0.push(d.net_savings_pct);
         savings.1.push(g.net_savings_pct);
@@ -199,9 +232,7 @@ pub fn best_interval_figures(
     };
     let fig13 = FigureSeries {
         id: "fig13".into(),
-        title: format!(
-            "Performance loss at L2 latency {l2_latency}, best per-benchmark interval"
-        ),
+        title: format!("Performance loss at L2 latency {l2_latency}, best per-benchmark interval"),
         unit: "% execution-time increase".into(),
         benchmarks,
         drowsy: losses.0,
@@ -218,8 +249,11 @@ mod tests {
 
     #[test]
     fn savings_figure_covers_all_benchmarks() {
-        let mut study = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
-        let fig = savings_figure(&mut study, "fig8", 11, 110.0).unwrap();
+        let study = Study::new(StudyConfig {
+            insts: 30_000,
+            ..StudyConfig::default()
+        });
+        let fig = savings_figure(&study, "fig8", 11, 110.0).unwrap();
         assert_eq!(fig.benchmarks.len(), 11);
         assert_eq!(fig.drowsy.len(), 11);
         assert_eq!(fig.gated.len(), 11);
@@ -229,10 +263,16 @@ mod tests {
 
     #[test]
     fn perf_figure_nonnegative() {
-        let mut study = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
-        let fig = perf_figure(&mut study, "fig9", 11, 110.0).unwrap();
+        let study = Study::new(StudyConfig {
+            insts: 30_000,
+            ..StudyConfig::default()
+        });
+        let fig = perf_figure(&study, "fig9", 11, 110.0).unwrap();
         for (d, g) in fig.drowsy.iter().zip(&fig.gated) {
-            assert!(*d >= -0.5 && *g >= -0.5, "perf loss should not be meaningfully negative");
+            assert!(
+                *d >= -0.5 && *g >= -0.5,
+                "perf loss should not be meaningfully negative"
+            );
         }
     }
 

@@ -35,7 +35,7 @@
 //! use specgen::Benchmark;
 //! use leakctl::Technique;
 //!
-//! let mut study = Study::new(StudyConfig::default());
+//! let study = Study::new(StudyConfig::default());
 //! let r = study.compare(Benchmark::Gzip, Technique::drowsy(4096), 11, 110.0)?;
 //! println!("gzip drowsy: {:.1}% net savings, {:.2}% slowdown",
 //!          r.net_savings_pct, r.perf_loss_pct);
@@ -50,6 +50,7 @@ pub mod adaptive;
 pub mod analysis;
 pub mod config;
 pub mod figures;
+pub mod parallel;
 pub mod pricing;
 pub mod report;
 pub mod study;
@@ -58,4 +59,7 @@ pub mod thermal_loop;
 pub use config::{StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
 pub use figures::{FigureSeries, Table3};
 pub use pricing::{CacheArrays, Priced};
-pub use study::{RawRun, RunResult, Study, StudyError};
+pub use study::{
+    default_threads, CompareRequest, RawRun, RunCache, RunKey, RunResult, Study, StudyCtx,
+    StudyError,
+};

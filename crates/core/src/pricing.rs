@@ -210,7 +210,11 @@ mod tests {
     fn baseline_raw(cycles: u64) -> RawRun {
         RawRun {
             cycles,
-            core: CoreStats { cycles, committed: cycles, ..CoreStats::default() },
+            core: CoreStats {
+                cycles,
+                committed: cycles,
+                ..CoreStats::default()
+            },
             l1d: CacheStats::default(),
         }
     }
@@ -222,7 +226,13 @@ mod tests {
         let p = price(&raw, &Technique::none(), &env(), &arrays).unwrap();
         assert!(p.leakage_j > 0.0);
         // Doubling cycles doubles leakage energy.
-        let p2 = price(&baseline_raw(2_000_000), &Technique::none(), &env(), &arrays).unwrap();
+        let p2 = price(
+            &baseline_raw(2_000_000),
+            &Technique::none(),
+            &env(),
+            &arrays,
+        )
+        .unwrap();
         assert!((p2.leakage_j / p.leakage_j - 2.0).abs() < 1e-6);
     }
 
@@ -232,8 +242,11 @@ mod tests {
         let cycles = 1_000_000u64;
         let lines = arrays.lines() as u64;
         let mut raw = baseline_raw(cycles);
-        raw.l1d.mode_cycles =
-            ModeCycles { active: lines * cycles / 4, standby: lines * cycles * 3 / 4, transitioning: 0 };
+        raw.l1d.mode_cycles = ModeCycles {
+            active: lines * cycles / 4,
+            standby: lines * cycles * 3 / 4,
+            transitioning: 0,
+        };
         let gated = Technique::gated_vss(4096);
         let p_gated = price(&raw, &gated, &env(), &arrays).unwrap();
         let p_base = price(&baseline_raw(cycles), &Technique::none(), &env(), &arrays).unwrap();
@@ -247,8 +260,16 @@ mod tests {
 
     #[test]
     fn net_savings_charges_dynamic_costs() {
-        let base = Priced { leakage_j: 100e-6, dynamic_j: 500e-6, seconds: 1e-3 };
-        let tech = Priced { leakage_j: 30e-6, dynamic_j: 510e-6, seconds: 1e-3 };
+        let base = Priced {
+            leakage_j: 100e-6,
+            dynamic_j: 500e-6,
+            seconds: 1e-3,
+        };
+        let tech = Priced {
+            leakage_j: 30e-6,
+            dynamic_j: 510e-6,
+            seconds: 1e-3,
+        };
         // gross 70, dynamic cost 10 → net 60%.
         assert!((net_savings(&base, &tech) - 0.60).abs() < 1e-12);
     }
@@ -271,16 +292,25 @@ mod tests {
         // Event-priced dynamic energy is temperature-independent, but the
         // bundled rest-of-chip static energy rises with temperature.
         assert!(ph.dynamic_j > pc.dynamic_j);
-        let other_delta = (arrays.other_static_power(&hot) - arrays.other_static_power(&cool))
-            * pc.seconds;
+        let other_delta =
+            (arrays.other_static_power(&hot) - arrays.other_static_power(&cool)) * pc.seconds;
         assert!((ph.dynamic_j - pc.dynamic_j - other_delta).abs() < 1e-9 * ph.dynamic_j);
     }
 
     #[test]
     fn leakage_watts_plausible_for_l1d_at_110c() {
         let arrays = CacheArrays::table2_l1d();
-        let p = price(&baseline_raw(1_000_000), &Technique::none(), &env(), &arrays).unwrap();
+        let p = price(
+            &baseline_raw(1_000_000),
+            &Technique::none(),
+            &env(),
+            &arrays,
+        )
+        .unwrap();
         let w = p.leakage_watts();
-        assert!(w > 0.05 && w < 3.0, "L1D leakage {w} W out of plausible band");
+        assert!(
+            w > 0.05 && w < 3.0,
+            "L1D leakage {w} W out of plausible band"
+        );
     }
 }

@@ -9,11 +9,21 @@ use crate::figures::{FigureSeries, Table3};
 pub fn render_figure(fig: &FigureSeries) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} [{}]", fig.title, fig.unit);
-    let _ = writeln!(out, "{:<10} {:>10} {:>10}", "benchmark", "drowsy", "gated-vss");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10}",
+        "benchmark", "drowsy", "gated-vss"
+    );
     for ((name, d), g) in fig.benchmarks.iter().zip(&fig.drowsy).zip(&fig.gated) {
         let _ = writeln!(out, "{name:<10} {d:>10.2} {g:>10.2}");
     }
-    let _ = writeln!(out, "{:<10} {:>10.2} {:>10.2}", "AVERAGE", fig.drowsy_avg(), fig.gated_avg());
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10.2} {:>10.2}",
+        "AVERAGE",
+        fig.drowsy_avg(),
+        fig.gated_avg()
+    );
     out
 }
 
@@ -21,9 +31,19 @@ pub fn render_figure(fig: &FigureSeries) -> String {
 pub fn render_table3(t: &Table3) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 3. Best decay intervals (cycles).");
-    let _ = writeln!(out, "{:<10} {:>10} {:>10}", "benchmark", "drowsy", "gated-vss");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10}",
+        "benchmark", "drowsy", "gated-vss"
+    );
     for (name, d, g) in &t.rows {
-        let _ = writeln!(out, "{:<10} {:>10} {:>10}", name, fmt_interval(*d), fmt_interval(*g));
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10}",
+            name,
+            fmt_interval(*d),
+            fmt_interval(*g)
+        );
     }
     out
 }
@@ -39,8 +59,12 @@ pub fn fmt_interval(cycles: u64) -> String {
 
 /// Renders Table 1 (settling times) from the technique definitions.
 pub fn render_table1() -> String {
-    let d = leakctl::Technique::drowsy(1).decay_config().expect("drowsy has decay");
-    let g = leakctl::Technique::gated_vss(1).decay_config().expect("gated has decay");
+    let d = leakctl::Technique::drowsy(1)
+        .decay_config()
+        .expect("drowsy has decay");
+    let g = leakctl::Technique::gated_vss(1)
+        .decay_config()
+        .expect("gated has decay");
     let mut out = String::new();
     let _ = writeln!(out, "Table 1. Settling time (cycles).");
     let _ = writeln!(out, "{:<26} {:>8} {:>10}", "", "Drowsy", "Gated-Vss");
@@ -60,16 +84,34 @@ pub fn render_table1() -> String {
 /// Renders Table 2 (the simulated machine configuration).
 pub fn render_table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2. Configuration of simulated processor microarchitecture.");
+    let _ = writeln!(
+        out,
+        "Table 2. Configuration of simulated processor microarchitecture."
+    );
     for (k, v) in [
         ("Instruction window", "80-RUU, 40-LSQ"),
         ("Issue width", "4 instructions per cycle"),
-        ("Functional units", "4 IntALU, 1 IntMult/Div, 2 FPALU, 1 FPMult/Div, 2 mem ports"),
-        ("L1 D-cache", "64 KB, 2-way LRU, 64 B blocks, 2-cycle latency, write-back"),
-        ("L1 I-cache", "64 KB, 2-way LRU, 64 B blocks, 1-cycle latency, write-back"),
-        ("L2", "Unified, 2 MB, 2-way LRU, 64 B blocks, 11-cycle latency, write-back"),
+        (
+            "Functional units",
+            "4 IntALU, 1 IntMult/Div, 2 FPALU, 1 FPMult/Div, 2 mem ports",
+        ),
+        (
+            "L1 D-cache",
+            "64 KB, 2-way LRU, 64 B blocks, 2-cycle latency, write-back",
+        ),
+        (
+            "L1 I-cache",
+            "64 KB, 2-way LRU, 64 B blocks, 1-cycle latency, write-back",
+        ),
+        (
+            "L2",
+            "Unified, 2 MB, 2-way LRU, 64 B blocks, 11-cycle latency, write-back",
+        ),
         ("Memory", "100 cycles"),
-        ("Branch predictor", "Hybrid: 4K bimod + 4K/12-bit GAg + 4K bimod-style chooser"),
+        (
+            "Branch predictor",
+            "Hybrid: 4K bimod + 4K/12-bit GAg + 4K bimod-style chooser",
+        ),
         ("Branch target buffer", "1K-entry, 2-way"),
         ("Technology", "70 nm, 0.9 V, 5600 MHz"),
     ] {
@@ -122,7 +164,9 @@ mod tests {
 
     #[test]
     fn table3_renders_rows() {
-        let t = Table3 { rows: vec![("gcc".into(), 1024, 2048)] };
+        let t = Table3 {
+            rows: vec![("gcc".into(), 1024, 2048)],
+        };
         let r = render_table3(&t);
         assert!(r.contains("1k"));
         assert!(r.contains("2k"));

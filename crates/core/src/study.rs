@@ -1,8 +1,34 @@
-//! The experiment runner with baseline/technique run caching.
+//! The experiment engine: immutable study context, a sharded concurrent
+//! run-cache, and batch APIs that fan independent timing runs out across
+//! worker threads.
+//!
+//! ## Architecture
+//!
+//! Timing runs are temperature-independent and mutually independent, so
+//! the engine splits into three pieces:
+//!
+//! * [`StudyCtx`] — the immutable inputs of a study (configuration plus
+//!   the priced cache geometry). Shared by reference across threads.
+//! * [`RunCache`] — a concurrent memo table of [`RawRun`]s keyed by
+//!   [`RunKey`], split into mutex-guarded shards so many threads can
+//!   insert and look up without a global lock. Duplicate in-flight keys
+//!   are coalesced: the second requester blocks on the first run rather
+//!   than re-simulating.
+//! * [`Study`] — the facade binding a context, a cache, and a worker
+//!   count. Single-run calls ([`Study::compare`]) behave exactly as
+//!   before; batch calls ([`Study::compare_many`]) enumerate every
+//!   needed timing run up front, deduplicate against the cache, execute
+//!   the misses on `std::thread::scope` workers, then price serially in
+//!   request order — so parallel results are byte-identical to the
+//!   sequential path.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
 use hotleakage::ModelError;
@@ -22,6 +48,8 @@ pub enum StudyError {
     Model(ModelError),
     /// A cache configuration was invalid.
     Cache(cachesim::ConfigError),
+    /// A best-interval search was asked to choose from zero intervals.
+    EmptyIntervalList,
 }
 
 impl fmt::Display for StudyError {
@@ -29,6 +57,9 @@ impl fmt::Display for StudyError {
         match self {
             StudyError::Model(e) => write!(f, "leakage model error: {e}"),
             StudyError::Cache(e) => write!(f, "cache config error: {e}"),
+            StudyError::EmptyIntervalList => {
+                write!(f, "best-interval search needs a non-empty interval list")
+            }
         }
     }
 }
@@ -38,6 +69,7 @@ impl Error for StudyError {
         match self {
             StudyError::Model(e) => Some(e),
             StudyError::Cache(e) => Some(e),
+            StudyError::EmptyIntervalList => None,
         }
     }
 }
@@ -94,31 +126,71 @@ pub struct RunResult {
     pub tech_ipc: f64,
 }
 
-/// Cache key for technique runs.
+/// Cache key identifying one timing run: every knob that changes what
+/// the simulator executes (temperature is *not* part of the key — it
+/// only affects pricing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RunKey {
-    benchmark: Benchmark,
-    l2_latency: u32,
-    technique: TechniqueKind,
-    interval: u64,
-    tags_decay: bool,
-    simple_policy: bool,
+pub struct RunKey {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u32,
+    /// The technique kind.
+    pub technique: TechniqueKind,
+    /// Decay interval, cycles.
+    pub interval: u64,
+    /// Whether tags decay with the data.
+    pub tags_decay: bool,
+    /// The deactivation policy.
+    pub policy: DecayPolicy,
 }
 
-/// The experiment runner. Timing runs are cached, so re-pricing at another
-/// temperature or comparing many intervals against one baseline is cheap.
-#[derive(Debug)]
-pub struct Study {
+impl RunKey {
+    /// The key for running `benchmark` under `technique` at `l2_latency`.
+    ///
+    /// Baseline (`TechniqueKind::None`) keys are normalised to canonical
+    /// field values so every way of writing "no control" shares one cache
+    /// entry.
+    pub fn of(benchmark: Benchmark, technique: &Technique, l2_latency: u32) -> Self {
+        if technique.kind == TechniqueKind::None {
+            let none = Technique::none();
+            RunKey {
+                benchmark,
+                l2_latency,
+                technique: TechniqueKind::None,
+                interval: none.interval_cycles,
+                tags_decay: none.tags_decay,
+                policy: none.policy,
+            }
+        } else {
+            RunKey {
+                benchmark,
+                l2_latency,
+                technique: technique.kind,
+                interval: technique.interval_cycles,
+                tags_decay: technique.tags_decay,
+                policy: technique.policy,
+            }
+        }
+    }
+}
+
+/// The immutable inputs of a study: configuration plus priced geometry.
+/// Cheap to share by reference across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyCtx {
     cfg: StudyConfig,
     arrays: CacheArrays,
-    baselines: HashMap<(Benchmark, u32), RawRun>,
-    runs: HashMap<RunKey, RawRun>,
 }
 
-impl Study {
-    /// A study with the given configuration.
+impl StudyCtx {
+    /// A context with the given configuration and the Table 2 L1D
+    /// geometry.
     pub fn new(cfg: StudyConfig) -> Self {
-        Study { cfg, arrays: CacheArrays::table2_l1d(), baselines: HashMap::new(), runs: HashMap::new() }
+        StudyCtx {
+            cfg,
+            arrays: CacheArrays::table2_l1d(),
+        }
     }
 
     /// The study configuration.
@@ -126,69 +198,43 @@ impl Study {
         &self.cfg
     }
 
-    /// Executes (or recalls) one timing run of `benchmark` under
-    /// `technique` with the given L2 latency.
+    /// The priced cache geometry.
+    pub fn arrays(&self) -> &CacheArrays {
+        &self.arrays
+    }
+
+    /// Executes one timing run (no caching).
     ///
     /// # Errors
     ///
     /// Returns [`StudyError`] if the hierarchy cannot be built.
-    pub fn raw_run(
-        &mut self,
+    pub fn execute(
+        &self,
         benchmark: Benchmark,
         technique: &Technique,
         l2_latency: u32,
     ) -> Result<RawRun, StudyError> {
-        if technique.kind == TechniqueKind::None {
-            return self.baseline(benchmark, l2_latency);
-        }
-        let key = RunKey {
-            benchmark,
-            l2_latency,
-            technique: technique.kind,
-            interval: technique.interval_cycles,
-            tags_decay: technique.tags_decay,
-            simple_policy: technique.policy == DecayPolicy::Simple,
-        };
-        if let Some(run) = self.runs.get(&key) {
-            return Ok(*run);
-        }
-        let run = execute(benchmark, technique, &self.cfg, l2_latency)?;
-        self.runs.insert(key, run);
-        Ok(run)
+        execute(benchmark, technique, &self.cfg, l2_latency)
     }
 
-    /// Executes (or recalls) the no-control baseline run.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StudyError`] if the hierarchy cannot be built.
-    pub fn baseline(&mut self, benchmark: Benchmark, l2_latency: u32) -> Result<RawRun, StudyError> {
-        if let Some(run) = self.baselines.get(&(benchmark, l2_latency)) {
-            return Ok(*run);
-        }
-        let run = execute(benchmark, &Technique::none(), &self.cfg, l2_latency)?;
-        self.baselines.insert((benchmark, l2_latency), run);
-        Ok(run)
-    }
-
-    /// Runs the full baseline-vs-technique comparison and prices it at
-    /// `temperature_c`.
+    /// Prices a cached baseline/technique pair at `temperature_c`,
+    /// producing the paper's comparison row.
     ///
     /// # Errors
     ///
     /// Returns [`StudyError`] on invalid operating points or geometry.
-    pub fn compare(
-        &mut self,
-        benchmark: Benchmark,
-        technique: Technique,
+    pub fn price_pair(
+        &self,
+        base: &RawRun,
+        tech: &RawRun,
+        technique: &Technique,
         l2_latency: u32,
+        benchmark: Benchmark,
         temperature_c: f64,
     ) -> Result<RunResult, StudyError> {
-        let base = self.baseline(benchmark, l2_latency)?;
-        let tech = self.raw_run(benchmark, &technique, l2_latency)?;
         let env = self.cfg.environment(temperature_c)?;
-        let p_base = pricing::price(&base, &Technique::none(), &env, &self.arrays)?;
-        let p_tech = pricing::price(&tech, &technique, &env, &self.arrays)?;
+        let p_base = pricing::price(base, &Technique::none(), &env, &self.arrays)?;
+        let p_tech = pricing::price(tech, technique, &env, &self.arrays)?;
         Ok(RunResult {
             benchmark,
             technique: technique.kind,
@@ -204,28 +250,474 @@ impl Study {
             tech_ipc: tech.core.ipc(),
         })
     }
+}
+
+/// A shard entry: a finished run, or a marker other threads wait on.
+/// The `Ready` run is boxed so a shard full of memos does not pay the
+/// 280-byte `RawRun` footprint per pending marker too.
+enum Slot {
+    Ready(Box<RawRun>),
+    Pending(Arc<InFlight>),
+}
+
+#[derive(Default)]
+struct InFlight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn finish(&self) {
+        *self.done.lock().expect("in-flight lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("in-flight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("in-flight wait");
+        }
+    }
+}
+
+/// Removes the pending marker and wakes waiters if the executing closure
+/// panics, so no thread blocks forever on a run that will never finish.
+struct PendingGuard<'a> {
+    cache: &'a RunCache,
+    key: RunKey,
+    inflight: Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut shard = self
+                .cache
+                .shard(&self.key)
+                .lock()
+                .expect("cache shard lock");
+            shard.remove(&self.key);
+            drop(shard);
+            self.inflight.finish();
+        }
+    }
+}
+
+/// Default shard count: enough that a full figure sweep (hundreds of
+/// keys) rarely contends, cheap enough to allocate per study.
+const DEFAULT_SHARDS: usize = 32;
+
+/// A concurrent memo table of timing runs, sharded by key hash so many
+/// worker threads can memoize without a global lock. In-flight keys are
+/// coalesced: a thread requesting a run another thread is already
+/// executing blocks until that run lands, then reads it from the cache.
+pub struct RunCache {
+    shards: Vec<Mutex<HashMap<RunKey, Slot>>>,
+}
+
+impl fmt::Debug for RunCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl RunCache {
+    /// An empty cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with `shards` shards (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        RunCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of finished runs currently memoized.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no runs are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &RunKey) -> &Mutex<HashMap<RunKey, Slot>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// The memoized run for `key`, if finished.
+    pub fn get(&self, key: &RunKey) -> Option<RawRun> {
+        match self.shard(key).lock().expect("cache shard lock").get(key) {
+            Some(Slot::Ready(run)) => Some(**run),
+            _ => None,
+        }
+    }
+
+    /// Returns the memoized run for `key`, executing `run` to fill it on
+    /// a miss. Concurrent calls with the same key execute `run` once; the
+    /// others block until the result lands. If `run` errors the entry is
+    /// cleared (errors are not memoized) and the error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `run`.
+    pub fn get_or_run(
+        &self,
+        key: RunKey,
+        run: impl FnOnce() -> Result<RawRun, StudyError>,
+    ) -> Result<RawRun, StudyError> {
+        loop {
+            let mut shard = self.shard(&key).lock().expect("cache shard lock");
+            match shard.get(&key) {
+                Some(Slot::Ready(r)) => return Ok(**r),
+                Some(Slot::Pending(inflight)) => {
+                    let inflight = Arc::clone(inflight);
+                    drop(shard);
+                    inflight.wait();
+                    // Either Ready now, or removed because the runner
+                    // failed — loop to read or become the new runner.
+                }
+                None => {
+                    let inflight = Arc::new(InFlight::default());
+                    shard.insert(key, Slot::Pending(Arc::clone(&inflight)));
+                    drop(shard);
+                    let mut guard = PendingGuard {
+                        cache: self,
+                        key,
+                        inflight: Arc::clone(&inflight),
+                        armed: true,
+                    };
+                    let result = run();
+                    guard.armed = false;
+                    drop(guard);
+                    let mut shard = self.shard(&key).lock().expect("cache shard lock");
+                    match &result {
+                        Ok(r) => {
+                            shard.insert(key, Slot::Ready(Box::new(*r)));
+                        }
+                        Err(_) => {
+                            shard.remove(&key);
+                        }
+                    }
+                    drop(shard);
+                    inflight.finish();
+                    return result;
+                }
+            }
+        }
+    }
+}
+
+impl Default for RunCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One priced comparison request for [`Study::compare_many`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareRequest {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The technique compared against the no-control baseline.
+    pub technique: Technique,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u32,
+    /// Pricing temperature, °C.
+    pub temperature_c: f64,
+}
+
+/// One timing run the batch engine must ensure is cached.
+struct RunSpec {
+    key: RunKey,
+    benchmark: Benchmark,
+    technique: Technique,
+    l2_latency: u32,
+}
+
+/// The worker count a fresh [`Study`] uses: the `LEAKAGE_THREADS`
+/// environment variable if set and positive, else
+/// `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LEAKAGE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The experiment runner: an immutable [`StudyCtx`], a concurrent
+/// [`RunCache`], and a worker count. Timing runs are cached, so
+/// re-pricing at another temperature or comparing many intervals against
+/// one baseline is cheap; batch calls execute cache misses in parallel.
+#[derive(Debug)]
+pub struct Study {
+    ctx: StudyCtx,
+    cache: RunCache,
+    threads: usize,
+}
+
+impl Study {
+    /// A study with the given configuration and [`default_threads`]
+    /// workers.
+    pub fn new(cfg: StudyConfig) -> Self {
+        Self::with_threads(cfg, default_threads())
+    }
+
+    /// A study with an explicit worker count (minimum 1).
+    pub fn with_threads(cfg: StudyConfig, threads: usize) -> Self {
+        Study {
+            ctx: StudyCtx::new(cfg),
+            cache: RunCache::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        self.ctx.config()
+    }
+
+    /// The immutable study context.
+    pub fn ctx(&self) -> &StudyCtx {
+        &self.ctx
+    }
+
+    /// The run cache.
+    pub fn cache(&self) -> &RunCache {
+        &self.cache
+    }
+
+    /// The worker count batch calls use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker count batch calls use (minimum 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Executes (or recalls) one timing run of `benchmark` under
+    /// `technique` with the given L2 latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] if the hierarchy cannot be built.
+    pub fn raw_run(
+        &self,
+        benchmark: Benchmark,
+        technique: &Technique,
+        l2_latency: u32,
+    ) -> Result<RawRun, StudyError> {
+        let key = RunKey::of(benchmark, technique, l2_latency);
+        self.cache
+            .get_or_run(key, || self.ctx.execute(benchmark, technique, l2_latency))
+    }
+
+    /// Executes (or recalls) the no-control baseline run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] if the hierarchy cannot be built.
+    pub fn baseline(&self, benchmark: Benchmark, l2_latency: u32) -> Result<RawRun, StudyError> {
+        self.raw_run(benchmark, &Technique::none(), l2_latency)
+    }
+
+    /// Runs the full baseline-vs-technique comparison and prices it at
+    /// `temperature_c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] on invalid operating points or geometry.
+    pub fn compare(
+        &self,
+        benchmark: Benchmark,
+        technique: Technique,
+        l2_latency: u32,
+        temperature_c: f64,
+    ) -> Result<RunResult, StudyError> {
+        let base = self.baseline(benchmark, l2_latency)?;
+        let tech = self.raw_run(benchmark, &technique, l2_latency)?;
+        self.ctx.price_pair(
+            &base,
+            &tech,
+            &technique,
+            l2_latency,
+            benchmark,
+            temperature_c,
+        )
+    }
+
+    /// Runs many comparisons: enumerates every timing run the requests
+    /// need, deduplicates against the cache, executes the misses across
+    /// [`Study::threads`] workers, then prices serially in request order.
+    /// Results are byte-identical to calling [`Study::compare`] per
+    /// request, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StudyError`] any run or pricing produced.
+    pub fn compare_many(&self, requests: &[CompareRequest]) -> Result<Vec<RunResult>, StudyError> {
+        self.compare_many_with(self.threads, requests)
+    }
+
+    /// [`Study::compare_many`] with an explicit worker count for this
+    /// call only (the cache is still shared with the rest of the study).
+    fn compare_many_with(
+        &self,
+        threads: usize,
+        requests: &[CompareRequest],
+    ) -> Result<Vec<RunResult>, StudyError> {
+        let mut specs: Vec<RunSpec> = Vec::with_capacity(requests.len() * 2);
+        let mut seen = std::collections::HashSet::new();
+        for r in requests {
+            let none = Technique::none();
+            for technique in [none, r.technique] {
+                let key = RunKey::of(r.benchmark, &technique, r.l2_latency);
+                if seen.insert(key) && self.cache.get(&key).is_none() {
+                    specs.push(RunSpec {
+                        key,
+                        benchmark: r.benchmark,
+                        technique,
+                        l2_latency: r.l2_latency,
+                    });
+                }
+            }
+        }
+        self.run_batch(threads, &specs)?;
+        requests
+            .iter()
+            .map(|r| self.compare(r.benchmark, r.technique, r.l2_latency, r.temperature_c))
+            .collect()
+    }
+
+    /// Executes every spec into the cache, fanning out across workers.
+    fn run_batch(&self, threads: usize, specs: &[RunSpec]) -> Result<(), StudyError> {
+        let workers = threads.min(specs.len());
+        if workers <= 1 {
+            for spec in specs {
+                self.cache.get_or_run(spec.key, || {
+                    self.ctx
+                        .execute(spec.benchmark, &spec.technique, spec.l2_latency)
+                })?;
+            }
+            return Ok(());
+        }
+        let next = AtomicUsize::new(0);
+        let first_error: Mutex<Option<StudyError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        return;
+                    }
+                    if first_error.lock().expect("error slot lock").is_some() {
+                        return;
+                    }
+                    let spec = &specs[i];
+                    let result = self.cache.get_or_run(spec.key, || {
+                        self.ctx
+                            .execute(spec.benchmark, &spec.technique, spec.l2_latency)
+                    });
+                    if let Err(e) = result {
+                        let mut slot = first_error.lock().expect("error slot lock");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        return;
+                    }
+                });
+            }
+        });
+        match first_error.into_inner().expect("error slot lock") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 
     /// Sweeps decay intervals for one benchmark/technique; returns one
-    /// [`RunResult`] per interval (ordered as given).
+    /// [`RunResult`] per interval (ordered as given). The timing runs
+    /// execute in parallel across [`Study::threads`] workers.
     ///
     /// # Errors
     ///
     /// Returns [`StudyError`] on invalid operating points or geometry.
     pub fn interval_sweep(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         kind: TechniqueKind,
         l2_latency: u32,
         temperature_c: f64,
         intervals: &[u64],
     ) -> Result<Vec<RunResult>, StudyError> {
-        intervals
+        let requests: Vec<CompareRequest> = intervals
             .iter()
-            .map(|&interval| {
-                let technique = technique_of(kind, interval);
-                self.compare(benchmark, technique, l2_latency, temperature_c)
+            .map(|&interval| CompareRequest {
+                benchmark,
+                technique: technique_of(kind, interval),
+                l2_latency,
+                temperature_c,
             })
-            .collect()
+            .collect();
+        self.compare_many(&requests)
+    }
+
+    /// [`Study::interval_sweep`] with an explicit worker count for this
+    /// call only; the run cache is shared with the rest of the study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] on invalid operating points or geometry.
+    pub fn interval_sweep_par(
+        &self,
+        benchmark: Benchmark,
+        kind: TechniqueKind,
+        l2_latency: u32,
+        temperature_c: f64,
+        intervals: &[u64],
+        threads: usize,
+    ) -> Result<Vec<RunResult>, StudyError> {
+        let requests: Vec<CompareRequest> = intervals
+            .iter()
+            .map(|&interval| CompareRequest {
+                benchmark,
+                technique: technique_of(kind, interval),
+                l2_latency,
+                temperature_c,
+            })
+            .collect();
+        self.compare_many_with(threads.max(1), &requests)
     }
 
     /// Finds the best (max net savings) interval for one benchmark and
@@ -233,9 +725,10 @@ impl Study {
     ///
     /// # Errors
     ///
-    /// Returns [`StudyError`] on invalid operating points or geometry.
+    /// Returns [`StudyError::EmptyIntervalList`] if `intervals` is empty,
+    /// or any error from the underlying sweep.
     pub fn best_interval(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         kind: TechniqueKind,
         l2_latency: u32,
@@ -243,16 +736,22 @@ impl Study {
         intervals: &[u64],
     ) -> Result<RunResult, StudyError> {
         let sweep = self.interval_sweep(benchmark, kind, l2_latency, temperature_c, intervals)?;
-        Ok(sweep
-            .into_iter()
-            .max_by(|a, b| {
-                a.net_savings_pct
-                    .partial_cmp(&b.net_savings_pct)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.interval.cmp(&b.interval))
-            })
-            .expect("interval list is non-empty"))
+        best_of(sweep)
     }
+}
+
+/// Selects the max-net-savings result (ties broken toward the longer
+/// interval, matching the sequential engine's ordering).
+pub(crate) fn best_of(sweep: Vec<RunResult>) -> Result<RunResult, StudyError> {
+    sweep
+        .into_iter()
+        .max_by(|a, b| {
+            a.net_savings_pct
+                .partial_cmp(&b.net_savings_pct)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.interval.cmp(&b.interval))
+        })
+        .ok_or(StudyError::EmptyIntervalList)
 }
 
 /// Builds the technique with the study's default settling/tag parameters.
@@ -276,11 +775,18 @@ pub fn execute(
     cfg: &StudyConfig,
     l2_latency: u32,
 ) -> Result<RawRun, StudyError> {
-    let hierarchy = Hierarchy::new(HierarchyConfig::table2(l2_latency, technique.decay_config()))?;
+    let hierarchy = Hierarchy::new(HierarchyConfig::table2(
+        l2_latency,
+        technique.decay_config(),
+    ))?;
     let mut core = Core::new(CoreConfig::table2(), hierarchy);
     let mut trace = SpecTrace::new(benchmark, cfg.seed);
     let stats = core.run(&mut trace, cfg.insts);
-    Ok(RawRun { cycles: stats.cycles, core: stats, l1d: *core.hierarchy().l1d().stats() })
+    Ok(RawRun {
+        cycles: stats.cycles,
+        core: stats,
+        l1d: *core.hierarchy().l1d().stats(),
+    })
 }
 
 #[cfg(test)]
@@ -288,61 +794,106 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> StudyConfig {
-        StudyConfig { insts: 60_000, ..StudyConfig::default() }
+        StudyConfig {
+            insts: 60_000,
+            ..StudyConfig::default()
+        }
     }
 
     #[test]
     fn baseline_runs_and_caches() {
-        let mut study = Study::new(quick_cfg());
+        let study = Study::new(quick_cfg());
         let a = study.baseline(Benchmark::Gzip, 11).unwrap();
         let b = study.baseline(Benchmark::Gzip, 11).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.core.committed, 60_000);
         assert!(a.cycles > 0);
-        assert!(a.core.ipc() > 0.2 && a.core.ipc() < 4.0, "ipc={}", a.core.ipc());
+        assert!(
+            a.core.ipc() > 0.2 && a.core.ipc() < 4.0,
+            "ipc={}",
+            a.core.ipc()
+        );
+        assert_eq!(study.cache().len(), 1, "both calls share one cache entry");
     }
 
     #[test]
     fn technique_run_decays_lines() {
-        let mut study = Study::new(quick_cfg());
-        let r = study.raw_run(Benchmark::Gzip, &Technique::gated_vss(2048), 11).unwrap();
-        assert!(r.l1d.mode_cycles.standby > 0, "gated run must put lines in standby");
+        let study = Study::new(quick_cfg());
+        let r = study
+            .raw_run(Benchmark::Gzip, &Technique::gated_vss(2048), 11)
+            .unwrap();
+        assert!(
+            r.l1d.mode_cycles.standby > 0,
+            "gated run must put lines in standby"
+        );
         assert!(r.l1d.sleeps > 0);
     }
 
     #[test]
     fn compare_produces_sane_result() {
-        let mut study = Study::new(quick_cfg());
-        let r = study.compare(Benchmark::Gzip, Technique::drowsy(4096), 11, 110.0).unwrap();
-        assert!(r.net_savings_pct > 0.0 && r.net_savings_pct < 100.0, "savings={}", r.net_savings_pct);
-        assert!(r.perf_loss_pct >= 0.0 && r.perf_loss_pct < 25.0, "loss={}", r.perf_loss_pct);
+        let study = Study::new(quick_cfg());
+        let r = study
+            .compare(Benchmark::Gzip, Technique::drowsy(4096), 11, 110.0)
+            .unwrap();
+        assert!(
+            r.net_savings_pct > 0.0 && r.net_savings_pct < 100.0,
+            "savings={}",
+            r.net_savings_pct
+        );
+        assert!(
+            r.perf_loss_pct >= 0.0 && r.perf_loss_pct < 25.0,
+            "loss={}",
+            r.perf_loss_pct
+        );
         assert!(r.turnoff_pct > 0.0 && r.turnoff_pct <= 100.0);
     }
 
     #[test]
     fn drowsy_run_has_slow_hits_not_induced_misses() {
-        let mut study = Study::new(quick_cfg());
-        let r = study.compare(Benchmark::Gzip, Technique::drowsy(1024), 11, 110.0).unwrap();
+        let study = Study::new(quick_cfg());
+        let r = study
+            .compare(Benchmark::Gzip, Technique::drowsy(1024), 11, 110.0)
+            .unwrap();
         assert!(r.slow_hits > 0);
         assert_eq!(r.induced_misses, 0);
     }
 
     #[test]
     fn gated_run_has_induced_misses_not_slow_hits() {
-        let mut study = Study::new(quick_cfg());
-        let r = study.compare(Benchmark::Gzip, Technique::gated_vss(1024), 11, 110.0).unwrap();
+        let study = Study::new(quick_cfg());
+        let r = study
+            .compare(Benchmark::Gzip, Technique::gated_vss(1024), 11, 110.0)
+            .unwrap();
         assert!(r.induced_misses > 0);
         assert_eq!(r.slow_hits, 0);
     }
 
     #[test]
     fn best_interval_is_from_the_menu() {
-        let mut study = Study::new(StudyConfig { insts: 40_000, ..StudyConfig::default() });
+        let study = Study::new(StudyConfig {
+            insts: 40_000,
+            ..StudyConfig::default()
+        });
         let intervals = [1024u64, 8192];
         let best = study
-            .best_interval(Benchmark::Perl, TechniqueKind::GatedVss, 11, 110.0, &intervals)
+            .best_interval(
+                Benchmark::Perl,
+                TechniqueKind::GatedVss,
+                11,
+                110.0,
+                &intervals,
+            )
             .unwrap();
         assert!(intervals.contains(&best.interval));
+    }
+
+    #[test]
+    fn best_interval_of_empty_menu_is_an_error() {
+        let study = Study::new(quick_cfg());
+        let err = study
+            .best_interval(Benchmark::Perl, TechniqueKind::GatedVss, 11, 110.0, &[])
+            .unwrap_err();
+        assert!(matches!(err, StudyError::EmptyIntervalList), "got {err}");
     }
 
     #[test]
@@ -354,5 +905,90 @@ mod tests {
             .compare(Benchmark::Vpr, Technique::gated_vss(4096), 11, 110.0)
             .unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn run_keys_never_collide_across_technique_knobs() {
+        // Two techniques differing only in tags_decay, or only in policy,
+        // must occupy distinct cache entries.
+        let a = Technique::gated_vss(4096);
+        let b = Technique {
+            tags_decay: false,
+            ..a
+        };
+        let c = Technique {
+            policy: DecayPolicy::Simple,
+            ..a
+        };
+        let ka = RunKey::of(Benchmark::Gzip, &a, 11);
+        let kb = RunKey::of(Benchmark::Gzip, &b, 11);
+        let kc = RunKey::of(Benchmark::Gzip, &c, 11);
+        assert_ne!(ka, kb);
+        assert_ne!(ka, kc);
+        assert_ne!(kb, kc);
+    }
+
+    #[test]
+    fn baseline_keys_normalise() {
+        let odd_none = Technique {
+            interval_cycles: 4096,
+            ..Technique::none()
+        };
+        assert_eq!(
+            RunKey::of(Benchmark::Gzip, &Technique::none(), 11),
+            RunKey::of(Benchmark::Gzip, &odd_none, 11),
+        );
+    }
+
+    #[test]
+    fn compare_many_matches_sequential_compare() {
+        let par = Study::with_threads(quick_cfg(), 4);
+        let seq = Study::with_threads(quick_cfg(), 1);
+        let requests: Vec<CompareRequest> = [1024u64, 2048, 4096]
+            .iter()
+            .flat_map(|&interval| [Technique::drowsy(interval), Technique::gated_vss(interval)])
+            .map(|technique| CompareRequest {
+                benchmark: Benchmark::Gzip,
+                technique,
+                l2_latency: 11,
+                temperature_c: 110.0,
+            })
+            .collect();
+        let batch = par.compare_many(&requests).unwrap();
+        let one_by_one: Vec<RunResult> = requests
+            .iter()
+            .map(|r| {
+                seq.compare(r.benchmark, r.technique, r.l2_latency, r.temperature_c)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(batch, one_by_one);
+    }
+
+    #[test]
+    fn cache_coalesces_duplicate_inflight_keys() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = RunCache::with_shards(4);
+        let executions = AtomicUsize::new(0);
+        let key = RunKey::of(Benchmark::Gzip, &Technique::gated_vss(512), 11);
+        let cfg = quick_cfg();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    cache
+                        .get_or_run(key, || {
+                            executions.fetch_add(1, Ordering::Relaxed);
+                            execute(Benchmark::Gzip, &Technique::gated_vss(512), &cfg, 11)
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            1,
+            "duplicate keys must coalesce"
+        );
+        assert_eq!(cache.len(), 1);
     }
 }

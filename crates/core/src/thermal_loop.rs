@@ -46,9 +46,8 @@ pub fn steady_state(
     // explicit function of T below).
     let ref_env = cfg.environment(85.0)?;
     let priced = pricing::price(raw, technique, &ref_env, &arrays)?;
-    let dynamic_watts = (priced.dynamic_j
-        - arrays.other_static_power(&ref_env) * priced.seconds)
-        / priced.seconds;
+    let dynamic_watts =
+        (priced.dynamic_j - arrays.other_static_power(&ref_env) * priced.seconds) / priced.seconds;
 
     let power_at = |t_k: f64| -> f64 {
         let t_c = (t_k - 273.15).clamp(-20.0, 175.0);
@@ -68,9 +67,10 @@ pub fn steady_state(
             temperature_c: Some(t_k - 273.15),
             power_watts: power_at(t_k),
         }),
-        SteadyState::Runaway(t_k) => {
-            Ok(ThermalOutcome { temperature_c: None, power_watts: power_at(t_k.min(400.0)) })
-        }
+        SteadyState::Runaway(t_k) => Ok(ThermalOutcome {
+            temperature_c: None,
+            power_watts: power_at(t_k.min(400.0)),
+        }),
     }
 }
 
@@ -81,7 +81,7 @@ pub fn steady_state(
 ///
 /// Returns [`StudyError`] if any run or solve fails.
 pub fn compare_thermal(
-    study: &mut Study,
+    study: &Study,
     benchmark: Benchmark,
     technique: Technique,
     l2_latency: u32,
@@ -100,20 +100,27 @@ mod tests {
     use crate::config::StudyConfig;
 
     fn study() -> Study {
-        Study::new(StudyConfig { insts: 60_000, ..StudyConfig::default() })
+        Study::new(StudyConfig {
+            insts: 60_000,
+            ..StudyConfig::default()
+        })
     }
 
     /// A package sized so the simulated (cache-scale) power lands in a
     /// leakage-sensitive band.
     fn package() -> ThermalParams {
-        ThermalParams { r_th: 18.0, c_th: 20.0, t_ambient: 318.15 }
+        ThermalParams {
+            r_th: 18.0,
+            c_th: 20.0,
+            t_ambient: 318.15,
+        }
     }
 
     #[test]
     fn leakage_control_cools_the_chip() {
-        let mut s = study();
+        let s = study();
         let (base, tech) = compare_thermal(
-            &mut s,
+            &s,
             Benchmark::Gzip,
             Technique::gated_vss(4096),
             11,
@@ -131,39 +138,32 @@ mod tests {
 
     #[test]
     fn gated_cools_more_than_drowsy() {
-        let mut s = study();
+        let s = study();
         let (_, gated) = compare_thermal(
-            &mut s,
+            &s,
             Benchmark::Gzip,
             Technique::gated_vss(4096),
             11,
             package(),
         )
         .expect("solves");
-        let (_, drowsy) = compare_thermal(
-            &mut s,
-            Benchmark::Gzip,
-            Technique::drowsy(4096),
-            11,
-            package(),
-        )
-        .expect("solves");
+        let (_, drowsy) =
+            compare_thermal(&s, Benchmark::Gzip, Technique::drowsy(4096), 11, package())
+                .expect("solves");
         let tg = gated.temperature_c.expect("stable");
         let td = drowsy.temperature_c.expect("stable");
-        assert!(tg <= td + 0.05, "deeper standby must run at least as cool: {tg} vs {td}");
+        assert!(
+            tg <= td + 0.05,
+            "deeper standby must run at least as cool: {tg} vs {td}"
+        );
     }
 
     #[test]
     fn steady_state_is_above_ambient() {
-        let mut s = study();
-        let (base, _) = compare_thermal(
-            &mut s,
-            Benchmark::Perl,
-            Technique::drowsy(4096),
-            11,
-            package(),
-        )
-        .expect("solves");
+        let s = study();
+        let (base, _) =
+            compare_thermal(&s, Benchmark::Perl, Technique::drowsy(4096), 11, package())
+                .expect("solves");
         assert!(base.temperature_c.expect("stable") > 45.0);
     }
 }

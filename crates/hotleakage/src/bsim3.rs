@@ -112,8 +112,7 @@ pub fn unit_leakage(state: &TransistorState) -> f64 {
     let dibl = (state.dibl_b * (state.vdd - state.vdd0)).exp();
     let drain_term = 1.0 - (-state.vdd / vt).exp();
     let gate_term = ((-state.vth.abs() - state.voff) / (state.swing_n * vt)).exp();
-    (state.mobility * state.cox * state.w_over_l * dibl * vt * vt * drain_term * gate_term)
-        .max(0.0)
+    (state.mobility * state.cox * state.w_over_l * dibl * vt * vt * drain_term * gate_term).max(0.0)
 }
 
 #[cfg(test)]

@@ -65,10 +65,7 @@ impl ButtsSohiModel {
     /// `vdd` — note `Î_leak` and `k_design` do **not** move with the
     /// operating point; only the `V_CC` prefactor does (Eq. 1).
     pub fn predicted_power(&self, n_cells: usize, vdd: f64) -> f64 {
-        vdd * n_cells as f64
-            * self.transistors as f64
-            * self.k_design
-            * self.unit_leakage
+        vdd * n_cells as f64 * self.transistors as f64 * self.k_design * self.unit_leakage
     }
 
     /// Relative error of the fixed model against HotLeakage at operating
@@ -103,7 +100,11 @@ mod tests {
     #[test]
     fn kdesign_is_order_unity() {
         let model = ButtsSohiModel::calibrate(CellKind::Sram6t, &calib_env());
-        assert!(model.k_design > 0.1 && model.k_design < 3.0, "k={}", model.k_design);
+        assert!(
+            model.k_design > 0.1 && model.k_design < 3.0,
+            "k={}",
+            model.k_design
+        );
     }
 
     #[test]
@@ -119,7 +120,10 @@ mod tests {
         assert!(e_hot > e_mild, "and it worsens: {e_hot}");
         // The frozen model cannot follow the ~8x exponential growth: it
         // underestimates the true leakage by more than 80 %.
-        assert!(e_hot > 0.8, "at 110 C the fixed model misses {e_hot} of the truth");
+        assert!(
+            e_hot > 0.8,
+            "at 110 C the fixed model misses {e_hot} of the truth"
+        );
     }
 
     #[test]

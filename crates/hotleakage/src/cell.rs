@@ -202,7 +202,10 @@ mod tests {
     #[test]
     fn sram_cell_leaks_nanoamps_at_110c() {
         let i = Cell::new(CellKind::Sram6t).leakage_current(&env());
-        assert!(i > 1e-9 && i < 5e-6, "6T cell at 110C/0.9V should leak nA-scale, got {i}");
+        assert!(
+            i > 1e-9 && i < 5e-6,
+            "6T cell at 110C/0.9V should leak nA-scale, got {i}"
+        );
     }
 
     #[test]
@@ -252,8 +255,14 @@ mod tests {
         let c = Cell::new(CellKind::Sram6t);
         let frac70 = c.gate_current(&e70) / c.leakage_current(&e70);
         let frac130 = c.gate_current(&e130) / c.leakage_current(&e130);
-        assert!(frac70 > 0.05, "gate leakage should matter at 70nm: {frac70}");
-        assert!(frac130 < 0.02, "gate leakage should be minor at 130nm: {frac130}");
+        assert!(
+            frac70 > 0.05,
+            "gate leakage should matter at 70nm: {frac70}"
+        );
+        assert!(
+            frac130 < 0.02,
+            "gate leakage should be minor at 130nm: {frac130}"
+        );
     }
 
     #[test]
@@ -261,7 +270,11 @@ mod tests {
         let k = Cell::new(CellKind::Sram6t).kdesign(&env());
         // Per state, off NMOS width = pull-down + access = 3.2 across 4
         // devices → kn ≈ 0.8; off PMOS width = 1.0 across 2 → kp ≈ 0.5.
-        assert!((k.kn - (SRAM_WL_PULL_DOWN + SRAM_WL_ACCESS) / 4.0).abs() < 1e-9, "kn={}", k.kn);
+        assert!(
+            (k.kn - (SRAM_WL_PULL_DOWN + SRAM_WL_ACCESS) / 4.0).abs() < 1e-9,
+            "kn={}",
+            k.kn
+        );
         assert!((k.kp - SRAM_WL_PULL_UP / 2.0).abs() < 1e-9, "kp={}", k.kp);
     }
 }

@@ -54,7 +54,9 @@ impl Schedule {
     /// any duration is non-positive or non-finite.
     pub fn new(segments: Vec<Segment>) -> Result<Self, ModelError> {
         if segments.is_empty() {
-            return Err(ModelError::InvalidGeometry("schedule must have segments".into()));
+            return Err(ModelError::InvalidGeometry(
+                "schedule must have segments".into(),
+            ));
         }
         for s in &segments {
             if !(s.seconds.is_finite() && s.seconds > 0.0) {
@@ -120,8 +122,12 @@ mod tests {
     #[test]
     fn rejects_empty_and_nonpositive() {
         assert!(Schedule::new(vec![]).is_err());
-        assert!(Schedule::new(vec![Segment { vdd: 1.0, temperature_k: 300.0, seconds: 0.0 }])
-            .is_err());
+        assert!(Schedule::new(vec![Segment {
+            vdd: 1.0,
+            temperature_k: 300.0,
+            seconds: 0.0
+        }])
+        .is_err());
         assert!(Schedule::new(vec![Segment {
             vdd: 1.0,
             temperature_k: 300.0,
@@ -132,8 +138,12 @@ mod tests {
 
     #[test]
     fn constant_schedule_matches_direct_evaluation() {
-        let s = Schedule::new(vec![Segment { vdd: 0.9, temperature_k: 383.15, seconds: 2e-3 }])
-            .expect("valid");
+        let s = Schedule::new(vec![Segment {
+            vdd: 0.9,
+            temperature_k: 383.15,
+            seconds: 2e-3,
+        }])
+        .expect("valid");
         let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
         let direct = array().leakage_power(&env) * 2e-3;
         let via = s.leakage_energy(&base(), &array()).expect("valid");
@@ -149,20 +159,41 @@ mod tests {
         }])
         .expect("valid");
         let scaled = Schedule::new(vec![
-            Segment { vdd: 1.0, temperature_k: 360.0, seconds: 1e-3 },
-            Segment { vdd: 0.6, temperature_k: 360.0, seconds: 1e-3 },
+            Segment {
+                vdd: 1.0,
+                temperature_k: 360.0,
+                seconds: 1e-3,
+            },
+            Segment {
+                vdd: 0.6,
+                temperature_k: 360.0,
+                seconds: 1e-3,
+            },
         ])
         .expect("valid");
-        let high = always_high.leakage_energy(&base(), &array()).expect("valid");
+        let high = always_high
+            .leakage_energy(&base(), &array())
+            .expect("valid");
         let less = scaled.leakage_energy(&base(), &array()).expect("valid");
-        assert!(less < 0.85 * high, "halving time at 0.6 V must save: {less} vs {high}");
+        assert!(
+            less < 0.85 * high,
+            "halving time at 0.6 V must save: {less} vs {high}"
+        );
     }
 
     #[test]
     fn average_power_is_energy_over_time() {
         let s = Schedule::new(vec![
-            Segment { vdd: 0.9, temperature_k: 360.0, seconds: 1e-3 },
-            Segment { vdd: 0.7, temperature_k: 340.0, seconds: 3e-3 },
+            Segment {
+                vdd: 0.9,
+                temperature_k: 360.0,
+                seconds: 1e-3,
+            },
+            Segment {
+                vdd: 0.7,
+                temperature_k: 340.0,
+                seconds: 3e-3,
+            },
         ])
         .expect("valid");
         let e = s.leakage_energy(&base(), &array()).expect("valid");
@@ -172,8 +203,12 @@ mod tests {
 
     #[test]
     fn invalid_segment_point_is_reported() {
-        let s = Schedule::new(vec![Segment { vdd: -0.5, temperature_k: 300.0, seconds: 1e-3 }])
-            .expect("schedule builds; the operating point fails later");
+        let s = Schedule::new(vec![Segment {
+            vdd: -0.5,
+            temperature_k: 300.0,
+            seconds: 1e-3,
+        }])
+        .expect("schedule builds; the operating point fails later");
         assert!(s.leakage_energy(&base(), &array()).is_err());
     }
 }

@@ -25,7 +25,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::InvalidVdd(v) => write!(f, "supply voltage {v} V is not physical"),
             ModelError::InvalidTemperature(t) => {
-                write!(f, "temperature {t} K is outside the validated 200-500 K range")
+                write!(
+                    f,
+                    "temperature {t} K is outside the validated 200-500 K range"
+                )
             }
             ModelError::InvalidGeometry(what) => write!(f, "invalid geometry: {what}"),
             ModelError::InvalidVariation(what) => write!(f, "invalid variation spec: {what}"),

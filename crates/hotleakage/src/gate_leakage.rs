@@ -135,7 +135,10 @@ mod tests {
         let hi = Environment::new(TechNode::N70, 1.0, 300.0).unwrap();
         let lo = Environment::new(TechNode::N70, 0.5, 300.0).unwrap();
         let ratio = gate_current(&hi, 1.0) / gate_current(&lo, 1.0);
-        assert!(ratio > 10.0, "gate leakage must collapse at retention voltages, ratio={ratio}");
+        assert!(
+            ratio > 10.0,
+            "gate leakage must collapse at retention voltages, ratio={ratio}"
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
         let cold = Environment::new(TechNode::N70, 0.9, 300.0).unwrap();
         let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
         let ratio = gate_current(&hot, 1.0) / gate_current(&cold, 1.0);
-        assert!(ratio > 1.0 && ratio < 1.2, "T dependence should be weak, ratio={ratio}");
+        assert!(
+            ratio > 1.0 && ratio < 1.2,
+            "T dependence should be weak, ratio={ratio}"
+        );
     }
 
     #[test]
@@ -159,7 +165,10 @@ mod tests {
         let sweet = rbb_effective_reduction(&env, 0.4);
         let over = rbb_effective_reduction(&env, 1.5);
         assert_eq!(no_bias, 1.0);
-        assert!(sweet < 0.6, "moderate RBB should save meaningfully, got {sweet}");
+        assert!(
+            sweet < 0.6,
+            "moderate RBB should save meaningfully, got {sweet}"
+        );
         assert!(over > sweet, "hard bias loses to GIDL");
     }
 
@@ -168,6 +177,9 @@ mod tests {
         // The paper's reason for skipping RBB: GIDL limits it at future nodes.
         let new = rbb_effective_reduction(&Environment::nominal(TechNode::N70), 0.5);
         let old = rbb_effective_reduction(&Environment::nominal(TechNode::N180), 0.5);
-        assert!(new > old, "70nm RBB ({new}) should retain less savings than 180nm ({old})");
+        assert!(
+            new > old,
+            "70nm RBB ({new}) should retain less savings than 180nm ({old})"
+        );
     }
 }

@@ -55,13 +55,19 @@ pub enum Network {
 impl Network {
     /// A single device shorthand.
     pub fn device(input: usize, w_over_l: f64, active_high: bool) -> Self {
-        Network::Device { input, w_over_l, active_high }
+        Network::Device {
+            input,
+            w_over_l,
+            active_high,
+        }
     }
 
     /// Whether the network conducts under the given input assignment.
     pub fn conducts(&self, inputs: &[bool]) -> bool {
         match self {
-            Network::Device { input, active_high, .. } => inputs[*input] == *active_high,
+            Network::Device {
+                input, active_high, ..
+            } => inputs[*input] == *active_high,
             Network::Series(children) => children.iter().all(|c| c.conducts(inputs)),
             Network::Parallel(children) => children.iter().any(|c| c.conducts(inputs)),
         }
@@ -79,7 +85,11 @@ impl Network {
     /// leakage path when the network is off; `None` if it conducts.
     fn leak_path(&self, inputs: &[bool]) -> Option<(usize, f64)> {
         match self {
-            Network::Device { input, w_over_l, active_high } => {
+            Network::Device {
+                input,
+                w_over_l,
+                active_high,
+            } => {
                 if inputs[*input] == *active_high {
                     None // conducting: contributes no series off-device
                 } else {
@@ -115,8 +125,7 @@ impl Network {
                     }
                 }
                 let min_depth = paths.iter().map(|p| p.0).min()?;
-                let total_w: f64 =
-                    paths.iter().filter(|p| p.0 == min_depth).map(|p| p.1).sum();
+                let total_w: f64 = paths.iter().filter(|p| p.0 == min_depth).map(|p| p.1).sum();
                 Some((min_depth, total_w))
             }
         }
@@ -128,9 +137,7 @@ impl Network {
     pub fn leakage(&self, env: &Environment, device: DeviceType, inputs: &[bool]) -> f64 {
         match self.leak_path(inputs) {
             None => 0.0,
-            Some((off_count, w_over_l)) => {
-                stack_leakage(env, device, off_count, w_over_l)
-            }
+            Some((off_count, w_over_l)) => stack_leakage(env, device, off_count, w_over_l),
         }
     }
 }
@@ -146,7 +153,12 @@ impl Network {
 /// derived `k_design` factors inherit the (approximately linear) temperature
 /// and supply-voltage dependence the paper reports. Deeper stacks apply the
 /// pairwise reduction once more per extra device.
-pub fn stack_leakage(env: &Environment, device: DeviceType, off_count: usize, w_over_l: f64) -> f64 {
+pub fn stack_leakage(
+    env: &Environment,
+    device: DeviceType,
+    off_count: usize,
+    w_over_l: f64,
+) -> f64 {
     debug_assert!(off_count >= 1);
     let base = TransistorState::at(env, device).with_w_over_l(w_over_l);
     let single = bsim3::unit_leakage(&base);
@@ -232,10 +244,14 @@ impl GateTopology {
             name: "nand",
             num_inputs: k,
             pull_down: Network::Series(
-                (0..k).map(|i| Network::device(i, LOGIC_WL_N * k as f64, true)).collect(),
+                (0..k)
+                    .map(|i| Network::device(i, LOGIC_WL_N * k as f64, true))
+                    .collect(),
             ),
             pull_up: Network::Parallel(
-                (0..k).map(|i| Network::device(i, LOGIC_WL_P, false)).collect(),
+                (0..k)
+                    .map(|i| Network::device(i, LOGIC_WL_P, false))
+                    .collect(),
             ),
         }
     }
@@ -251,10 +267,14 @@ impl GateTopology {
             name: "nor",
             num_inputs: k,
             pull_down: Network::Parallel(
-                (0..k).map(|i| Network::device(i, LOGIC_WL_N, true)).collect(),
+                (0..k)
+                    .map(|i| Network::device(i, LOGIC_WL_N, true))
+                    .collect(),
             ),
             pull_up: Network::Series(
-                (0..k).map(|i| Network::device(i, LOGIC_WL_P * k as f64, false)).collect(),
+                (0..k)
+                    .map(|i| Network::device(i, LOGIC_WL_P * k as f64, false))
+                    .collect(),
             ),
         }
     }
@@ -344,13 +364,22 @@ mod tests {
 
     #[test]
     fn complementary_networks_never_both_conduct() {
-        for gate in [GateTopology::inverter(), GateTopology::nand(3), GateTopology::nor(2)] {
+        for gate in [
+            GateTopology::inverter(),
+            GateTopology::nand(3),
+            GateTopology::nor(2),
+        ] {
             for combo in 0..(1u32 << gate.num_inputs) {
-                let inputs: Vec<bool> =
-                    (0..gate.num_inputs).map(|b| (combo >> b) & 1 == 1).collect();
+                let inputs: Vec<bool> = (0..gate.num_inputs)
+                    .map(|b| (combo >> b) & 1 == 1)
+                    .collect();
                 let pd = gate.pull_down.conducts(&inputs);
                 let pu = gate.pull_up.conducts(&inputs);
-                assert!(pd != pu, "{}: exactly one network conducts (static CMOS)", gate.name);
+                assert!(
+                    pd != pu,
+                    "{}: exactly one network conducts (static CMOS)",
+                    gate.name
+                );
             }
         }
     }
@@ -361,7 +390,10 @@ mod tests {
         let one = stack_leakage(&e, DeviceType::Nmos, 1, 2.0);
         let two = stack_leakage(&e, DeviceType::Nmos, 2, 2.0);
         let three = stack_leakage(&e, DeviceType::Nmos, 3, 2.0);
-        assert!(two < 0.5 * one, "2-stack should cut leakage sharply: {two} vs {one}");
+        assert!(
+            two < 0.5 * one,
+            "2-stack should cut leakage sharply: {two} vs {one}"
+        );
         assert!(three < two);
     }
 
@@ -371,7 +403,11 @@ mod tests {
         // have: the stack effect is visible in the derived factor.
         let e = env();
         let k = derive(&e, &GateTopology::nand(2));
-        assert!(k.kn < LOGIC_WL_N * 2.0, "kn={} should reflect stacking", k.kn);
+        assert!(
+            k.kn < LOGIC_WL_N * 2.0,
+            "kn={} should reflect stacking",
+            k.kn
+        );
         assert!(k.kn > 0.0);
     }
 
@@ -393,7 +429,10 @@ mod tests {
         let gate = GateTopology::nand(2);
         let base = derive(&Environment::new(TechNode::N70, 1.0, 300.0).unwrap(), &gate);
         let low_v = derive(&Environment::new(TechNode::N70, 0.7, 300.0).unwrap(), &gate);
-        let hot = derive(&Environment::new(TechNode::N70, 1.0, 383.15).unwrap(), &gate);
+        let hot = derive(
+            &Environment::new(TechNode::N70, 1.0, 383.15).unwrap(),
+            &gate,
+        );
         assert!((base.kn - low_v.kn).abs() > 1e-6, "kn must move with Vdd");
         assert!((base.kn - hot.kn).abs() > 1e-6, "kn must move with T");
     }

@@ -119,12 +119,22 @@ impl Environment {
         if !(temperature_k.is_finite() && (200.0..=500.0).contains(&temperature_k)) {
             return Err(ModelError::InvalidTemperature(temperature_k));
         }
-        Ok(Self { node, vdd, temperature_k, variation_factor: 1.0 })
+        Ok(Self {
+            node,
+            vdd,
+            temperature_k,
+            variation_factor: 1.0,
+        })
     }
 
     /// Operating point at the node's default supply voltage and 300 K.
     pub fn nominal(node: TechNode) -> Self {
-        Self { node, vdd: node.params().vdd0, temperature_k: 300.0, variation_factor: 1.0 }
+        Self {
+            node,
+            vdd: node.params().vdd0,
+            temperature_k: 300.0,
+            variation_factor: 1.0,
+        }
     }
 
     /// Returns a copy of this environment at a different supply voltage.
@@ -196,15 +206,13 @@ impl Environment {
     /// Unit (W/L = 1) subthreshold leakage of an NMOS device at this
     /// operating point, in amperes.
     pub fn unit_leakage_n(&self) -> f64 {
-        self.variation_factor
-            * bsim3::unit_leakage(&TransistorState::at(self, DeviceType::Nmos))
+        self.variation_factor * bsim3::unit_leakage(&TransistorState::at(self, DeviceType::Nmos))
     }
 
     /// Unit (W/L = 1) subthreshold leakage of a PMOS device at this
     /// operating point, in amperes.
     pub fn unit_leakage_p(&self) -> f64 {
-        self.variation_factor
-            * bsim3::unit_leakage(&TransistorState::at(self, DeviceType::Pmos))
+        self.variation_factor * bsim3::unit_leakage(&TransistorState::at(self, DeviceType::Pmos))
     }
 }
 
@@ -239,7 +247,10 @@ mod tests {
     fn thermal_voltage_at_room_temperature() {
         let env = Environment::new(TechNode::N70, 0.9, 300.0).unwrap();
         let vt = env.thermal_voltage();
-        assert!((vt - 0.02585).abs() < 1e-4, "kT/q at 300 K should be ~25.85 mV, got {vt}");
+        assert!(
+            (vt - 0.02585).abs() < 1e-4,
+            "kT/q at 300 K should be ~25.85 mV, got {vt}"
+        );
     }
 
     #[test]

@@ -109,8 +109,12 @@ impl SramArray {
     ///
     /// Panics if either dimension is zero.
     pub fn cache_data_array(lines: usize, bits_per_line: usize) -> Self {
-        Self::new(lines, bits_per_line, EdgeLogic::for_array(lines, bits_per_line))
-            .expect("cache data array dimensions must be positive")
+        Self::new(
+            lines,
+            bits_per_line,
+            EdgeLogic::for_array(lines, bits_per_line),
+        )
+        .expect("cache data array dimensions must be positive")
     }
 
     /// A cache **tag** array of `lines` entries of `tag_bits` bits
@@ -198,7 +202,10 @@ mod tests {
         // estimates put this in the tens-of-milliwatts to ~0.5 W band.
         let array = SramArray::cache_data_array(1024, 512);
         let p = array.leakage_power(&env());
-        assert!(p > 5e-3 && p < 2.0, "L1D leakage {p} W out of plausible band");
+        assert!(
+            p > 5e-3 && p < 2.0,
+            "L1D leakage {p} W out of plausible band"
+        );
     }
 
     #[test]
@@ -215,7 +222,10 @@ mod tests {
         let data = SramArray::cache_data_array(1024, 512);
         let tags = SramArray::cache_tag_array(1024, 30);
         let frac = tags.leakage_power(&e) / (tags.leakage_power(&e) + data.leakage_power(&e));
-        assert!(frac > 0.03 && frac < 0.15, "tag fraction {frac} outside 5-10% band");
+        assert!(
+            frac > 0.03 && frac < 0.15,
+            "tag fraction {frac} outside 5-10% band"
+        );
     }
 
     #[test]
@@ -230,7 +240,10 @@ mod tests {
         let small = SramArray::cache_data_array(256, 512);
         let big = SramArray::cache_data_array(1024, 512);
         let ratio = big.leakage_power(&e) / small.leakage_power(&e);
-        assert!(ratio > 3.5 && ratio < 4.5, "4x rows should give ~4x leakage, got {ratio}");
+        assert!(
+            ratio > 3.5 && ratio < 4.5,
+            "4x rows should give ~4x leakage, got {ratio}"
+        );
     }
 
     #[test]
@@ -245,7 +258,10 @@ mod tests {
         let cool = Environment::new(TechNode::N70, 0.9, 358.15).unwrap(); // 85 C
         let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap(); // 110 C
         let ratio = array.leakage_power(&hot) / array.leakage_power(&cool);
-        assert!(ratio > 1.3, "25 C should raise leakage markedly, got {ratio}");
+        assert!(
+            ratio > 1.3,
+            "25 C should raise leakage markedly, got {ratio}"
+        );
     }
 
     #[test]

@@ -123,7 +123,12 @@ pub enum TechNode {
 
 impl TechNode {
     /// All supported nodes, newest last.
-    pub const ALL: [TechNode; 4] = [TechNode::N180, TechNode::N130, TechNode::N100, TechNode::N70];
+    pub const ALL: [TechNode; 4] = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N100,
+        TechNode::N70,
+    ];
 
     /// The static parameter table for this node.
     pub fn params(self) -> &'static TechParams {

@@ -34,7 +34,11 @@ impl ThermalParams {
     /// A typical early-2000s desktop package: 0.8 K/W to a 45 °C internal
     /// ambient, ~120 J/K.
     pub fn desktop() -> Self {
-        ThermalParams { r_th: 0.8, c_th: 120.0, t_ambient: 318.15 }
+        ThermalParams {
+            r_th: 0.8,
+            c_th: 120.0,
+            t_ambient: 318.15,
+        }
     }
 
     /// Validates the parameters.
@@ -45,10 +49,16 @@ impl ThermalParams {
     /// non-physical ambient.
     pub fn validate(&self) -> Result<(), ModelError> {
         if !(self.r_th.is_finite() && self.r_th > 0.0) {
-            return Err(ModelError::InvalidGeometry(format!("r_th {} must be positive", self.r_th)));
+            return Err(ModelError::InvalidGeometry(format!(
+                "r_th {} must be positive",
+                self.r_th
+            )));
         }
         if !(self.c_th.is_finite() && self.c_th > 0.0) {
-            return Err(ModelError::InvalidGeometry(format!("c_th {} must be positive", self.c_th)));
+            return Err(ModelError::InvalidGeometry(format!(
+                "c_th {} must be positive",
+                self.c_th
+            )));
         }
         if !(200.0..=400.0).contains(&self.t_ambient) {
             return Err(ModelError::InvalidTemperature(self.t_ambient));
@@ -82,7 +92,10 @@ impl ThermalNode {
     /// Returns [`ModelError`] if the parameters are invalid.
     pub fn new(params: ThermalParams) -> Result<Self, ModelError> {
         params.validate()?;
-        Ok(ThermalNode { params, temperature_k: params.t_ambient })
+        Ok(ThermalNode {
+            params,
+            temperature_k: params.t_ambient,
+        })
     }
 
     /// Current junction temperature, kelvin.
@@ -112,11 +125,7 @@ impl ThermalNode {
     ///
     /// Declares [`SteadyState::Runaway`] if the fixed point exceeds
     /// `t_limit` (e.g. 500 K, the validity edge of the leakage fits).
-    pub fn steady_state<P: FnMut(f64) -> f64>(
-        &self,
-        mut power: P,
-        t_limit: f64,
-    ) -> SteadyState {
+    pub fn steady_state<P: FnMut(f64) -> f64>(&self, mut power: P, t_limit: f64) -> SteadyState {
         let mut t = self.params.t_ambient;
         for _ in 0..500 {
             let target = self.params.t_ambient + self.params.r_th * power(t);
@@ -155,7 +164,8 @@ mod tests {
     fn transient_approaches_steady_state_monotonically() {
         let mut node = ThermalNode::new(ThermalParams::desktop()).expect("valid");
         let mut prev = node.temperature_k();
-        for _ in 0..60_000 { // 600 s ≈ 6 RC time constants
+        for _ in 0..60_000 {
+            // 600 s ≈ 6 RC time constants
             let t = node.step(0.01, |_| 50.0);
             assert!(t >= prev - 1e-9, "heating transient must be monotone");
             prev = t;
@@ -178,7 +188,10 @@ mod tests {
         let open_loop = 318.15 + 0.8 * (40.0 + leak(318.15));
         match node.steady_state(|t| 40.0 + leak(t), 500.0) {
             SteadyState::Stable(t) => {
-                assert!(t > open_loop + 0.5, "feedback must add heat: {t} vs {open_loop}");
+                assert!(
+                    t > open_loop + 0.5,
+                    "feedback must add heat: {t} vs {open_loop}"
+                );
             }
             SteadyState::Runaway(t) => panic!("this load must be stable, ran away at {t}"),
         }
@@ -207,8 +220,23 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(ThermalNode::new(ThermalParams { r_th: 0.0, c_th: 1.0, t_ambient: 300.0 }).is_err());
-        assert!(ThermalNode::new(ThermalParams { r_th: 1.0, c_th: -1.0, t_ambient: 300.0 }).is_err());
-        assert!(ThermalNode::new(ThermalParams { r_th: 1.0, c_th: 1.0, t_ambient: 500.0 }).is_err());
+        assert!(ThermalNode::new(ThermalParams {
+            r_th: 0.0,
+            c_th: 1.0,
+            t_ambient: 300.0
+        })
+        .is_err());
+        assert!(ThermalNode::new(ThermalParams {
+            r_th: 1.0,
+            c_th: -1.0,
+            t_ambient: 300.0
+        })
+        .is_err());
+        assert!(ThermalNode::new(ThermalParams {
+            r_th: 1.0,
+            c_th: 1.0,
+            t_ambient: 500.0
+        })
+        .is_err());
     }
 }

@@ -109,7 +109,11 @@ pub fn sweep(env: &Environment, kind: SweepKind, points: usize) -> Vec<SweepPoin
                     (vth, base.with_vth(vth), *env)
                 }
             };
-            SweepPoint { x, model: model_current(&state, &env_i), reference: reference_current(&state) }
+            SweepPoint {
+                x,
+                model: model_current(&state, &env_i),
+                reference: reference_current(&state),
+            }
         })
         .collect()
 }
@@ -126,21 +130,36 @@ mod tests {
     #[test]
     fn fig1a_aspect_ratio_matches() {
         for p in sweep(&env(), SweepKind::AspectRatio, 16) {
-            assert!(p.relative_error() < 0.10, "W/L={} err={}", p.x, p.relative_error());
+            assert!(
+                p.relative_error() < 0.10,
+                "W/L={} err={}",
+                p.x,
+                p.relative_error()
+            );
         }
     }
 
     #[test]
     fn fig1b_vdd_matches() {
         for p in sweep(&env(), SweepKind::SupplyVoltage, 16) {
-            assert!(p.relative_error() < 0.10, "Vdd={} err={}", p.x, p.relative_error());
+            assert!(
+                p.relative_error() < 0.10,
+                "Vdd={} err={}",
+                p.x,
+                p.relative_error()
+            );
         }
     }
 
     #[test]
     fn fig1c_temperature_matches() {
         for p in sweep(&env(), SweepKind::Temperature, 16) {
-            assert!(p.relative_error() < 0.10, "T={} err={}", p.x, p.relative_error());
+            assert!(
+                p.relative_error() < 0.10,
+                "T={} err={}",
+                p.x,
+                p.relative_error()
+            );
         }
     }
 
@@ -159,7 +178,11 @@ mod tests {
         );
         // At the bottom of the sweep they agree.
         let first = &points[0];
-        assert!(first.relative_error() < 0.1, "low-Vth err={}", first.relative_error());
+        assert!(
+            first.relative_error() < 0.1,
+            "low-Vth err={}",
+            first.relative_error()
+        );
         // And the model is monotone non-increasing then flat.
         for w in points.windows(2) {
             assert!(w[1].model <= w[0].model * 1.0001);

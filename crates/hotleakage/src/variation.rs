@@ -73,10 +73,18 @@ impl VariationConfig {
     /// L 47 %, t_ox 16 %, V_dd 10 %, V_th 13 %; 1000 samples.
     pub fn paper_70nm() -> Self {
         VariationConfig {
-            length: VariationSpec { three_sigma_frac: 0.47 },
-            tox: VariationSpec { three_sigma_frac: 0.16 },
-            vdd: VariationSpec { three_sigma_frac: 0.10 },
-            vth: VariationSpec { three_sigma_frac: 0.13 },
+            length: VariationSpec {
+                three_sigma_frac: 0.47,
+            },
+            tox: VariationSpec {
+                three_sigma_frac: 0.16,
+            },
+            vdd: VariationSpec {
+                three_sigma_frac: 0.10,
+            },
+            vth: VariationSpec {
+                three_sigma_frac: 0.13,
+            },
             samples: 1000,
             seed: 0x5EED_CAFE,
         }
@@ -89,7 +97,9 @@ impl VariationConfig {
     /// Returns [`ModelError::InvalidVariation`] if `samples` is zero.
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.samples == 0 {
-            return Err(ModelError::InvalidVariation("sample count must be positive".into()));
+            return Err(ModelError::InvalidVariation(
+                "sample count must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -138,10 +148,7 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 /// assert!(varied.unit_leakage_n() > env.unit_leakage_n());
 /// # Ok::<(), hotleakage::ModelError>(())
 /// ```
-pub fn mean_leakage_factor(
-    env: &Environment,
-    config: &VariationConfig,
-) -> Result<f64, ModelError> {
+pub fn mean_leakage_factor(env: &Environment, config: &VariationConfig) -> Result<f64, ModelError> {
     config.validate()?;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let nominal = TransistorState::at(env, DeviceType::Nmos);
@@ -185,17 +192,28 @@ mod tests {
     #[test]
     fn factor_exceeds_one_for_paper_config() {
         let f = mean_leakage_factor(&env(), &VariationConfig::paper_70nm()).unwrap();
-        assert!(f > 1.0, "convexity of leakage in varied params must raise the mean, f={f}");
+        assert!(
+            f > 1.0,
+            "convexity of leakage in varied params must raise the mean, f={f}"
+        );
         assert!(f < 5.0, "but not absurdly, f={f}");
     }
 
     #[test]
     fn zero_variance_gives_factor_one() {
         let cfg = VariationConfig {
-            length: VariationSpec { three_sigma_frac: 0.0 },
-            tox: VariationSpec { three_sigma_frac: 0.0 },
-            vdd: VariationSpec { three_sigma_frac: 0.0 },
-            vth: VariationSpec { three_sigma_frac: 0.0 },
+            length: VariationSpec {
+                three_sigma_frac: 0.0,
+            },
+            tox: VariationSpec {
+                three_sigma_frac: 0.0,
+            },
+            vdd: VariationSpec {
+                three_sigma_frac: 0.0,
+            },
+            vth: VariationSpec {
+                three_sigma_frac: 0.0,
+            },
             samples: 100,
             seed: 1,
         };
@@ -218,17 +236,24 @@ mod tests {
         cfg.seed = 42;
         let f2 = mean_leakage_factor(&env(), &cfg).unwrap();
         assert_ne!(f1, f2);
-        assert!((f1 - f2).abs() / f1 < 0.5, "seeds should agree to within sampling noise");
+        assert!(
+            (f1 - f2).abs() / f1 < 0.5,
+            "seeds should agree to within sampling noise"
+        );
     }
 
     #[test]
     fn more_variation_more_leakage() {
         let small = VariationConfig {
-            length: VariationSpec { three_sigma_frac: 0.10 },
+            length: VariationSpec {
+                three_sigma_frac: 0.10,
+            },
             ..VariationConfig::paper_70nm()
         };
         let big = VariationConfig {
-            length: VariationSpec { three_sigma_frac: 0.60 },
+            length: VariationSpec {
+                three_sigma_frac: 0.60,
+            },
             ..VariationConfig::paper_70nm()
         };
         let fs = mean_leakage_factor(&env(), &small).unwrap();
@@ -238,7 +263,10 @@ mod tests {
 
     #[test]
     fn zero_samples_is_an_error() {
-        let cfg = VariationConfig { samples: 0, ..VariationConfig::paper_70nm() };
+        let cfg = VariationConfig {
+            samples: 0,
+            ..VariationConfig::paper_70nm()
+        };
         assert!(mean_leakage_factor(&env(), &cfg).is_err());
     }
 

@@ -124,8 +124,9 @@ impl FeedbackController {
         // Multiplicative integral action keeps the controller stable across
         // the decades-wide interval range.
         self.interval *= (self.gain * error).exp();
-        self.interval =
-            self.interval.clamp(self.min_interval as f64, self.max_interval as f64);
+        self.interval = self
+            .interval
+            .clamp(self.min_interval as f64, self.max_interval as f64);
         self.interval as u64
     }
 }
@@ -149,7 +150,11 @@ mod tests {
     use super::*;
 
     fn obs(induced: u64, total: u64) -> IntervalObservation {
-        IntervalObservation { induced_misses: induced, total_misses: total, accesses: total * 20 }
+        IntervalObservation {
+            induced_misses: induced,
+            total_misses: total,
+            accesses: total * 20,
+        }
     }
 
     #[test]

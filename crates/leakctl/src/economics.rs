@@ -115,7 +115,11 @@ mod tests {
             "gated break-even {} out of menu range",
             g.break_even_cycles()
         );
-        assert!(d.break_even_cycles() < 500.0, "drowsy break-even {}", d.break_even_cycles());
+        assert!(
+            d.break_even_cycles() < 500.0,
+            "drowsy break-even {}",
+            d.break_even_cycles()
+        );
     }
 
     #[test]
@@ -125,9 +129,16 @@ mod tests {
         let hot = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
         let cool = Environment::new(TechNode::N70, 0.9, 338.15).expect("valid");
         let t = Technique::gated_vss(4096);
-        let b_hot = round_trip(&t, &hot, &data, &tags).expect("physics").break_even_cycles();
-        let b_cool = round_trip(&t, &cool, &data, &tags).expect("physics").break_even_cycles();
-        assert!(b_cool > 2.0 * b_hot, "cooling must lengthen break-even: {b_cool} vs {b_hot}");
+        let b_hot = round_trip(&t, &hot, &data, &tags)
+            .expect("physics")
+            .break_even_cycles();
+        let b_cool = round_trip(&t, &cool, &data, &tags)
+            .expect("physics")
+            .break_even_cycles();
+        assert!(
+            b_cool > 2.0 * b_hot,
+            "cooling must lengthen break-even: {b_cool} vs {b_hot}"
+        );
     }
 
     #[test]
@@ -135,9 +146,19 @@ mod tests {
         let (env, data, tags) = setup();
         let rt = round_trip(&Technique::gated_vss(1024), &env, &data, &tags).expect("physics");
         let be = rt.break_even_cycles() as u64;
-        assert!(rt.net_joules(1024, 1024 + be / 2) < 0.0, "early reuse loses energy");
-        assert!(rt.net_joules(1024, 1024 + be * 2) > 0.0, "late reuse profits");
-        assert_eq!(rt.net_joules(1024, 512), 0.0, "reuse inside the interval never decays");
+        assert!(
+            rt.net_joules(1024, 1024 + be / 2) < 0.0,
+            "early reuse loses energy"
+        );
+        assert!(
+            rt.net_joules(1024, 1024 + be * 2) > 0.0,
+            "late reuse profits"
+        );
+        assert_eq!(
+            rt.net_joules(1024, 512),
+            0.0,
+            "reuse inside the interval never decays"
+        );
     }
 
     #[test]

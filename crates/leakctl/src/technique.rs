@@ -189,14 +189,17 @@ impl Technique {
                     env.vdd() * bsim3::unit_leakage(&state) * env.variation_factor()
                 }
                 TechniqueKind::Rbb => {
-                    let reduction =
-                        hotleakage::gate_leakage::rbb_effective_reduction(env, 0.5);
+                    let reduction = hotleakage::gate_leakage::rbb_effective_reduction(env, 0.5);
                     array.row_power(env) * reduction
                 }
             })
         };
         let standby_row = standby_of(data)?
-            + if self.tags_decay { standby_of(tags)? } else { tags.row_power(env) };
+            + if self.tags_decay {
+                standby_of(tags)?
+            } else {
+                tags.row_power(env)
+            };
         // Extra hardware: per-line counters/latches leak all the time, and
         // the drowsy voltage mux / gated footer add a little too (folded
         // into the counter-cell estimate).
@@ -220,9 +223,7 @@ impl Technique {
     pub fn sleep_energy(&self, model: &PowerModel, env: &Environment) -> f64 {
         match self.kind {
             TechniqueKind::None => 0.0,
-            TechniqueKind::Drowsy => {
-                model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n())
-            }
+            TechniqueKind::Drowsy => model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n()),
             TechniqueKind::GatedVss => model.line_rail_energy(env.vdd()),
             TechniqueKind::Rbb => model.line_rail_energy(env.vdd()),
         }
@@ -232,9 +233,7 @@ impl Technique {
     pub fn wake_energy(&self, model: &PowerModel, env: &Environment) -> f64 {
         match self.kind {
             TechniqueKind::None => 0.0,
-            TechniqueKind::Drowsy => {
-                model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n())
-            }
+            TechniqueKind::Drowsy => model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n()),
             TechniqueKind::GatedVss => model.line_rail_energy(env.vdd()),
             TechniqueKind::Rbb => model.line_rail_energy(env.vdd()),
         }
@@ -279,7 +278,9 @@ mod tests {
     #[test]
     fn gated_almost_eliminates_leakage() {
         let (env, data, tags) = setup();
-        let p = Technique::gated_vss(4096).physics(&env, &data, &tags).unwrap();
+        let p = Technique::gated_vss(4096)
+            .physics(&env, &data, &tags)
+            .unwrap();
         assert!(
             p.standby_fraction() < 0.05,
             "gated-Vss must nearly eliminate leakage, fraction={}",
@@ -292,14 +293,19 @@ mod tests {
         let (env, data, tags) = setup();
         let p = Technique::drowsy(4096).physics(&env, &data, &tags).unwrap();
         let f = p.standby_fraction();
-        assert!(f > 0.03 && f < 0.4, "drowsy retains a nontrivial fraction, got {f}");
+        assert!(
+            f > 0.03 && f < 0.4,
+            "drowsy retains a nontrivial fraction, got {f}"
+        );
     }
 
     #[test]
     fn gated_saves_more_per_standby_line_than_drowsy() {
         // Paper §5.1 reason 1: the core physical asymmetry.
         let (env, data, tags) = setup();
-        let g = Technique::gated_vss(4096).physics(&env, &data, &tags).unwrap();
+        let g = Technique::gated_vss(4096)
+            .physics(&env, &data, &tags)
+            .unwrap();
         let d = Technique::drowsy(4096).physics(&env, &data, &tags).unwrap();
         assert!(g.standby_row_watts < d.standby_row_watts);
         assert!((g.active_row_watts - d.active_row_watts).abs() < 1e-12);
@@ -374,9 +380,14 @@ mod tests {
     #[test]
     fn extra_hw_leakage_is_minor() {
         let (env, data, tags) = setup();
-        let p = Technique::gated_vss(4096).physics(&env, &data, &tags).unwrap();
+        let p = Technique::gated_vss(4096)
+            .physics(&env, &data, &tags)
+            .unwrap();
         let cache_total = 1024.0 * p.active_row_watts;
-        assert!(p.extra_hw_watts < 0.02 * cache_total, "counter overhead must be small");
+        assert!(
+            p.extra_hw_watts < 0.02 * cache_total,
+            "counter overhead must be small"
+        );
         assert!(p.extra_hw_watts > 0.0);
     }
 

@@ -88,7 +88,11 @@ impl SpecTrace {
         // Rotate through integer registers 1..=24, leaving a few registers
         // as perennially-ready sources.
         let d = self.next_dest;
-        self.next_dest = if self.next_dest >= 24 { 1 } else { self.next_dest + 1 };
+        self.next_dest = if self.next_dest >= 24 {
+            1
+        } else {
+            self.next_dest + 1
+        };
         if self.recent_dests.len() == 32 {
             self.recent_dests.remove(0);
         }
@@ -255,12 +259,19 @@ impl TraceSource for SpecTrace {
         let op = if r < p.load_frac {
             let (addr, serialised) = self.pick_addr();
             let dest = self.pick_dest();
-            let src1 = if serialised { self.chase_dest } else { self.pick_src(p.dep_p1 * 0.5) };
+            let src1 = if serialised {
+                self.chase_dest
+            } else {
+                self.pick_src(p.dep_p1 * 0.5)
+            };
             if serialised {
                 self.chase_dest = Some(dest);
             }
             self.pc += 4;
-            MicroOp { src1, ..MicroOp::load(pc, dest, addr) }
+            MicroOp {
+                src1,
+                ..MicroOp::load(pc, dest, addr)
+            }
         } else if r < p.load_frac + p.store_frac {
             let (addr, _) = self.pick_addr();
             let src = self.pick_src(p.dep_p1).unwrap_or(1);
@@ -283,9 +294,22 @@ impl TraceSource for SpecTrace {
             };
             let dest = self.pick_dest();
             let src1 = self.pick_src(p.dep_p1);
-            let src2 = if self.rng.gen_bool(p.dep_p2) { self.pick_src(0.9) } else { None };
+            let src2 = if self.rng.gen_bool(p.dep_p2) {
+                self.pick_src(0.9)
+            } else {
+                None
+            };
             self.pc += 4;
-            MicroOp { pc, class, dest: Some(dest), src1, src2, mem_addr: 0, taken: false, target: 0 }
+            MicroOp {
+                pc,
+                class,
+                dest: Some(dest),
+                src1,
+                src2,
+                mem_addr: 0,
+                taken: false,
+                target: 0,
+            }
         };
         Some(op)
     }
@@ -327,8 +351,16 @@ mod tests {
             // Hot-block popularity skew means the visited-PC population is
             // a weighted sample of the class hash, so realised fractions
             // track the profile within a few points, not exactly.
-            assert!((loads / n - p.load_frac).abs() < 0.06, "{b}: load frac {}", loads / n);
-            assert!((stores / n - p.store_frac).abs() < 0.06, "{b}: store frac {}", stores / n);
+            assert!(
+                (loads / n - p.load_frac).abs() < 0.06,
+                "{b}: load frac {}",
+                loads / n
+            );
+            assert!(
+                (stores / n - p.store_frac).abs() < 0.06,
+                "{b}: store frac {}",
+                stores / n
+            );
             // Dynamic branch frequency is emergent (run lengths end at
             // taken branches, weighting hot entry PCs), so allow more slack.
             assert!(
@@ -362,7 +394,10 @@ mod tests {
         let ops = collect(Benchmark::Vortex, 9, 100_000);
         let calls = ops.iter().filter(|o| o.class == OpClass::Call).count() as i64;
         let rets = ops.iter().filter(|o| o.class == OpClass::Return).count() as i64;
-        assert!((calls - rets).abs() < calls / 2 + 20, "calls {calls} vs returns {rets}");
+        assert!(
+            (calls - rets).abs() < calls / 2 + 20,
+            "calls {calls} vs returns {rets}"
+        );
     }
 
     #[test]
@@ -371,7 +406,11 @@ mod tests {
         let mut targets: std::collections::HashMap<u64, u64> = Default::default();
         for o in ops.iter().filter(|o| o.class == OpClass::Branch && o.taken) {
             if let Some(&t) = targets.get(&o.pc) {
-                assert_eq!(t, o.target, "pc {:x} must always branch to the same target", o.pc);
+                assert_eq!(
+                    t, o.target,
+                    "pc {:x} must always branch to the same target",
+                    o.pc
+                );
             } else {
                 targets.insert(o.pc, o.target);
             }
@@ -390,10 +429,17 @@ mod tests {
             .filter(|o| o.class.is_mem() && (RESIDENT_BASE..STREAM_BASE).contains(&o.mem_addr))
             .map(|o| (o.mem_addr - RESIDENT_BASE) / LINE)
             .collect();
-        assert!(resident.len() > 2 * p.resident_lines, "need at least two rotations");
+        assert!(
+            resident.len() > 2 * p.resident_lines,
+            "need at least two rotations"
+        );
         // The first pool-size accesses cover distinct lines.
         let first: HashSet<u64> = resident[..p.resident_lines].iter().copied().collect();
-        assert_eq!(first.len(), p.resident_lines, "one rotation touches every line once");
+        assert_eq!(
+            first.len(),
+            p.resident_lines,
+            "one rotation touches every line once"
+        );
     }
 
     #[test]
@@ -417,9 +463,10 @@ mod tests {
         let mut prev_dest: Option<u8> = None;
         let mut serial = 0;
         let mut total = 0;
-        for o in ops.iter().filter(|o| {
-            o.class == OpClass::Load && (CHASE_BASE..STACK_BASE).contains(&o.mem_addr)
-        }) {
+        for o in ops
+            .iter()
+            .filter(|o| o.class == OpClass::Load && (CHASE_BASE..STACK_BASE).contains(&o.mem_addr))
+        {
             total += 1;
             if let (Some(pd), Some(s1)) = (prev_dest, o.src1) {
                 if s1 == pd {

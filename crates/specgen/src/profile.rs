@@ -204,7 +204,11 @@ impl BenchmarkProfile {
             self.chase_frac,
         ];
         for f in fracs {
-            assert!((0.0..=1.0).contains(&f), "fraction {f} out of range in {}", self.benchmark);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "fraction {f} out of range in {}",
+                self.benchmark
+            );
         }
         let mix = self.load_frac
             + self.store_frac
@@ -212,7 +216,11 @@ impl BenchmarkProfile {
             + self.call_frac * 2.0
             + self.mult_frac
             + self.div_frac;
-        assert!(mix <= 1.0, "instruction mix exceeds 1.0 in {}", self.benchmark);
+        assert!(
+            mix <= 1.0,
+            "instruction mix exceeds 1.0 in {}",
+            self.benchmark
+        );
         let mem = self.stack_frac + self.resident_frac + self.stream_frac + self.chase_frac;
         assert!(mem <= 1.0, "memory mix exceeds 1.0 in {}", self.benchmark);
         assert!(self.stack_lines > 0 && self.hot_lines > 0 && self.code_blocks > 0);
@@ -467,7 +475,10 @@ mod tests {
         let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            ["gcc", "gzip", "parser", "vortex", "gap", "perl", "twolf", "bzip2", "vpr", "mcf", "crafty"]
+            [
+                "gcc", "gzip", "parser", "vortex", "gap", "perl", "twolf", "bzip2", "vpr", "mcf",
+                "crafty"
+            ]
         );
     }
 

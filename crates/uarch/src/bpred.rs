@@ -89,7 +89,15 @@ impl BranchPredictor {
             gag: vec![1; 1usize << cfg.history_bits],
             chooser: vec![2; cfg.chooser_entries],
             history: 0,
-            btb: vec![BtbEntry { tag: 0, target: 0, lru: 0, valid: false }; cfg.btb_sets * 2],
+            btb: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: 0,
+                    lru: 0,
+                    valid: false
+                };
+                cfg.btb_sets * 2
+            ],
             ras: Vec::with_capacity(cfg.ras_depth),
             lookups: 0,
             mispredicts: 0,
@@ -138,7 +146,12 @@ impl BranchPredictor {
         } else {
             base + 1
         };
-        self.btb[victim] = BtbEntry { tag, target, lru: 1, valid: true };
+        self.btb[victim] = BtbEntry {
+            tag,
+            target,
+            lru: 1,
+            valid: true,
+        };
         let other = if victim == base { base + 1 } else { base };
         self.btb[other].lru = 0;
     }
@@ -162,7 +175,13 @@ impl BranchPredictor {
                 if !correct {
                     self.mispredicts += 1;
                 }
-                Prediction { taken: true, target, correct, bimod_taken: true, gag_taken: true }
+                Prediction {
+                    taken: true,
+                    target,
+                    correct,
+                    bimod_taken: true,
+                    gag_taken: true,
+                }
             }
             OpClass::Return => {
                 let predicted = self.ras.pop();
@@ -203,9 +222,21 @@ impl BranchPredictor {
                 if !correct {
                     self.mispredicts += 1;
                 }
-                Prediction { taken, target, correct, bimod_taken, gag_taken }
+                Prediction {
+                    taken,
+                    target,
+                    correct,
+                    bimod_taken,
+                    gag_taken,
+                }
             }
-            _ => Prediction { taken: false, target: None, correct: true, bimod_taken: false, gag_taken: false },
+            _ => Prediction {
+                taken: false,
+                target: None,
+                correct: true,
+                bimod_taken: false,
+                gag_taken: false,
+            },
         }
     }
 
@@ -328,7 +359,9 @@ mod tests {
         let mut wrong = 0;
         let total = 4000;
         for i in 0..total {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             let op = MicroOp::branch(0x1000 + (i % 64) * 4, taken, 0x2000);
             if !p.predict_and_update(&op).correct {
@@ -336,7 +369,10 @@ mod tests {
             }
         }
         let rate = wrong as f64 / total as f64;
-        assert!(rate > 0.3 && rate < 0.7, "random branches ≈ 50% mispredict, got {rate}");
+        assert!(
+            rate > 0.3 && rate < 0.7,
+            "random branches ≈ 50% mispredict, got {rate}"
+        );
     }
 
     #[test]

@@ -193,7 +193,9 @@ impl Core {
         let complete_at = match op.class {
             OpClass::Load => {
                 self.stats.loads += 1;
-                let out = self.hierarchy.data_access(op.mem_addr, AccessKind::Read, issue_at);
+                let out = self
+                    .hierarchy
+                    .data_access(op.mem_addr, AccessKind::Read, issue_at);
                 self.note_data_outcome(&out);
                 if out.l1_miss {
                     // The fill occupies an MSHR; with all MSHRs busy the
@@ -237,12 +239,16 @@ impl Core {
         }
 
         // ---- Commit (in order, width-limited) ----
-        let commit_at = self.commit_slots.book(self.last_commit.max(complete_at + 1));
+        let commit_at = self
+            .commit_slots
+            .book(self.last_commit.max(complete_at + 1));
         self.last_commit = commit_at;
 
         if op.class == OpClass::Store {
             // The store retires its data into the D-cache at commit.
-            let out = self.hierarchy.data_access(op.mem_addr, AccessKind::Write, commit_at);
+            let out = self
+                .hierarchy
+                .data_access(op.mem_addr, AccessKind::Write, commit_at);
             self.note_data_outcome(&out);
         }
 
@@ -314,14 +320,22 @@ mod tests {
     fn independent_ops_reach_high_ipc() {
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut independent_alu_trace(20_000), 20_000);
-        assert!(stats.ipc() > 3.0, "4 ALUs + 4-wide should near width on independent ops, ipc={}", stats.ipc());
+        assert!(
+            stats.ipc() > 3.0,
+            "4 ALUs + 4-wide should near width on independent ops, ipc={}",
+            stats.ipc()
+        );
     }
 
     #[test]
     fn dependent_chain_is_serial() {
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut dependent_alu_trace(20_000), 20_000);
-        assert!(stats.ipc() < 1.2, "serial chain cannot exceed 1 IPC, ipc={}", stats.ipc());
+        assert!(
+            stats.ipc() < 1.2,
+            "serial chain cannot exceed 1 IPC, ipc={}",
+            stats.ipc()
+        );
     }
 
     #[test]
@@ -373,7 +387,13 @@ mod tests {
         // Doubling the MSHRs should cut the runtime nearly in half.
         let hierarchy =
             cachesim::Hierarchy::new(cachesim::HierarchyConfig::table2(11, None)).unwrap();
-        let mut wide = Core::new(CoreConfig { mshrs: 16, ..CoreConfig::table2() }, hierarchy);
+        let mut wide = Core::new(
+            CoreConfig {
+                mshrs: 16,
+                ..CoreConfig::table2()
+            },
+            hierarchy,
+        );
         let wide_stats = wide.run(&mut VecTrace::new(loads), 4000);
         assert!(
             wide_stats.cycles < stats.cycles * 3 / 4,
@@ -389,19 +409,31 @@ mod tests {
             let mut x = 7u64;
             (0..10_000)
                 .map(|i| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     MicroOp::branch(0x1000 + (i % 256) * 4, (x >> 33) & 1 == 1, 0x8000)
                 })
                 .collect()
         };
         let hierarchy =
             cachesim::Hierarchy::new(cachesim::HierarchyConfig::table2(11, None)).unwrap();
-        let mut perfect =
-            Core::new(CoreConfig { perfect_bpred: true, ..CoreConfig::table2() }, hierarchy);
+        let mut perfect = Core::new(
+            CoreConfig {
+                perfect_bpred: true,
+                ..CoreConfig::table2()
+            },
+            hierarchy,
+        );
         let p = perfect.run(&mut VecTrace::new(mk()), 10_000);
         let mut real = table2_core(11, None).unwrap();
         let r = real.run(&mut VecTrace::new(mk()), 10_000);
-        assert!(p.cycles < r.cycles, "perfect prediction must be faster: {} vs {}", p.cycles, r.cycles);
+        assert!(
+            p.cycles < r.cycles,
+            "perfect prediction must be faster: {} vs {}",
+            p.cycles,
+            r.cycles
+        );
     }
 
     #[test]
@@ -410,7 +442,9 @@ mod tests {
             let mut x = 99u64;
             (0..n)
                 .map(|i| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let taken = if random { (x >> 33) & 1 == 1 } else { true };
                     MicroOp::branch(0x1000 + (i as u64 % 256) * 4, taken, 0x8000)
                 })

@@ -35,7 +35,11 @@ impl SlotCalendar {
     /// Panics if `width` is zero.
     pub fn new(width: u8) -> Self {
         assert!(width > 0, "slot width must be positive");
-        SlotCalendar { width, used: vec![0; RING], base: 0 }
+        SlotCalendar {
+            width,
+            used: vec![0; RING],
+            base: 0,
+        }
     }
 
     fn slide_to(&mut self, cycle: u64) {
@@ -84,7 +88,9 @@ impl UnitPool {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "unit pool must have at least one unit");
-        UnitPool { next_free: vec![0; n] }
+        UnitPool {
+            next_free: vec![0; n],
+        }
     }
 
     /// Books the earliest-available unit at or after `earliest` for
@@ -128,7 +134,11 @@ impl FuComplement {
     /// execution starts. Pipelined units are occupied one cycle; dividers
     /// hold their unit for the full latency.
     pub fn book(&mut self, class: OpClass, earliest: u64) -> u64 {
-        let occupy = if class.unpipelined() { class.latency() as u64 } else { 1 };
+        let occupy = if class.unpipelined() {
+            class.latency() as u64
+        } else {
+            1
+        };
         match class {
             OpClass::IntAlu | OpClass::Branch | OpClass::Call | OpClass::Return => {
                 self.int_alu.book(earliest, 1)

@@ -72,7 +72,11 @@ mod tests {
 
     #[test]
     fn ipc_computes() {
-        let s = CoreStats { committed: 300, cycles: 100, ..CoreStats::default() };
+        let s = CoreStats {
+            committed: 300,
+            cycles: 100,
+            ..CoreStats::default()
+        };
         assert!((s.ipc() - 3.0).abs() < 1e-12);
     }
 }

@@ -23,7 +23,11 @@ pub struct VecTrace {
 impl VecTrace {
     /// A trace that plays `ops` once.
     pub fn new(ops: Vec<MicroOp>) -> Self {
-        VecTrace { ops, pos: 0, repeat: false }
+        VecTrace {
+            ops,
+            pos: 0,
+            repeat: false,
+        }
     }
 
     /// A trace that loops `ops` forever.
@@ -33,7 +37,11 @@ impl VecTrace {
     /// Panics if `ops` is empty (an empty loop would never produce an op).
     pub fn looping(ops: Vec<MicroOp>) -> Self {
         assert!(!ops.is_empty(), "looping trace needs at least one op");
-        VecTrace { ops, pos: 0, repeat: true }
+        VecTrace {
+            ops,
+            pos: 0,
+            repeat: true,
+        }
     }
 }
 

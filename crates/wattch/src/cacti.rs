@@ -58,12 +58,20 @@ impl ArrayGeometry {
     /// Geometry for a cache data array: `lines` rows of `bits_per_line`
     /// columns, reading a full line per access.
     pub fn cache_data(lines: usize, bits_per_line: usize) -> Self {
-        ArrayGeometry { rows: lines, cols: bits_per_line, access_bits: bits_per_line }
+        ArrayGeometry {
+            rows: lines,
+            cols: bits_per_line,
+            access_bits: bits_per_line,
+        }
     }
 
     /// Geometry for a cache tag array.
     pub fn cache_tag(lines: usize, tag_bits: usize) -> Self {
-        ArrayGeometry { rows: lines, cols: tag_bits, access_bits: tag_bits }
+        ArrayGeometry {
+            rows: lines,
+            cols: tag_bits,
+            access_bits: tag_bits,
+        }
     }
 }
 
@@ -95,7 +103,8 @@ pub fn array_caps(node: TechNode, geom: &ArrayGeometry) -> ArrayCaps {
     ArrayCaps {
         // Predecode + final NAND gates: ~4 gate loads per address bit.
         decoder: 4.0 * (geom.rows.max(2) as f64).log2() * 3.0 * u.gate_per_um * access_w_um * 8.0,
-        wordline: geom.cols as f64 * 2.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,
+        wordline: geom.cols as f64 * 2.0 * u.gate_per_um * access_w_um
+            + row_wire_um * u.wire_per_um,
         bitline: geom.rows as f64 * u.diff_per_um * access_w_um + col_wire_um * u.wire_per_um,
         sense: 10.0 * u.gate_per_um * access_w_um,
         output: 20.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,

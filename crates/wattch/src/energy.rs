@@ -46,9 +46,17 @@ impl MachineGeometry {
             // 2 MB / 64 B = 32 K lines; a 4 K-line bank is accessed at a time.
             l2_data: ArrayGeometry::cache_data(4096, 512),
             l2_tag: ArrayGeometry::cache_tag(4096, 26),
-            regfile: ArrayGeometry { rows: 80, cols: 64, access_bits: 64 },
+            regfile: ArrayGeometry {
+                rows: 80,
+                cols: 64,
+                access_bits: 64,
+            },
             // 4 K-entry 2-bit tables × 3 structures, lumped.
-            bpred: ArrayGeometry { rows: 4096, cols: 6, access_bits: 6 },
+            bpred: ArrayGeometry {
+                rows: 4096,
+                cols: 6,
+                access_bits: 6,
+            },
         }
     }
 }
@@ -90,8 +98,8 @@ impl PowerModel {
         let l1d_tag_r = cacti::read_energy(env, &geometry.l1d_tag);
         let l1i_r = cacti::read_energy(env, &geometry.l1i_data)
             + cacti::read_energy(env, &geometry.l1i_tag);
-        let l2 = cacti::read_energy(env, &geometry.l2_data)
-            + cacti::read_energy(env, &geometry.l2_tag);
+        let l2 =
+            cacti::read_energy(env, &geometry.l2_data) + cacti::read_energy(env, &geometry.l2_tag);
         // One line's worth of supply-rail capacitance: the quantum charged
         // when a drowsy line is restored to full V_dd or a gated line is
         // reconnected. ~1 fF of rail per cell.

@@ -9,7 +9,7 @@
 //! ```
 
 use leakctl::{Technique, TechniqueKind};
-use simcore::adaptive::{run_adaptive, Controller};
+use simcore::adaptive::{run_adaptive_many, AdaptiveRequest, Controller};
 use simcore::pricing::{self, CacheArrays};
 use simcore::{Study, StudyConfig, SWEEP_INTERVALS};
 use specgen::Benchmark;
@@ -18,35 +18,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = StudyConfig::with_insts(250_000);
     let arrays = CacheArrays::table2_l1d();
     let env = cfg.environment(110.0)?;
-    let mut study = Study::new(cfg);
+    let study = Study::new(cfg);
 
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "benchmark", "fixed 4k", "oracle", "AMC", "feedback", "oracle-ivl"
     );
     let mut avgs = [0.0f64; 4];
-    for b in [Benchmark::Gcc, Benchmark::Gzip, Benchmark::Twolf, Benchmark::Crafty, Benchmark::Mcf]
-    {
+    for b in [
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::Twolf,
+        Benchmark::Crafty,
+        Benchmark::Mcf,
+    ] {
         let fixed = study.compare(b, Technique::gated_vss(4096), 11, 110.0)?;
         let oracle =
             study.best_interval(b, TechniqueKind::GatedVss, 11, 110.0, &SWEEP_INTERVALS)?;
 
-        // Closed-loop runs: price them against the same baseline.
+        // Closed-loop runs (both controllers in parallel): price them
+        // against the same baseline.
         let base = study.baseline(b, 11)?;
         let p_base = pricing::price(&base, &Technique::none(), &env, &arrays)?;
-        let mut closed = [0.0f64; 2];
-        for (i, controller) in [
+        let requests = [
             Controller::AdaptiveModeControl,
             Controller::Feedback { setpoint: 0.01 },
         ]
-        .into_iter()
-        .enumerate()
-        {
-            let run = run_adaptive(b, TechniqueKind::GatedVss, controller, study.config(), 11, 25_000)?;
+        .map(|controller| AdaptiveRequest {
+            benchmark: b,
+            kind: TechniqueKind::GatedVss,
+            controller,
+            window_insts: 25_000,
+        });
+        let runs = run_adaptive_many(&requests, study.config(), 11)?;
+        let mut closed = [0.0f64; 2];
+        for (i, run) in runs.iter().enumerate() {
             // The closed-loop runs keep tags awake (the controllers need
             // them); price with the matching technique parameters.
-            let tech =
-                Technique { tags_decay: false, ..Technique::gated_vss(run.final_interval) };
+            let tech = Technique {
+                tags_decay: false,
+                ..Technique::gated_vss(run.final_interval)
+            };
             let p = pricing::price(&run.raw, &tech, &env, &arrays)?;
             closed[i] = pricing::net_savings(&p_base, &p) * 100.0;
         }

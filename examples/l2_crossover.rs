@@ -16,7 +16,7 @@ use simcore::{Study, StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVA
 use specgen::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut study = Study::new(StudyConfig::with_insts(250_000));
+    let study = Study::new(StudyConfig::with_insts(250_000));
     println!("Average over the 11 SPECint2000 workloads, 110C:\n");
     println!(
         "{:>3}  {:>14} {:>14}   {:>14} {:>14}",

@@ -35,8 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vth = TechNode::N70.vth_n();
     for vdd in [1.0, 0.9, 0.7, 0.5, 1.5 * vth] {
         let env = Environment::new(TechNode::N70, vdd, 383.15)?;
-        let label = if (vdd - 1.5 * vth).abs() < 1e-9 { "  <- drowsy retention" } else { "" };
-        println!("  {vdd:>5.3} V: {:>8.1} mW{label}", l1d.leakage_power(&env) * 1e3);
+        let label = if (vdd - 1.5 * vth).abs() < 1e-9 {
+            "  <- drowsy retention"
+        } else {
+            ""
+        };
+        println!(
+            "  {vdd:>5.3} V: {:>8.1} mW{label}",
+            l1d.leakage_power(&env) * 1e3
+        );
     }
 
     // 4. RBB and its GIDL limit (why the paper skips RBB at 70 nm).

@@ -11,7 +11,7 @@ use simcore::{Study, StudyConfig};
 use specgen::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut study = Study::new(StudyConfig::with_insts(300_000));
+    let study = Study::new(StudyConfig::with_insts(300_000));
     let benchmark = Benchmark::Gzip;
 
     println!("benchmark: {benchmark}, 70nm @ 0.9V, 110C, L2 = 11 cycles\n");

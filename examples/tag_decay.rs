@@ -17,7 +17,7 @@ use simcore::{Study, StudyConfig};
 use specgen::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut study = Study::new(StudyConfig::with_insts(250_000));
+    let study = Study::new(StudyConfig::with_insts(250_000));
     println!("Average over the 11 workloads at 110C, L2 = 11 cycles:\n");
     println!(
         "{:<26} {:>14} {:>14}",

@@ -21,14 +21,20 @@ use specgen::Benchmark;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The coupled study: steady-state junction temperature per technique
     //    (cache-scale package: the simulated power is one core's worth).
-    let params = ThermalParams { r_th: 18.0, c_th: 20.0, t_ambient: 318.15 };
-    let mut study = Study::new(StudyConfig::with_insts(200_000));
+    let params = ThermalParams {
+        r_th: 18.0,
+        c_th: 20.0,
+        t_ambient: 318.15,
+    };
+    let study = Study::new(StudyConfig::with_insts(200_000));
     println!("Closed-loop steady-state junction temperature (L2 = 11 cycles):\n");
-    println!("{:<10} {:>12} {:>12} {:>12}", "benchmark", "baseline", "drowsy", "gated-vss");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "benchmark", "baseline", "drowsy", "gated-vss"
+    );
     for b in [Benchmark::Gzip, Benchmark::Twolf, Benchmark::Perl] {
-        let (base, drowsy) =
-            compare_thermal(&mut study, b, Technique::drowsy(4096), 11, params)?;
-        let (_, gated) = compare_thermal(&mut study, b, Technique::gated_vss(4096), 11, params)?;
+        let (base, drowsy) = compare_thermal(&study, b, Technique::drowsy(4096), 11, params)?;
+        let (_, gated) = compare_thermal(&study, b, Technique::gated_vss(4096), 11, params)?;
         let fmt = |t: Option<f64>| t.map(|v| format!("{v:.1} C")).unwrap_or("runaway".into());
         println!(
             "{:<10} {:>12} {:>12} {:>12}",
@@ -44,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let array = SramArray::cache_data_array(1024, 512);
     let base_env = Environment::nominal(TechNode::N70);
     for r_th in [1.0, 3.0, 5.0, 8.0] {
-        let node = ThermalNode::new(ThermalParams { r_th, c_th: 20.0, t_ambient: 318.15 })?;
+        let node = ThermalNode::new(ThermalParams {
+            r_th,
+            c_th: 20.0,
+            t_ambient: 318.15,
+        })?;
         let outcome = node.steady_state(
             |t| {
                 let env = base_env

@@ -1,0 +1,187 @@
+//! Offline shim for `rand_chacha` 0.3: a bit-exact ChaCha8 generator.
+//!
+//! The simulation's workload generators are seeded ChaCha8 streams, so
+//! this shim reproduces the upstream keystream exactly: the original
+//! (djb) ChaCha variant with a 64-bit block counter at state words
+//! 12–13 and a 64-bit stream id at words 14–15, buffered four blocks
+//! (64 `u32` words) at a time with rand_core's `BlockRng` word-consumption
+//! order, including its split-read behaviour for `next_u64` at the
+//! buffer boundary.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+
+/// A ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: a column round then a diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+    }
+
+    fn refill(&mut self) {
+        for b in 0..4 {
+            let counter = self.counter.wrapping_add(b as u64);
+            let (lo, hi) = (b * 16, b * 16 + 16);
+            let mut words = [0u32; 16];
+            self.block(counter, &mut words);
+            self.buf[lo..hi].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core's BlockRng::next_u64 so mixed u32/u64 reads
+        // consume the keystream in exactly the upstream order.
+        if self.index < BUF_WORDS - 1 {
+            let lo = u64::from(self.buf[self.index]);
+            let hi = u64::from(self.buf[self.index + 1]);
+            self.index += 2;
+            lo | (hi << 32)
+        } else if self.index >= BUF_WORDS {
+            self.refill();
+            let lo = u64::from(self.buf[0]);
+            let hi = u64::from(self.buf[1]);
+            self.index = 2;
+            lo | (hi << 32)
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            let hi = u64::from(self.buf[0]);
+            self.index = 1;
+            lo | (hi << 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// The all-zero-key ChaCha8 keystream's first block, from the
+    /// published chacha test vectors (TC1, 8 rounds, djb variant).
+    #[test]
+    fn zero_key_first_block_matches_reference() {
+        let rng_seeded = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut words = [0u32; 16];
+        rng_seeded.block(0, &mut words);
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let expected: [u8; 32] = [
+            0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+            0xa5, 0xa1, 0x2c, 0x84, 0x0e, 0xc3, 0xce, 0x9a, 0x7f, 0x3b, 0x18, 0x1b, 0xe1, 0x88,
+            0xef, 0x71, 0x1a, 0x1e,
+        ];
+        assert_eq!(&bytes[..32], &expected);
+    }
+
+    #[test]
+    fn mixed_width_reads_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(12345);
+        let mut b = ChaCha8Rng::seed_from_u64(12345);
+        let mut seq_a = Vec::new();
+        let mut seq_b = Vec::new();
+        for i in 0..300 {
+            if i % 3 == 0 {
+                seq_a.push(u64::from(a.gen::<u8>()));
+                seq_b.push(u64::from(b.gen::<u8>()));
+            } else {
+                seq_a.push(a.gen::<u64>());
+                seq_b.push(b.gen::<u64>());
+            }
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

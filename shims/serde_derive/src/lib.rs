@@ -1,0 +1,233 @@
+//! Offline shim for `serde_derive`: hand-rolled token parsing (no
+//! syn/quote) covering the shapes this workspace derives — named-field
+//! structs, unit structs, tuple structs, and enums with unit, tuple, and
+//! struct variants. Output follows serde's externally-tagged convention.
+//!
+//! `#[derive(Deserialize)]` expands to nothing: the shim `serde` crate's
+//! `Deserialize` trait is a marker that no code path instantiates.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Some(code) => code
+            .parse()
+            .expect("shim serde_derive produced invalid Rust"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past `#[...]` attributes and visibility qualifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the bracket group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(t) if is_ident(t, "pub") => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type` fields from a brace-group body, returning the
+/// field names. Tracks `<`/`>` depth so generic arguments' commas don't
+/// split fields.
+fn named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':' then the type; consume until a depth-0 comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-group (tuple) body.
+fn tuple_arity(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    arity
+}
+
+fn field_entries(receiver: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{receiver}{f}))"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn generate(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = skip_attrs_and_vis(tokens, 0);
+    let kind = if is_ident(tokens.get(i)?, "struct") {
+        "struct"
+    } else if is_ident(tokens.get(i)?, "enum") {
+        "enum"
+    } else {
+        return None;
+    };
+    i += 1;
+    let TokenTree::Ident(name) = tokens.get(i)? else {
+        return None;
+    };
+    let name = name.to_string();
+    i += 1;
+    // Generic types are outside this shim's scope (none in the workspace).
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return None;
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let entries = field_entries("self.", &named_fields(&g.stream()));
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(&g.stream());
+                let items = (0..arity)
+                    .map(|n| format!("::serde::Serialize::to_value(&self.{n})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            }
+            _ => "::serde::Value::Object(::std::vec![])".to_string(),
+        }
+    } else {
+        let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            return None;
+        };
+        let arms = enum_arms(&g.stream());
+        format!("match self {{ {arms} }}")
+    };
+
+    Some(format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}"
+    ))
+}
+
+fn enum_arms(body: &TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut arms = String::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(vname)) = tokens.get(i) else {
+            break;
+        };
+        let vname = vname.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(&g.stream());
+                let bindings = fields.join(", ");
+                let entries = field_entries("*", &fields);
+                arms.push_str(&format!(
+                    "Self::{vname} {{ {bindings} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), \
+                      ::serde::Value::Object(::std::vec![{entries}]))]),\n"
+                ));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(&g.stream());
+                let bindings = (0..arity)
+                    .map(|n| format!("__f{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let inner = if arity == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items = (0..arity)
+                        .map(|n| format!("::serde::Serialize::to_value(__f{n})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Array(::std::vec![{items}])")
+                };
+                arms.push_str(&format!(
+                    "Self::{vname}({bindings}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {inner})]),\n"
+                ));
+                i += 1;
+            }
+            _ => {
+                arms.push_str(&format!(
+                    "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+        }
+        // Skip any discriminant and the separating comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    arms
+}

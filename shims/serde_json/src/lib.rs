@@ -1,0 +1,181 @@
+//! Offline shim for the `serde_json` 1.x API surface this workspace
+//! uses: rendering the shim `serde::Value` tree as JSON text.
+
+use std::error;
+use std::fmt::{self, Write as _};
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the shim never produces one; the type exists so
+/// call sites' `Result` handling compiles unchanged).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never errors in the shim; the signature matches serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never errors in the shim; the signature matches serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{}` on f64 is shortest-roundtrip in modern Rust, like
+                // serde_json's float formatting; keep a trailing `.0` for
+                // integral values so the output stays typed as a float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => render_seq(
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            out,
+            ('[', ']'),
+            render,
+        ),
+        Value::Object(entries) => render_seq(
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            out,
+            ('{', '}'),
+            |(k, v), ind, d, o| {
+                render_string(k, o);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                render(v, ind, d, o);
+            },
+        ),
+    }
+}
+
+fn render_seq<I, T>(
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    brackets: (char, char),
+    mut each: impl FnMut(T, Option<usize>, usize, &mut String),
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        each(item, indent, depth + 1, out);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("fig3".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+            ),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(
+            to_string(&Wrap(v.clone())).unwrap(),
+            r#"{"name":"fig3","xs":[1,2.5],"ok":true}"#
+        );
+        let pretty = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"fig3\""));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

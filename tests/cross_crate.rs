@@ -28,8 +28,7 @@ fn advance_to_equals_per_cycle_ticking() {
     // the same decay behaviour as ticking every cycle.
     let mut ticked = Cache::new(CacheConfig::l1_64k_2way(), Some(gated(512))).expect("valid");
     let mut jumped = Cache::new(CacheConfig::l1_64k_2way(), Some(gated(512))).expect("valid");
-    let accesses: Vec<(u64, u64)> =
-        (0..200).map(|i| (i * 64 % 16384, i * 37 + 11)).collect();
+    let accesses: Vec<(u64, u64)> = (0..200).map(|i| (i * 64 % 16384, i * 37 + 11)).collect();
     let mut now = 0;
     for &(addr, at) in &accesses {
         for t in now..at {
@@ -49,7 +48,10 @@ fn advance_to_equals_per_cycle_ticking() {
 
 #[test]
 fn full_stack_is_deterministic() {
-    let cfg = StudyConfig { insts: 40_000, ..StudyConfig::default() };
+    let cfg = StudyConfig {
+        insts: 40_000,
+        ..StudyConfig::default()
+    };
     let a = execute(Benchmark::Twolf, &Technique::gated_vss(2048), &cfg, 11).expect("runs");
     let b = execute(Benchmark::Twolf, &Technique::gated_vss(2048), &cfg, 11).expect("runs");
     assert_eq!(a, b, "same seed, same everything");
@@ -66,7 +68,10 @@ fn full_stack_is_deterministic() {
 #[test]
 fn mode_cycles_conserve_under_real_workloads() {
     // Every line-cycle of every run lands in exactly one accounting bucket.
-    let cfg = StudyConfig { insts: 50_000, ..StudyConfig::default() };
+    let cfg = StudyConfig {
+        insts: 50_000,
+        ..StudyConfig::default()
+    };
     for technique in [Technique::drowsy(1024), Technique::gated_vss(1024)] {
         let raw = execute(Benchmark::Gcc, &technique, &cfg, 11).expect("runs");
         let lines = CacheConfig::l1_64k_2way().num_lines() as u64;
@@ -82,7 +87,10 @@ fn mode_cycles_conserve_under_real_workloads() {
 fn repricing_is_consistent_across_temperatures() {
     // One timing run priced at two temperatures: leakage joules differ,
     // cycle counts and event counts do not.
-    let cfg = StudyConfig { insts: 40_000, ..StudyConfig::default() };
+    let cfg = StudyConfig {
+        insts: 40_000,
+        ..StudyConfig::default()
+    };
     let raw = execute(Benchmark::Perl, &Technique::drowsy(4096), &cfg, 11).expect("runs");
     let arrays = CacheArrays::table2_l1d();
     let cool = cfg.environment(85.0).expect("valid");
@@ -96,12 +104,19 @@ fn repricing_is_consistent_across_temperatures() {
 
 #[test]
 fn study_cache_reuses_baselines() {
-    let mut study = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
+    let study = Study::new(StudyConfig {
+        insts: 30_000,
+        ..StudyConfig::default()
+    });
     let t0 = std::time::Instant::now();
-    study.compare(Benchmark::Vpr, Technique::drowsy(4096), 11, 110.0).expect("runs");
+    study
+        .compare(Benchmark::Vpr, Technique::drowsy(4096), 11, 110.0)
+        .expect("runs");
     let first = t0.elapsed();
     let t1 = std::time::Instant::now();
-    study.compare(Benchmark::Vpr, Technique::drowsy(4096), 11, 85.0).expect("runs");
+    study
+        .compare(Benchmark::Vpr, Technique::drowsy(4096), 11, 85.0)
+        .expect("runs");
     let second = t1.elapsed();
     assert!(
         second < first / 2,
@@ -113,11 +128,21 @@ fn study_cache_reuses_baselines() {
 fn variation_pricing_raises_savings_magnitude() {
     // With inter-die variation the baseline leaks more, so the *absolute*
     // joules saved grow; the net percentage stays in a sane band.
-    let mut plain = Study::new(StudyConfig { insts: 30_000, ..StudyConfig::default() });
-    let mut varied =
-        Study::new(StudyConfig { insts: 30_000, variation: true, ..StudyConfig::default() });
-    let p = plain.compare(Benchmark::Gzip, Technique::gated_vss(4096), 11, 110.0).expect("runs");
-    let v = varied.compare(Benchmark::Gzip, Technique::gated_vss(4096), 11, 110.0).expect("runs");
+    let plain = Study::new(StudyConfig {
+        insts: 30_000,
+        ..StudyConfig::default()
+    });
+    let varied = Study::new(StudyConfig {
+        insts: 30_000,
+        variation: true,
+        ..StudyConfig::default()
+    });
+    let p = plain
+        .compare(Benchmark::Gzip, Technique::gated_vss(4096), 11, 110.0)
+        .expect("runs");
+    let v = varied
+        .compare(Benchmark::Gzip, Technique::gated_vss(4096), 11, 110.0)
+        .expect("runs");
     assert!(v.net_savings_pct > 0.0 && v.net_savings_pct < 100.0);
     // Variation raises leakage relative to fixed dynamic costs, so the
     // technique's net percentage cannot drop.
@@ -126,9 +151,11 @@ fn variation_pricing_raises_savings_magnitude() {
 
 #[test]
 fn core_over_real_trace_hits_plausible_ipc() {
-    for (b, lo, hi) in
-        [(Benchmark::Perl, 0.8, 2.5), (Benchmark::Mcf, 0.03, 0.6), (Benchmark::Gzip, 0.7, 2.2)]
-    {
+    for (b, lo, hi) in [
+        (Benchmark::Perl, 0.8, 2.5),
+        (Benchmark::Mcf, 0.03, 0.6),
+        (Benchmark::Gzip, 0.7, 2.2),
+    ] {
         let mut core = table2_core(11, None).expect("valid");
         let mut trace = SpecTrace::new(b, 5);
         let stats = core.run(&mut trace, 60_000);
@@ -141,7 +168,10 @@ fn core_over_real_trace_hits_plausible_ipc() {
 fn leakage_energy_scale_is_coherent_across_crates() {
     // The leakage the pricing assigns to the baseline must equal the
     // structure model's power times the run's duration.
-    let cfg = StudyConfig { insts: 30_000, ..StudyConfig::default() };
+    let cfg = StudyConfig {
+        insts: 30_000,
+        ..StudyConfig::default()
+    };
     let raw = execute(Benchmark::Gap, &Technique::none(), &cfg, 11).expect("runs");
     let arrays = CacheArrays::table2_l1d();
     let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");

@@ -17,13 +17,7 @@ fn study() -> Study {
 }
 
 /// Average a metric over all 11 benchmarks for one technique.
-fn averages(
-    study: &mut Study,
-    kind: TechniqueKind,
-    interval: u64,
-    l2: u32,
-    temp: f64,
-) -> (f64, f64) {
+fn averages(study: &Study, kind: TechniqueKind, interval: u64, l2: u32, temp: f64) -> (f64, f64) {
     let mut savings = 0.0;
     let mut loss = 0.0;
     for b in Benchmark::ALL {
@@ -40,63 +34,87 @@ fn averages(
 fn fast_l2_favors_gated_vss_on_both_metrics() {
     // Figures 3/4: at a 5-cycle L2, gated-Vss is superior in energy AND
     // performance.
-    let mut s = study();
-    let (d_sav, d_loss) = averages(&mut s, TechniqueKind::Drowsy, 4096, 5, 110.0);
-    let (g_sav, g_loss) = averages(&mut s, TechniqueKind::GatedVss, 4096, 5, 110.0);
-    assert!(g_sav > d_sav, "gated savings {g_sav} must beat drowsy {d_sav} at L2=5");
-    assert!(g_loss < d_loss, "gated loss {g_loss} must beat drowsy {d_loss} at L2=5");
+    let s = study();
+    let (d_sav, d_loss) = averages(&s, TechniqueKind::Drowsy, 4096, 5, 110.0);
+    let (g_sav, g_loss) = averages(&s, TechniqueKind::GatedVss, 4096, 5, 110.0);
+    assert!(
+        g_sav > d_sav,
+        "gated savings {g_sav} must beat drowsy {d_sav} at L2=5"
+    );
+    assert!(
+        g_loss < d_loss,
+        "gated loss {g_loss} must beat drowsy {d_loss} at L2=5"
+    );
 }
 
 #[test]
 fn slow_l2_favors_drowsy() {
     // Figures 10/11: at a 17-cycle L2, drowsy is clearly superior.
-    let mut s = study();
-    let (d_sav, d_loss) = averages(&mut s, TechniqueKind::Drowsy, 4096, 17, 110.0);
-    let (g_sav, g_loss) = averages(&mut s, TechniqueKind::GatedVss, 4096, 17, 110.0);
-    assert!(d_sav > g_sav, "drowsy savings {d_sav} must beat gated {g_sav} at L2=17");
-    assert!(d_loss < g_loss, "drowsy loss {d_loss} must beat gated {g_loss} at L2=17");
+    let s = study();
+    let (d_sav, d_loss) = averages(&s, TechniqueKind::Drowsy, 4096, 17, 110.0);
+    let (g_sav, g_loss) = averages(&s, TechniqueKind::GatedVss, 4096, 17, 110.0);
+    assert!(
+        d_sav > g_sav,
+        "drowsy savings {d_sav} must beat gated {g_sav} at L2=17"
+    );
+    assert!(
+        d_loss < g_loss,
+        "drowsy loss {d_loss} must beat gated {g_loss} at L2=17"
+    );
 }
 
 #[test]
 fn eleven_cycle_l2_is_a_near_tie() {
     // Figures 8/9: at 11 cycles the picture is "less clear" — the energy
     // gap must be small relative to the L2=5 and L2=17 gaps.
-    let mut s = study();
-    let gap_at = |s: &mut Study, l2: u32| {
+    let s = study();
+    let gap_at = |s: &Study, l2: u32| {
         let (d, _) = averages(s, TechniqueKind::Drowsy, 4096, l2, 110.0);
         let (g, _) = averages(s, TechniqueKind::GatedVss, 4096, l2, 110.0);
         g - d
     };
-    let gap5 = gap_at(&mut s, 5);
-    let gap11 = gap_at(&mut s, 11);
-    let gap17 = gap_at(&mut s, 17);
-    assert!(gap5 > gap11, "gated's edge must shrink from L2=5 ({gap5}) to 11 ({gap11})");
+    let gap5 = gap_at(&s, 5);
+    let gap11 = gap_at(&s, 11);
+    let gap17 = gap_at(&s, 17);
+    assert!(
+        gap5 > gap11,
+        "gated's edge must shrink from L2=5 ({gap5}) to 11 ({gap11})"
+    );
     assert!(gap11 > gap17, "and keep shrinking to L2=17 ({gap17})");
-    assert!(gap5 > 0.0 && gap17 < 0.0, "with the sign flipping inside the sweep");
+    assert!(
+        gap5 > 0.0 && gap17 < 0.0,
+        "with the sign flipping inside the sweep"
+    );
 }
 
 #[test]
 fn gated_perf_loss_grows_with_l2_latency_drowsy_does_not() {
     // §5.1: gated's cost per induced miss scales with L2 latency; drowsy's
     // slow hits are latency-independent.
-    let mut s = study();
-    let (_, g5) = averages(&mut s, TechniqueKind::GatedVss, 4096, 5, 110.0);
-    let (_, g17) = averages(&mut s, TechniqueKind::GatedVss, 4096, 17, 110.0);
-    let (_, d5) = averages(&mut s, TechniqueKind::Drowsy, 4096, 5, 110.0);
-    let (_, d17) = averages(&mut s, TechniqueKind::Drowsy, 4096, 17, 110.0);
-    assert!(g17 > 1.5 * g5, "gated loss must grow steeply with L2 latency: {g5} -> {g17}");
-    assert!((d17 - d5).abs() < 0.5, "drowsy loss must stay flat: {d5} -> {d17}");
+    let s = study();
+    let (_, g5) = averages(&s, TechniqueKind::GatedVss, 4096, 5, 110.0);
+    let (_, g17) = averages(&s, TechniqueKind::GatedVss, 4096, 17, 110.0);
+    let (_, d5) = averages(&s, TechniqueKind::Drowsy, 4096, 5, 110.0);
+    let (_, d17) = averages(&s, TechniqueKind::Drowsy, 4096, 17, 110.0);
+    assert!(
+        g17 > 1.5 * g5,
+        "gated loss must grow steeply with L2 latency: {g5} -> {g17}"
+    );
+    assert!(
+        (d17 - d5).abs() < 0.5,
+        "drowsy loss must stay flat: {d5} -> {d17}"
+    );
 }
 
 #[test]
 fn higher_temperature_raises_savings_for_both() {
     // Figures 7 vs 8: leakage grows exponentially with temperature, so the
     // same runs priced at 110 C save more than at 85 C.
-    let mut s = study();
-    let (d85, _) = averages(&mut s, TechniqueKind::Drowsy, 4096, 11, 85.0);
-    let (d110, _) = averages(&mut s, TechniqueKind::Drowsy, 4096, 11, 110.0);
-    let (g85, _) = averages(&mut s, TechniqueKind::GatedVss, 4096, 11, 85.0);
-    let (g110, _) = averages(&mut s, TechniqueKind::GatedVss, 4096, 11, 110.0);
+    let s = study();
+    let (d85, _) = averages(&s, TechniqueKind::Drowsy, 4096, 11, 85.0);
+    let (d110, _) = averages(&s, TechniqueKind::Drowsy, 4096, 11, 110.0);
+    let (g85, _) = averages(&s, TechniqueKind::GatedVss, 4096, 11, 85.0);
+    let (g110, _) = averages(&s, TechniqueKind::GatedVss, 4096, 11, 110.0);
     assert!(d110 > d85, "drowsy: {d85} -> {d110}");
     assert!(g110 > g85, "gated: {g85} -> {g110}");
     // And the relative ranking is barely affected (paper §5.2).
@@ -107,9 +125,9 @@ fn higher_temperature_raises_savings_for_both() {
 fn adaptivity_benefits_gated_more_than_drowsy() {
     // Figures 12/13 + Table 3: per-benchmark best intervals help gated-Vss
     // (whose best intervals vary widely) more than drowsy.
-    let mut s = study();
-    let (d_def, _) = averages(&mut s, TechniqueKind::Drowsy, 4096, 11, 85.0);
-    let (g_def, _) = averages(&mut s, TechniqueKind::GatedVss, 4096, 11, 85.0);
+    let s = study();
+    let (d_def, _) = averages(&s, TechniqueKind::Drowsy, 4096, 11, 85.0);
+    let (g_def, _) = averages(&s, TechniqueKind::GatedVss, 4096, 11, 85.0);
     let mut d_best = 0.0;
     let mut g_best = 0.0;
     let mut d_intervals = Vec::new();
@@ -129,20 +147,33 @@ fn adaptivity_benefits_gated_more_than_drowsy() {
     let d_gain = d_best - d_def;
     let g_gain = g_best - g_def;
     assert!(g_gain > 0.0, "oracle must help gated, gain {g_gain}");
-    assert!(g_gain > d_gain - 1.0, "gated's gain {g_gain} must rival or beat drowsy's {d_gain}");
+    assert!(
+        g_gain > d_gain - 1.0,
+        "gated's gain {g_gain} must rival or beat drowsy's {d_gain}"
+    );
     // Table 3's signature: gated's best intervals sit at or above drowsy's.
     let d_max = *d_intervals.iter().max().expect("non-empty");
     let g_max = *g_intervals.iter().max().expect("non-empty");
-    assert!(g_max >= d_max, "gated's interval menu must extend longer: {g_max} vs {d_max}");
+    assert!(
+        g_max >= d_max,
+        "gated's interval menu must extend longer: {g_max} vs {d_max}"
+    );
 }
 
 #[test]
 fn drowsy_never_induces_misses_gated_never_slow_hits() {
-    let mut s = study();
+    let s = study();
     for b in [Benchmark::Gzip, Benchmark::Twolf] {
-        let d = s.compare(b, Technique::drowsy(2048), 11, 110.0).expect("runs");
-        let g = s.compare(b, Technique::gated_vss(2048), 11, 110.0).expect("runs");
-        assert_eq!(d.induced_misses, 0, "{b}: state preservation means no induced misses");
+        let d = s
+            .compare(b, Technique::drowsy(2048), 11, 110.0)
+            .expect("runs");
+        let g = s
+            .compare(b, Technique::gated_vss(2048), 11, 110.0)
+            .expect("runs");
+        assert_eq!(
+            d.induced_misses, 0,
+            "{b}: state preservation means no induced misses"
+        );
         assert!(d.slow_hits > 0, "{b}: drowsy must see slow hits");
         assert_eq!(g.slow_hits, 0, "{b}: lost state cannot produce slow hits");
         assert!(g.induced_misses > 0, "{b}: gated must see induced misses");
@@ -153,25 +184,36 @@ fn drowsy_never_induces_misses_gated_never_slow_hits() {
 fn rbb_is_dominated_at_70nm() {
     // The paper skips RBB because GIDL limits it at 70 nm; our model should
     // show it saving less than drowsy at the same interval.
-    let mut s = study();
+    let s = study();
     let mut rbb = 0.0;
     let mut drowsy = 0.0;
     for b in [Benchmark::Gzip, Benchmark::Perl, Benchmark::Gcc] {
-        rbb += s.compare(b, Technique::rbb(4096), 11, 110.0).expect("runs").net_savings_pct;
-        drowsy += s.compare(b, Technique::drowsy(4096), 11, 110.0).expect("runs").net_savings_pct;
+        rbb += s
+            .compare(b, Technique::rbb(4096), 11, 110.0)
+            .expect("runs")
+            .net_savings_pct;
+        drowsy += s
+            .compare(b, Technique::drowsy(4096), 11, 110.0)
+            .expect("runs")
+            .net_savings_pct;
     }
-    assert!(rbb < drowsy, "RBB ({rbb}) must save less than drowsy ({drowsy}) at 70nm");
+    assert!(
+        rbb < drowsy,
+        "RBB ({rbb}) must save less than drowsy ({drowsy}) at 70nm"
+    );
 }
 
 #[test]
 fn simple_policy_saves_more_but_costs_more_than_noaccess() {
     // §2.3: the `simple` policy "loses out in performance compared to the
     // noaccess policy, but saves more leakage power".
-    let mut s = study();
+    let s = study();
     let mut noaccess = (0.0, 0.0);
     let mut simple = (0.0, 0.0);
     for b in [Benchmark::Perl, Benchmark::Vortex, Benchmark::Gzip] {
-        let na = s.compare(b, Technique::drowsy(4096), 11, 110.0).expect("runs");
+        let na = s
+            .compare(b, Technique::drowsy(4096), 11, 110.0)
+            .expect("runs");
         let si = s
             .compare(
                 b,
@@ -188,6 +230,12 @@ fn simple_policy_saves_more_but_costs_more_than_noaccess() {
         simple.0 += si.turnoff_pct;
         simple.1 += si.perf_loss_pct;
     }
-    assert!(simple.0 > noaccess.0, "simple must turn off more: {simple:?} vs {noaccess:?}");
-    assert!(simple.1 > noaccess.1, "and pay more performance: {simple:?} vs {noaccess:?}");
+    assert!(
+        simple.0 > noaccess.0,
+        "simple must turn off more: {simple:?} vs {noaccess:?}"
+    );
+    assert!(
+        simple.1 > noaccess.1,
+        "and pay more performance: {simple:?} vs {noaccess:?}"
+    );
 }

@@ -19,10 +19,10 @@ fn arb_node() -> impl Strategy<Value = TechNode> {
 }
 
 fn arb_env() -> impl Strategy<Value = Environment> {
-    (arb_node(), 0.2f64..1.4, 250.0f64..450.0).prop_filter_map(
-        "valid operating point",
-        |(node, vdd, t)| Environment::new(node, vdd, t).ok(),
-    )
+    (arb_node(), 0.2f64..1.4, 250.0f64..450.0)
+        .prop_filter_map("valid operating point", |(node, vdd, t)| {
+            Environment::new(node, vdd, t).ok()
+        })
 }
 
 proptest! {
