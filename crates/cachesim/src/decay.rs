@@ -136,6 +136,12 @@ impl GlobalCounter {
 /// has been idle for the full decay interval.
 pub const LOCAL_COUNTER_MAX: u8 = 3;
 
+/// Shortest decay interval the machinery accepts. The hierarchical counter
+/// scheme needs at least one cycle per quarter-interval sweep, so intervals
+/// below four cycles would alias several sweeps onto one cycle;
+/// [`crate::Cache::set_decay_interval`] clamps to this floor.
+pub const MIN_DECAY_INTERVAL_CYCLES: u64 = 4;
+
 #[cfg(test)]
 mod tests {
     use super::*;

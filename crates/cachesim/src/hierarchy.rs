@@ -184,11 +184,61 @@ impl Hierarchy {
         (latency, l2_accesses, mem_accesses)
     }
 
-    /// Brings all mode-cycle integrals up to `now`.
-    pub fn finalize(&mut self, now: u64) {
+    /// Brings all mode-cycle integrals up to `now` and drains any
+    /// decay-forced writebacks still pending after the last data access.
+    ///
+    /// Returns the number of writebacks drained here; callers must charge
+    /// each one as an L2 access, exactly as [`Hierarchy::data_access`] does
+    /// for writebacks that happen mid-run. Without this drain, a dirty line
+    /// decaying after the program's final reference would leak its
+    /// writeback energy out of the gated-V_ss accounting.
+    pub fn finalize(&mut self, now: u64) -> u64 {
+        self.l1d.advance_to(now);
         self.l1d.finalize(now);
         self.l1i.finalize(now);
         self.l2.finalize(now);
+        let total = self.l1d.stats().decay_writebacks;
+        let drained = total - self.decay_writebacks_seen;
+        self.decay_writebacks_seen = total;
+        drained
+    }
+
+    /// Decay-forced writebacks already forwarded to the energy accounting
+    /// (via [`Hierarchy::data_access`] or [`Hierarchy::finalize`]).
+    pub fn decay_writebacks_drained(&self) -> u64 {
+        self.decay_writebacks_seen
+    }
+
+    /// Audits every conservation law over the whole hierarchy: the
+    /// per-cache laws of [`crate::audit::check_cache_stats`] on all three
+    /// levels, plus writeback drainage at this level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full [`crate::audit::AuditReport`] if any law is
+    /// violated.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Result<(), crate::audit::AuditReport> {
+        let mut report = crate::audit::AuditReport::new();
+        for (name, cache) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            report.absorb(
+                name,
+                crate::audit::check_cache_stats(
+                    cache.stats(),
+                    cache.config().num_lines() as u64,
+                    cache.finalized_at(),
+                    cache.decay_config().is_some(),
+                ),
+            );
+        }
+        report.absorb(
+            "hierarchy",
+            crate::audit::check_writeback_drainage(
+                self.l1d.stats().decay_writebacks,
+                self.decay_writebacks_seen,
+            ),
+        );
+        report.into_result()
     }
 }
 
@@ -263,6 +313,39 @@ mod tests {
             out.l2_accesses >= 2,
             "refill plus the decay writeback, got {}",
             out.l2_accesses
+        );
+    }
+
+    #[test]
+    fn finalize_drains_trailing_decay_writebacks() {
+        // Regression: a dirty line that decays *after* the program's last
+        // data access used to leave its writeback uncharged — data_access
+        // was the only drain point. finalize must hand over the remainder.
+        let mut h = Hierarchy::new(HierarchyConfig::table2(11, Some(gated(512)))).unwrap();
+        h.data_access(0x1000, AccessKind::Write, 0);
+        let drained = h.finalize(2000); // decay sweep + writeback happen here
+        assert_eq!(h.l1d().stats().decay_writebacks, 1);
+        assert_eq!(drained, 1, "the trailing writeback must be handed over");
+        assert_eq!(h.decay_writebacks_drained(), 1);
+        assert_eq!(h.finalize(2000), 0, "finalize is idempotent");
+        #[cfg(feature = "audit")]
+        h.audit().expect("drained hierarchy passes the audit");
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn undrained_hierarchy_fails_audit() {
+        // Ticking past the decay point without a draining call leaves the
+        // writeback uncharged; the audit must see it.
+        let mut h = Hierarchy::new(HierarchyConfig::table2(11, Some(gated(512)))).unwrap();
+        h.data_access(0x1000, AccessKind::Write, 0);
+        for t in 0..1200u64 {
+            h.tick(t);
+        }
+        let report = h.audit().unwrap_err();
+        assert!(
+            report.to_string().contains("writeback drainage"),
+            "{report}"
         );
     }
 

@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod decay;
@@ -44,6 +46,6 @@ pub mod stats;
 
 pub use cache::{AccessKind, AccessResult, Cache, MissKind};
 pub use config::{CacheConfig, ConfigError};
-pub use decay::{DecayConfig, DecayPolicy, LineMode, StandbyBehavior};
+pub use decay::{DecayConfig, DecayPolicy, LineMode, StandbyBehavior, MIN_DECAY_INTERVAL_CYCLES};
 pub use hierarchy::{DataAccessOutcome, Hierarchy, HierarchyConfig};
 pub use stats::{CacheStats, ModeCycles};

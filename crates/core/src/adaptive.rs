@@ -106,6 +106,9 @@ pub fn run_adaptive(
         core.hierarchy_mut().set_l1d_decay_interval(next);
         interval_trace.push(next);
     }
+    #[cfg(feature = "audit")]
+    core.audit()
+        .map_err(|report| StudyError::AuditFailed(report.to_string()))?;
     let stats = *core.stats();
     let l1d = *core.hierarchy().l1d().stats();
     let final_interval = interval_trace.last().copied().unwrap_or(initial);

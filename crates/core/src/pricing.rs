@@ -176,6 +176,26 @@ pub fn price(
     })
 }
 
+/// Sanity check on priced energies: both energy terms and the duration
+/// must be finite and non-negative — a negative or NaN joule count means
+/// an accounting or pricing bug, not physics.
+///
+/// # Errors
+///
+/// Returns a description of the offending field.
+pub fn check_priced(p: &Priced) -> Result<(), String> {
+    for (name, v) in [
+        ("leakage_j", p.leakage_j),
+        ("dynamic_j", p.dynamic_j),
+        ("seconds", p.seconds),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("{name} = {v} is not a finite non-negative value"));
+        }
+    }
+    Ok(())
+}
+
 /// The paper's net leakage savings, as a fraction of the baseline's L1D
 /// leakage energy: gross leakage reduction minus the extra dynamic energy
 /// the technique induced.

@@ -50,6 +50,10 @@ pub enum StudyError {
     Cache(cachesim::ConfigError),
     /// A best-interval search was asked to choose from zero intervals.
     EmptyIntervalList,
+    /// A post-run accounting audit found violated conservation laws (the
+    /// formatted [`cachesim::audit::AuditReport`], or a pricing sanity
+    /// failure). Only produced with the `audit` feature (default on).
+    AuditFailed(String),
 }
 
 impl fmt::Display for StudyError {
@@ -59,6 +63,9 @@ impl fmt::Display for StudyError {
             StudyError::Cache(e) => write!(f, "cache config error: {e}"),
             StudyError::EmptyIntervalList => {
                 write!(f, "best-interval search needs a non-empty interval list")
+            }
+            StudyError::AuditFailed(report) => {
+                write!(f, "accounting audit failed: {report}")
             }
         }
     }
@@ -70,6 +77,7 @@ impl Error for StudyError {
             StudyError::Model(e) => Some(e),
             StudyError::Cache(e) => Some(e),
             StudyError::EmptyIntervalList => None,
+            StudyError::AuditFailed(_) => None,
         }
     }
 }
@@ -235,6 +243,11 @@ impl StudyCtx {
         let env = self.cfg.environment(temperature_c)?;
         let p_base = pricing::price(base, &Technique::none(), &env, &self.arrays)?;
         let p_tech = pricing::price(tech, technique, &env, &self.arrays)?;
+        #[cfg(feature = "audit")]
+        for (name, p) in [("baseline", &p_base), ("technique", &p_tech)] {
+            pricing::check_priced(p)
+                .map_err(|e| StudyError::AuditFailed(format!("priced {name} run: {e}")))?;
+        }
         Ok(RunResult {
             benchmark,
             technique: technique.kind,
@@ -540,8 +553,15 @@ impl Study {
         l2_latency: u32,
     ) -> Result<RawRun, StudyError> {
         let key = RunKey::of(benchmark, technique, l2_latency);
-        self.cache
-            .get_or_run(key, || self.ctx.execute(benchmark, technique, l2_latency))
+        let raw = self
+            .cache
+            .get_or_run(key, || self.ctx.execute(benchmark, technique, l2_latency))?;
+        // Fresh runs were audited inside execute(); re-checking recalled
+        // runs here keeps the laws enforced across the cache boundary too
+        // (a corrupted or stale memo can't silently feed the pricing).
+        #[cfg(feature = "audit")]
+        audit_raw_run(&raw, technique.decay_config().is_some())?;
+        Ok(raw)
     }
 
     /// Executes (or recalls) the no-control baseline run.
@@ -782,11 +802,36 @@ pub fn execute(
     let mut core = Core::new(CoreConfig::table2(), hierarchy);
     let mut trace = SpecTrace::new(benchmark, cfg.seed);
     let stats = core.run(&mut trace, cfg.insts);
+    #[cfg(feature = "audit")]
+    core.audit()
+        .map_err(|report| StudyError::AuditFailed(report.to_string()))?;
     Ok(RawRun {
         cycles: stats.cycles,
         core: stats,
         l1d: *core.hierarchy().l1d().stats(),
     })
+}
+
+/// Audits a (possibly cache-recalled) [`RawRun`] against the per-cache
+/// conservation laws: since [`uarch::Core::run`] finalizes the hierarchy
+/// at the final commit cycle, the L1D integrals must satisfy
+/// `mode_cycles.total() == num_lines × cycles` exactly, on top of access
+/// conservation and transition pairing.
+///
+/// # Errors
+///
+/// Returns [`StudyError::AuditFailed`] listing every violated law.
+#[cfg(feature = "audit")]
+pub fn audit_raw_run(raw: &RawRun, has_decay: bool) -> Result<(), StudyError> {
+    let num_lines = cachesim::CacheConfig::l1_64k_2way().num_lines() as u64;
+    let mut report = cachesim::audit::AuditReport::new();
+    report.absorb(
+        "l1d",
+        cachesim::audit::check_cache_stats(&raw.l1d, num_lines, Some(raw.cycles), has_decay),
+    );
+    report
+        .into_result()
+        .map_err(|report| StudyError::AuditFailed(report.to_string()))
 }
 
 #[cfg(test)]

@@ -141,10 +141,23 @@ impl Core {
             self.step(&op);
         }
         // Close out: bring decay/leakage integrals up to the final cycle.
+        // finalize also drains decay writebacks still pending after the
+        // last data access; charge them as L2 traffic like any other.
         self.stats.cycles = self.last_commit;
-        self.hierarchy.advance_to(self.last_commit);
-        self.hierarchy.finalize(self.last_commit);
+        let drained = self.hierarchy.finalize(self.last_commit);
+        self.stats.l2_accesses += drained;
         self.stats
+    }
+
+    /// Audits the hierarchy's accounting after a run (see
+    /// [`cachesim::audit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the full audit report if any conservation law is violated.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> Result<(), cachesim::audit::AuditReport> {
+        self.hierarchy.audit()
     }
 
     /// Processes a single instruction through the pipeline timing model.
@@ -476,6 +489,47 @@ mod tests {
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut VecTrace::new(ops), 2000);
         assert!(stats.cycles >= 50 * 20, "serial divides bound the runtime");
+    }
+
+    #[test]
+    fn trailing_decay_writeback_is_charged() {
+        // Regression: a dirty L1D line decaying after the program's last
+        // memory reference (here: during a long non-memory tail) must
+        // still have its forced writeback charged as an L2 access.
+        let decay = cachesim::DecayConfig {
+            interval_cycles: 512,
+            policy: cachesim::DecayPolicy::NoAccess,
+            tags_decay: true,
+            behavior: cachesim::StandbyBehavior::Losing,
+            sleep_settle_cycles: 30,
+            wake_settle_cycles: 3,
+        };
+        let mut ops = vec![MicroOp::store(0x1000, 1, 0x5000)];
+        for _ in 0..400 {
+            ops.push(MicroOp {
+                class: OpClass::IntDiv,
+                ..MicroOp::alu(0x1008, 1, Some(1), None)
+            });
+        }
+        let mut core = table2_core(11, Some(decay)).unwrap();
+        let n = ops.len() as u64;
+        let stats = core.run(&mut VecTrace::new(ops), n);
+        let h = core.hierarchy();
+        assert!(
+            h.l1d().stats().decay_writebacks >= 1,
+            "the dirty line must decay during the divide tail"
+        );
+        assert_eq!(
+            h.decay_writebacks_drained(),
+            h.l1d().stats().decay_writebacks,
+            "every forced writeback must reach the energy accounting"
+        );
+        assert!(
+            stats.l2_accesses >= h.l1d().stats().decay_writebacks,
+            "drained writebacks are charged as L2 traffic"
+        );
+        #[cfg(feature = "audit")]
+        core.audit().expect("post-run accounting conserves");
     }
 
     #[test]
