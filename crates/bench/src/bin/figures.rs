@@ -188,7 +188,7 @@ fn print_thermal(study: &Study) {
     let params = ThermalParams {
         r_th: 18.0,
         c_th: 20.0,
-        t_ambient: 318.15,
+        t_ambient: units::Kelvin::new(318.15),
     };
     for b in [
         specgen::Benchmark::Gzip,

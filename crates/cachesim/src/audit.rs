@@ -33,6 +33,8 @@
 use std::error::Error;
 use std::fmt;
 
+use units::Cycles;
+
 use crate::stats::CacheStats;
 
 /// One violated conservation law, with the numbers that broke it.
@@ -53,9 +55,9 @@ pub enum AuditViolation {
     /// The mode-cycle integrals do not partition the run's line-cycles.
     ModeCycleTotal {
         /// Sum of the active/standby/transitioning buckets.
-        total: u64,
+        total: Cycles,
         /// `num_lines × finalized_at`.
-        expected: u64,
+        expected: Cycles,
         /// Lines in the cache.
         num_lines: u64,
         /// The cycle the cache was finalized at.
@@ -200,7 +202,7 @@ pub fn check_cache_stats(
 
     if let Some(at) = finalized_at {
         let total = stats.mode_cycles.total();
-        let expected = num_lines * at;
+        let expected = Cycles::new(num_lines * at);
         if total != expected {
             violations.push(AuditViolation::ModeCycleTotal {
                 total,
@@ -261,9 +263,9 @@ mod tests {
             sleeps: 40,
             wakes: 30,
             mode_cycles: ModeCycles {
-                active: 600,
-                standby: 300,
-                transitioning: 124,
+                active: Cycles::new(600),
+                standby: Cycles::new(300),
+                transitioning: Cycles::new(124),
             },
             ..CacheStats::default()
         }
@@ -289,7 +291,7 @@ mod tests {
     #[test]
     fn lost_line_cycles_trip_mode_conservation() {
         let mut s = consistent_stats();
-        s.mode_cycles.standby -= 7; // 7 line-cycles leaked out of the integral
+        s.mode_cycles.standby -= Cycles::new(7); // 7 line-cycles leaked out of the integral
         let v = check_cache_stats(&s, 1024, Some(1), true);
         assert!(
             matches!(v.as_slice(), [AuditViolation::ModeCycleTotal { .. }]),

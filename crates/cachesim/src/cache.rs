@@ -21,6 +21,7 @@
 //! definition hardware proposals use (they, too, cannot run a shadow cache).
 
 use serde::{Deserialize, Serialize};
+use units::Cycles;
 
 use crate::config::{CacheConfig, ConfigError};
 use crate::decay::{
@@ -66,6 +67,49 @@ pub struct AccessResult {
     pub tag_probes: u32,
     /// A standby line was woken by this access (for transition energy).
     pub woke_line: bool,
+}
+
+/// Data state of one line as seen through [`Cache::line_view`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineDataView {
+    /// Never filled (or invalidated).
+    Empty,
+    /// Valid and clean.
+    Clean,
+    /// Valid and dirty (must be written back before data is discarded).
+    Dirty,
+    /// Tag remembered but data lost to decay (non-state-preserving).
+    Ghost,
+}
+
+/// Read-only snapshot of one line's internal state ([`Cache::line_view`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineView {
+    /// The resident (or ghost) tag.
+    pub tag: u64,
+    /// Data state.
+    pub data: LineDataView,
+    /// Raw power mode (transitions may have completed in wall-clock terms;
+    /// resolve with [`LineView::resolved_mode`]).
+    pub mode: LineMode,
+    /// Cycle the current mode began.
+    pub mode_since: u64,
+    /// The per-line two-bit decay counter.
+    pub local_counter: u8,
+    /// Monotone recency stamp (larger = more recently used).
+    pub lru_stamp: u64,
+}
+
+impl LineView {
+    /// The mode the line is effectively in at cycle `now`, collapsing
+    /// transitions whose settle deadline has passed.
+    pub fn resolved_mode(&self, now: u64) -> LineMode {
+        match self.mode {
+            LineMode::GoingToSleep { until } if now > until => LineMode::Standby,
+            LineMode::Waking { until } if now > until => LineMode::Active,
+            m => m,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -165,28 +209,28 @@ impl Cache {
         loop {
             match line.mode {
                 LineMode::Active => {
-                    stats.mode_cycles.active += now - since;
+                    stats.mode_cycles.active += Cycles::new(now - since);
                     break;
                 }
                 LineMode::Standby => {
-                    stats.mode_cycles.standby += now - since;
+                    stats.mode_cycles.standby += Cycles::new(now - since);
                     break;
                 }
                 LineMode::GoingToSleep { until } => {
                     if now <= until {
-                        stats.mode_cycles.transitioning += now - since;
+                        stats.mode_cycles.transitioning += Cycles::new(now - since);
                         break;
                     }
-                    stats.mode_cycles.transitioning += until - since;
+                    stats.mode_cycles.transitioning += Cycles::new(until - since);
                     line.mode = LineMode::Standby;
                     since = until;
                 }
                 LineMode::Waking { until } => {
                     if now <= until {
-                        stats.mode_cycles.transitioning += now - since;
+                        stats.mode_cycles.transitioning += Cycles::new(now - since);
                         break;
                     }
-                    stats.mode_cycles.transitioning += until - since;
+                    stats.mode_cycles.transitioning += Cycles::new(until - since);
                     line.mode = LineMode::Active;
                     since = until;
                 }
@@ -252,6 +296,9 @@ impl Cache {
             let period = decay.quarter_interval();
             self.global = GlobalCounter::new(period);
             self.ticks_seen = 0;
+            // `pre-fix-stale-counter` (CI mutation smoke only) reverts this
+            // reset so the model checker can demonstrate the original bug.
+            #[cfg(not(feature = "pre-fix-stale-counter"))]
             for line in &mut self.lines {
                 line.local_counter = 0;
             }
@@ -261,6 +308,7 @@ impl Cache {
     /// The quarter-interval sweep: increment local counters, deactivate
     /// saturated (or, for the `simple` policy on full intervals, all) lines.
     fn sweep(&mut self, now: u64) {
+        // lint: allow(unwrap): sweep is only scheduled when decay is configured
         let decay = self.decay.expect("sweep only runs with decay enabled");
         let full_interval = self.global.wraps.is_multiple_of(4);
         for i in 0..self.lines.len() {
@@ -361,7 +409,7 @@ impl Cache {
                 if standby_ways > 0 {
                     extra += d.wake_settle_cycles;
                     tag_probes += standby_ways;
-                    self.stats.wake_stall_cycles += d.wake_settle_cycles as u64;
+                    self.stats.wake_stall_cycles += Cycles::new(u64::from(d.wake_settle_cycles));
                     self.stats.tag_probes += standby_ways as u64;
                 }
             }
@@ -448,6 +496,7 @@ impl Cache {
             // before they can even be checked (≥ wake settle); with live
             // tags only the data array wakes (1–2 cycles).
             LineMode::Standby | LineMode::GoingToSleep { .. } => {
+                // lint: allow(unwrap): a Standby line can only exist when decay is configured
                 let d = decay.expect("standby line implies decay enabled");
                 if d.tags_decay {
                     (d.wake_settle_cycles, true, true)
@@ -484,7 +533,7 @@ impl Cache {
         }
         // Both slow-hit settles and waking-line remainders stall the access;
         // charge them all (delayed-hit waits used to be silently dropped).
-        self.stats.wake_stall_cycles += extra as u64;
+        self.stats.wake_stall_cycles += Cycles::new(u64::from(extra));
         AccessResult {
             hit: true,
             extra_latency: extra,
@@ -524,6 +573,26 @@ impl Cache {
             let line = &self.lines[i];
             line.tag == tag && matches!(line.data, LineData::Valid { .. })
         })
+    }
+
+    /// Read-only view of line `index`'s internal state (way-major order:
+    /// line `set * assoc + way`), for the model checker and white-box
+    /// tests. Panics if `index` is out of range.
+    pub fn line_view(&self, index: usize) -> LineView {
+        let line = &self.lines[index];
+        LineView {
+            tag: line.tag,
+            data: match line.data {
+                LineData::Empty => LineDataView::Empty,
+                LineData::Valid { dirty: false } => LineDataView::Clean,
+                LineData::Valid { dirty: true } => LineDataView::Dirty,
+                LineData::Ghost => LineDataView::Ghost,
+            },
+            mode: line.mode,
+            mode_since: line.mode_since,
+            local_counter: line.local_counter,
+            lru_stamp: line.lru_stamp,
+        }
     }
 
     /// Current number of lines whose mode would be `Standby` at `now`
@@ -781,13 +850,13 @@ mod tests {
         let at = c.finalized_at().expect("just finalized");
         assert!(at >= now);
         let mc = c.stats().mode_cycles;
-        let expect = c.config().num_lines() as u64 * at;
+        let expect = Cycles::new(c.config().num_lines() as u64 * at);
         assert_eq!(
             mc.total(),
             expect,
             "every line-cycle lands in exactly one bucket"
         );
-        assert!(mc.standby > 0);
+        assert!(mc.standby > Cycles::ZERO);
     }
 
     #[test]
@@ -857,7 +926,7 @@ mod tests {
         assert!(!r2.woke_line, "the slow hit already charged the wake");
         assert_eq!(
             c.stats().wake_stall_cycles,
-            5,
+            Cycles::new(5),
             "both the settle and the waking remainder are stalls"
         );
         assert_eq!(c.stats().slow_hits, 1);

@@ -10,6 +10,7 @@
 //! lines to standby every interval regardless of history.
 
 use serde::{Deserialize, Serialize};
+use units::{Cycles, PerCycle};
 
 /// What happens to a line's contents in standby mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -55,6 +56,17 @@ pub struct DecayConfig {
 }
 
 impl DecayConfig {
+    /// The decay interval as a typed cycle count.
+    pub fn interval(&self) -> Cycles {
+        Cycles::new(self.interval_cycles)
+    }
+
+    /// Decay sweeps per cycle: the global counter fires four times per
+    /// interval, so the sweep rate is `4 / interval`.
+    pub fn sweep_rate(&self) -> PerCycle {
+        PerCycle::rate(4, self.interval())
+    }
+
     /// Quarter of the decay interval — the global counter's period.
     pub fn quarter_interval(&self) -> u64 {
         (self.interval_cycles / 4).max(1)

@@ -41,10 +41,11 @@ pub mod cache;
 pub mod config;
 pub mod decay;
 pub mod hierarchy;
+pub mod modelcheck;
 pub mod reuse;
 pub mod stats;
 
-pub use cache::{AccessKind, AccessResult, Cache, MissKind};
+pub use cache::{AccessKind, AccessResult, Cache, LineDataView, LineView, MissKind};
 pub use config::{CacheConfig, ConfigError};
 pub use decay::{DecayConfig, DecayPolicy, LineMode, StandbyBehavior, MIN_DECAY_INTERVAL_CYCLES};
 pub use hierarchy::{DataAccessOutcome, Hierarchy, HierarchyConfig};

@@ -1,0 +1,499 @@
+//! Exhaustive model checking of the per-line leakage-mode state machine.
+//!
+//! The decay machinery in [`crate::cache`] is a concurrent product of small
+//! per-line state machines (Active / GoingToSleep / Standby / Waking × a
+//! two-bit idle counter × data state) driven by the hierarchical counter
+//! sweep. Its unit tests probe *chosen* scenarios; this module instead
+//! enumerates **every reachable state** of a small cache under a complete
+//! event alphabet and asserts the structural invariants on each transition:
+//!
+//! 1. **Dirty data is never lost silently** — under non-state-preserving
+//!    standby, every `Dirty → Ghost` step writes back (and is counted), and
+//!    no deactivated line still claims valid data.
+//! 2. **`wakes ≤ sleeps`** — a line cannot be woken more often than it was
+//!    put to sleep.
+//! 3. **Mode-cycle partition closure** — at any instant, finalizing the
+//!    cache accounts every line-cycle to exactly one bucket
+//!    (`total == num_lines × cycle`).
+//! 4. **No transition leaves the two-bit counter stale** — in particular,
+//!    [`crate::Cache::set_decay_interval`] must restart every line's idle
+//!    history (the historical stale-counter bug, reproducible here by
+//!    building with `--features pre-fix-stale-counter`).
+//! 5. **Behavior separation** — preserving standby never induces a miss;
+//!    losing standby never produces a slow hit.
+//!
+//! The exploration is a breadth-first search over *canonical* states, so a
+//! reported violation comes with a **minimal event trace** from the reset
+//! state. Timing is normalized — every event either happens at the current
+//! cycle or advances time by exactly one quarter interval (which exceeds
+//! every settle time) — so the reachable space is finite and small
+//! (hundreds of states per configuration).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cache::{Cache, LineDataView, LineView};
+use crate::config::CacheConfig;
+use crate::decay::{DecayConfig, DecayPolicy, LineMode, StandbyBehavior, LOCAL_COUNTER_MAX};
+use crate::AccessKind;
+
+/// Decay interval used by the checker: the quarter interval (64) exceeds
+/// the longest settle time in Table 1 (30 cycles for gated sleep), so one
+/// `IdleQuarter` event always completes every pending transition.
+pub const CHECK_INTERVAL_CYCLES: u64 = 256;
+
+/// Cap on explored states per configuration; the reachable spaces are a few
+/// hundred states, so hitting this means the abstraction broke, not that
+/// the machine grew.
+pub const MAX_STATES: usize = 100_000;
+
+/// One step of the event alphabet the checker drives the cache with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Advance time by one quarter interval (one global-counter sweep; all
+    /// pending transitions settle).
+    IdleQuarter,
+    /// Read tag `0..num_tags` at the current cycle.
+    Read(u8),
+    /// Write tag `0..num_tags` at the current cycle.
+    Write(u8),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::IdleQuarter => write!(f, "idle-quarter"),
+            Event::Read(t) => write!(f, "read {}", char::from(b'A' + t)),
+            Event::Write(t) => write!(f, "write {}", char::from(b'A' + t)),
+        }
+    }
+}
+
+/// A violated invariant with the shortest event trace that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Which invariant failed, with the offending values.
+    pub violation: String,
+    /// Minimal event sequence from the reset state to the violation.
+    pub trace: Vec<Event>,
+    /// The configuration under which it was found.
+    pub config: DecayConfig,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariant violated under {:?}/{:?} (interval {}): {}",
+            self.config.policy, self.config.behavior, self.config.interval_cycles, self.violation
+        )?;
+        writeln!(f, "minimal trace ({} events):", self.trace.len())?;
+        for (i, e) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of one exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct canonical states reached.
+    pub states: usize,
+    /// Transitions taken (states × events, minus duplicates pruned late).
+    pub transitions: usize,
+    /// Ways in the (single-set) cache explored.
+    pub assoc: usize,
+}
+
+/// Canonical abstraction of one reachable cache state. Absolute cycle
+/// numbers, stats, and raw LRU stamps are erased; what remains determines
+/// all future behavior of the machine under the normalized event alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    /// Per line: (mode kind, settle cycles still pending at the current
+    /// clock, two-bit counter, data state, tag, LRU rank within the set).
+    lines: Vec<(u8, u64, u8, u8, u64, u8)>,
+    /// Global-counter wrap phase within the full interval (drives the
+    /// `simple` policy's full-interval flush).
+    wrap_phase: u64,
+}
+
+fn data_code(d: LineDataView) -> u8 {
+    match d {
+        LineDataView::Empty => 0,
+        LineDataView::Clean => 1,
+        LineDataView::Dirty => 2,
+        LineDataView::Ghost => 3,
+    }
+}
+
+fn mode_code(mode: LineMode, now: u64) -> (u8, u64) {
+    match mode {
+        LineMode::Active => (0, 0),
+        LineMode::GoingToSleep { until } if now > until => (2, 0),
+        LineMode::GoingToSleep { until } => (1, until - now),
+        LineMode::Standby => (2, 0),
+        LineMode::Waking { until } if now > until => (0, 0),
+        LineMode::Waking { until } => (3, until - now),
+    }
+}
+
+fn canonical_key(cache: &Cache) -> Key {
+    let now = cache.clock();
+    let n = cache.config().num_lines();
+    let views: Vec<LineView> = (0..n).map(|i| cache.line_view(i)).collect();
+    // LRU rank: position of each line's stamp in the sorted stamp order.
+    let mut stamps: Vec<u64> = views.iter().map(|v| v.lru_stamp).collect();
+    stamps.sort_unstable();
+    let lines = views
+        .iter()
+        .map(|v| {
+            let (mode, pending) = mode_code(v.mode, now);
+            let rank = stamps.iter().position(|&s| s == v.lru_stamp).unwrap_or(0) as u8;
+            (
+                mode,
+                pending,
+                v.local_counter,
+                data_code(v.data),
+                v.tag,
+                rank,
+            )
+        })
+        .collect();
+    Key {
+        lines,
+        wrap_phase: cache.stats().global_counter_wraps % 4,
+    }
+}
+
+/// Observable deltas an event is allowed to produce, captured before/after.
+#[derive(Debug, Clone)]
+struct Observation {
+    views_before: Vec<LineView>,
+    decay_writebacks_before: u64,
+}
+
+fn observe(cache: &Cache) -> Observation {
+    let n = cache.config().num_lines();
+    Observation {
+        views_before: (0..n).map(|i| cache.line_view(i)).collect(),
+        decay_writebacks_before: cache.stats().decay_writebacks,
+    }
+}
+
+/// Applies `event` to `cache` (mutating it) under the normalized timing.
+fn apply(cache: &mut Cache, event: Event) {
+    let quarter = cache
+        .decay_config()
+        .map(|d| d.quarter_interval())
+        .unwrap_or(1);
+    match event {
+        Event::IdleQuarter => {
+            let now = cache.clock() + quarter;
+            cache.advance_to(now);
+        }
+        Event::Read(t) => {
+            let addr = u64::from(t) * cache.config().line_bytes as u64;
+            cache.access(addr, AccessKind::Read, cache.clock());
+        }
+        Event::Write(t) => {
+            let addr = u64::from(t) * cache.config().line_bytes as u64;
+            cache.access(addr, AccessKind::Write, cache.clock());
+        }
+    }
+}
+
+/// Checks every invariant on the post-state of one transition. Returns a
+/// description of the first violation found.
+fn check_invariants(cache: &Cache, obs: &Observation, decay: &DecayConfig) -> Option<String> {
+    let stats = cache.stats();
+    let now = cache.clock();
+    let n = cache.config().num_lines();
+    let views: Vec<LineView> = (0..n).map(|i| cache.line_view(i)).collect();
+
+    // (2) Structural wake/sleep pairing.
+    if stats.wakes > stats.sleeps {
+        return Some(format!(
+            "wakes ({}) exceeded sleeps ({}): a line was woken that was never put to sleep",
+            stats.wakes, stats.sleeps
+        ));
+    }
+
+    // (1) Non-state-preserving standby must not retain valid data, and
+    // every dirty line it ghosts must be written back.
+    if decay.behavior == StandbyBehavior::Losing {
+        for (i, v) in views.iter().enumerate() {
+            let off = !matches!(
+                v.resolved_mode(now),
+                LineMode::Active | LineMode::Waking { .. }
+            );
+            if off && matches!(v.data, LineDataView::Clean | LineDataView::Dirty) {
+                return Some(format!(
+                    "line {i} deactivated ({:?}) while still claiming valid data ({:?}): \
+                     Active→Off without discarding/writing back",
+                    v.resolved_mode(now),
+                    v.data
+                ));
+            }
+        }
+        let dirty_ghosted = obs
+            .views_before
+            .iter()
+            .zip(&views)
+            .filter(|(b, a)| {
+                b.data == LineDataView::Dirty && a.data == LineDataView::Ghost && b.tag == a.tag
+            })
+            .count() as u64;
+        let wb_delta = stats.decay_writebacks - obs.decay_writebacks_before;
+        if wb_delta != dirty_ghosted {
+            return Some(format!(
+                "{dirty_ghosted} dirty line(s) were ghosted but {wb_delta} decay writeback(s) \
+                 were recorded: dirty data lost without writeback"
+            ));
+        }
+    } else {
+        // (5) Preserving standby can never induce a miss or ghost a line.
+        if stats.induced_misses != 0 {
+            return Some(format!(
+                "state-preserving standby recorded {} induced miss(es)",
+                stats.induced_misses
+            ));
+        }
+        if let Some(i) = views.iter().position(|v| v.data == LineDataView::Ghost) {
+            return Some(format!("line {i} became a ghost under preserving standby"));
+        }
+    }
+    if decay.behavior == StandbyBehavior::Losing && stats.slow_hits != 0 {
+        return Some(format!(
+            "non-state-preserving standby recorded {} slow hit(s)",
+            stats.slow_hits
+        ));
+    }
+
+    // (4a) The two-bit counter stays in range and is reset by any access
+    // that refilled or touched the line this cycle (hit/refill paths zero
+    // it; sweeps may since have advanced it, but never beyond saturation).
+    for (i, v) in views.iter().enumerate() {
+        if v.local_counter > LOCAL_COUNTER_MAX {
+            return Some(format!(
+                "line {i} two-bit counter out of range: {}",
+                v.local_counter
+            ));
+        }
+    }
+
+    // (4b) Interval-change probe: from *any* reachable state, changing the
+    // decay interval must restart every line's idle history. This is the
+    // PR 2 stale-counter bug; `--features pre-fix-stale-counter` reverts
+    // the fix and this probe finds it with a minimal trace.
+    let mut probe = cache.clone();
+    probe.set_decay_interval(4 * decay.interval_cycles);
+    for i in 0..n {
+        let c = probe.line_view(i).local_counter;
+        if c != 0 {
+            return Some(format!(
+                "set_decay_interval left line {i}'s two-bit counter stale at {c}: idle \
+                 history must restart with the new interval"
+            ));
+        }
+    }
+
+    // (3) Mode-cycle partition closure: finalizing at any instant accounts
+    // every line-cycle exactly once.
+    let mut probe = cache.clone();
+    probe.finalize(now);
+    // lint: allow(unwrap): finalize was called on the probe two lines up
+    let at = probe.finalized_at().expect("just finalized");
+    let total = probe.stats().mode_cycles.total();
+    let expected = units::Cycles::new(n as u64 * at);
+    if total != expected {
+        return Some(format!(
+            "mode-cycle partition leak: buckets sum to {total} but {n} lines × {at} cycles \
+             = {expected}"
+        ));
+    }
+    None
+}
+
+/// Exhaustively explores one decay configuration on a single-set cache with
+/// `assoc` ways and `num_tags` distinct tags in the event alphabet.
+///
+/// # Errors
+///
+/// Returns the minimal [`Counterexample`] if any invariant is violated.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds [`MAX_STATES`] (an abstraction bug in
+/// the checker itself, not a property of the machine).
+pub fn explore(decay: DecayConfig, assoc: usize, num_tags: u8) -> Result<Report, Counterexample> {
+    let cfg = CacheConfig {
+        size_bytes: 64 * assoc,
+        assoc,
+        line_bytes: 64,
+        hit_latency: 1,
+    };
+    // lint: allow(unwrap): checker geometry is a fixed valid constant
+    let cache = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+
+    let mut events = vec![Event::IdleQuarter];
+    for t in 0..num_tags {
+        events.push(Event::Read(t));
+        events.push(Event::Write(t));
+    }
+
+    // BFS. `nodes` stores the parent links for trace reconstruction; the
+    // frontier carries the concrete caches.
+    let mut nodes: Vec<(usize, Option<Event>)> = vec![(0, None)];
+    let mut visited: HashMap<Key, usize> = HashMap::new();
+    visited.insert(canonical_key(&cache), 0);
+    let mut frontier: Vec<(usize, Cache)> = vec![(0, cache)];
+    let mut transitions = 0usize;
+
+    let trace_to = |nodes: &Vec<(usize, Option<Event>)>, mut idx: usize| -> Vec<Event> {
+        let mut trace = Vec::new();
+        while let (parent, Some(e)) = nodes[idx] {
+            trace.push(e);
+            idx = parent;
+        }
+        trace.reverse();
+        trace
+    };
+
+    while let Some((node_idx, cache)) = frontier.pop() {
+        for &event in &events {
+            transitions += 1;
+            let obs = observe(&cache);
+            let mut next = cache.clone();
+            apply(&mut next, event);
+            if let Some(violation) = check_invariants(&next, &obs, &decay) {
+                let mut trace = trace_to(&nodes, node_idx);
+                trace.push(event);
+                return Err(Counterexample {
+                    violation,
+                    trace,
+                    config: decay,
+                });
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                visited.entry(canonical_key(&next))
+            {
+                let idx = nodes.len();
+                nodes.push((node_idx, Some(event)));
+                slot.insert(idx);
+                assert!(
+                    nodes.len() <= MAX_STATES,
+                    "state space exceeded {MAX_STATES}: checker abstraction is broken"
+                );
+                frontier.push((idx, next));
+            }
+        }
+    }
+
+    Ok(Report {
+        states: nodes.len(),
+        transitions,
+        assoc,
+    })
+}
+
+/// The four studied decay configurations (both policies × both standby
+/// behaviors) with the paper's Table 1 settle times.
+pub fn studied_configs() -> [DecayConfig; 4] {
+    let base = |policy, behavior, sleep| DecayConfig {
+        interval_cycles: CHECK_INTERVAL_CYCLES,
+        policy,
+        tags_decay: true,
+        behavior,
+        sleep_settle_cycles: sleep,
+        wake_settle_cycles: 3,
+    };
+    [
+        base(DecayPolicy::NoAccess, StandbyBehavior::Losing, 30),
+        base(DecayPolicy::NoAccess, StandbyBehavior::Preserving, 3),
+        base(DecayPolicy::Simple, StandbyBehavior::Losing, 30),
+        base(DecayPolicy::Simple, StandbyBehavior::Preserving, 3),
+    ]
+}
+
+/// Runs the exhaustive exploration for every studied configuration on both
+/// a direct-mapped single line and a 2-way set (three tags, so replacement
+/// pressure on valid lines is reachable).
+///
+/// # Errors
+///
+/// Returns the first minimal [`Counterexample`] found.
+pub fn check_all() -> Result<Vec<Report>, Counterexample> {
+    let mut reports = Vec::new();
+    for decay in studied_configs() {
+        reports.push(explore(decay, 1, 2)?);
+        reports.push(explore(decay, 2, 3)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn exploration_is_finite_and_nontrivial() {
+        let decay = studied_configs()[0];
+        let report = explore(decay, 1, 2).expect("invariants hold");
+        assert!(
+            report.states > 20,
+            "a 1-line losing cache has dozens of reachable states, got {}",
+            report.states
+        );
+        assert!(report.transitions >= report.states);
+    }
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn all_studied_configurations_satisfy_the_invariants() {
+        match check_all() {
+            Ok(reports) => {
+                assert_eq!(reports.len(), 8);
+                for r in &reports {
+                    assert!(r.states > 10, "degenerate exploration: {r:?}");
+                }
+            }
+            Err(ce) => panic!("model checker found a violation:\n{ce}"),
+        }
+    }
+
+    /// With the stale-counter fix reverted, the checker must rediscover the
+    /// historical bug — and because the interval-change probe runs on every
+    /// state, the minimal trace is just the shortest path to a non-zero
+    /// two-bit counter.
+    #[cfg(feature = "pre-fix-stale-counter")]
+    #[test]
+    fn checker_rediscovers_the_stale_counter_bug() {
+        let ce = check_all().expect_err("reverted fix must be caught");
+        assert!(
+            ce.violation.contains("stale"),
+            "wrong violation reported: {ce}"
+        );
+        assert!(
+            !ce.trace.is_empty() && ce.trace.len() <= 4,
+            "counterexample should be minimal, got {} events:\n{ce}",
+            ce.trace.len()
+        );
+        println!("{ce}");
+    }
+
+    #[test]
+    fn counterexample_display_is_readable() {
+        let ce = Counterexample {
+            violation: "example".into(),
+            trace: vec![Event::Read(0), Event::IdleQuarter, Event::Write(1)],
+            config: studied_configs()[0],
+        };
+        let s = ce.to_string();
+        assert!(s.contains("read A"));
+        assert!(s.contains("idle-quarter"));
+        assert!(s.contains("write B"));
+    }
+}

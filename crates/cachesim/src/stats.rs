@@ -9,6 +9,7 @@
 //! simulation; see the `audit` module for the full list.
 
 use serde::{Deserialize, Serialize};
+use units::{Cycles, PerCycle};
 
 /// Cycle-weighted occupancy of each line mode, accumulated by
 /// [`crate::Cache::tick`]. `standby` cycles are the gross leakage-saving
@@ -16,28 +17,24 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModeCycles {
     /// Line-cycles spent fully active.
-    pub active: u64,
+    pub active: Cycles,
     /// Line-cycles spent in low-leakage standby.
-    pub standby: u64,
+    pub standby: Cycles,
     /// Line-cycles spent settling (either direction) — leaking at the
     /// active rate but unavailable for normal access.
-    pub transitioning: u64,
+    pub transitioning: Cycles,
 }
 
 impl ModeCycles {
     /// Total line-cycles observed.
-    pub fn total(&self) -> u64 {
+    pub fn total(&self) -> Cycles {
         self.active + self.standby + self.transitioning
     }
 
     /// The *turnoff ratio*: fraction of line-cycles spent saving leakage
     /// (paper §2.3 — savings are proportional to this).
     pub fn turnoff_ratio(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.standby as f64 / self.total() as f64
-        }
+        self.standby.ratio_of(self.total())
     }
 }
 
@@ -67,7 +64,7 @@ pub struct CacheStats {
     /// Lines woken from standby.
     pub wakes: u64,
     /// Extra cycles added to accesses by wake-ups and tag wake-ups.
-    pub wake_stall_cycles: u64,
+    pub wake_stall_cycles: Cycles,
     /// Tag-only probes (waking/checking decayed tags).
     pub tag_probes: u64,
     /// Local (two-bit) counter increments performed.
@@ -94,8 +91,19 @@ impl CacheStats {
         if self.accesses() == 0 {
             0.0
         } else {
-            self.misses() as f64 / self.accesses() as f64
+            #[allow(clippy::cast_precision_loss)]
+            // lint: allow(lossy-cast): event counts are exact in f64
+            {
+                self.misses() as f64 / self.accesses() as f64
+            }
         }
+    }
+
+    /// Rate of decay-induced misses per simulated cycle — the
+    /// dimensionally honest way to compare interference across runs of
+    /// different lengths.
+    pub fn induced_miss_rate(&self, span: Cycles) -> PerCycle {
+        PerCycle::rate(self.induced_misses, span)
     }
 }
 
@@ -106,9 +114,9 @@ mod tests {
     #[test]
     fn turnoff_ratio_bounds() {
         let mc = ModeCycles {
-            active: 25,
-            standby: 75,
-            transitioning: 0,
+            active: Cycles::new(25),
+            standby: Cycles::new(75),
+            transitioning: Cycles::ZERO,
         };
         assert!((mc.turnoff_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(ModeCycles::default().turnoff_ratio(), 0.0);
@@ -129,5 +137,16 @@ mod tests {
     #[test]
     fn zero_access_miss_ratio_is_zero() {
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn induced_miss_rate_is_per_cycle() {
+        let s = CacheStats {
+            induced_misses: 8,
+            ..CacheStats::default()
+        };
+        let r = s.induced_miss_rate(Cycles::new(1000));
+        assert!((r.get() - 0.008).abs() < 1e-15);
+        assert_eq!(s.induced_miss_rate(Cycles::ZERO), PerCycle::ZERO);
     }
 }

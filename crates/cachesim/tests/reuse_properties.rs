@@ -1,0 +1,100 @@
+//! Property tests on the reuse-interval profiler: for any access stream,
+//! the distribution invariants the pricing model relies on must hold.
+
+use proptest::prelude::*;
+
+use cachesim::reuse::{ReuseProfiler, BUCKETS};
+
+/// An arbitrary access stream: line-ish addresses plus non-decreasing
+/// timestamps (gaps up to ~1 M cycles exercise most buckets).
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..4096, 0u64..1_000_000), 1..400).prop_map(|pairs| {
+        let mut now = 0u64;
+        pairs
+            .into_iter()
+            .map(|(line, gap)| {
+                now += gap;
+                (line * 64, now)
+            })
+            .collect()
+    })
+}
+
+fn profile(stream: &[(u64, u64)]) -> ReuseProfiler {
+    let mut p = ReuseProfiler::new();
+    for &(addr, now) in stream {
+        p.record(addr, now);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_access_is_a_first_touch_or_a_reuse(stream in arb_stream()) {
+        let p = profile(&stream);
+        prop_assert_eq!(
+            p.reuses() + p.lines_touched() as u64,
+            stream.len() as u64,
+            "accesses partition into first touches and reuses"
+        );
+    }
+
+    #[test]
+    fn histogram_counts_every_reuse_exactly_once(stream in arb_stream()) {
+        let p = profile(&stream);
+        let total: u64 = p.histogram().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, p.reuses());
+    }
+
+    #[test]
+    fn cdf_is_monotone_normalized_and_complements_disturbed(
+        stream in arb_stream(),
+        query in 1u64..1_000_000,
+    ) {
+        let p = profile(&stream);
+        let mut prev = 0.0;
+        for shift in 0..BUCKETS {
+            let f = p.fraction_reused_within(1 << shift);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev, "CDF must not decrease");
+            prev = f;
+        }
+        if p.reuses() > 0 {
+            prop_assert!((prev - 1.0).abs() < 1e-12, "CDF reaches 1 at the top bucket");
+        } else {
+            prop_assert_eq!(prev, 0.0);
+        }
+        let d = p.disturbed_fraction(query);
+        prop_assert!((d - (1.0 - p.fraction_reused_within(query))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_keeping_delivers_its_promise(stream in arb_stream(), keep in 0.0f64..1.0) {
+        let p = profile(&stream);
+        let d = p.interval_keeping(keep);
+        prop_assert!(d.is_power_of_two());
+        // Either the promise is met, or no power-of-two interval can meet
+        // it and the maximum is returned.
+        if p.fraction_reused_within(d) < keep {
+            prop_assert_eq!(d, 1u64 << (BUCKETS - 1));
+        }
+        // And it is the *smallest* such interval.
+        if d > 1 && p.fraction_reused_within(d) >= keep {
+            prop_assert!(p.fraction_reused_within(d / 2) < keep);
+        }
+    }
+
+    #[test]
+    fn timestamps_only_shift_reuse_counts_not_partition(stream in arb_stream(), offset in 0u64..1_000_000) {
+        // Shifting all timestamps by a constant preserves gaps, so the
+        // whole distribution is translation-invariant.
+        let p = profile(&stream);
+        let shifted: Vec<(u64, u64)> =
+            stream.iter().map(|&(a, t)| (a, t + offset)).collect();
+        let q = profile(&shifted);
+        prop_assert_eq!(p.reuses(), q.reuses());
+        prop_assert_eq!(p.histogram(), q.histogram());
+    }
+}

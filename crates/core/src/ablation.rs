@@ -217,7 +217,9 @@ pub fn bpred_sensitivity(
             perf_loss_pct: loss,
         });
     }
+    // lint: allow(unwrap): exactly two rows were pushed above
     let perfect = rows.pop().expect("two rows pushed");
+    // lint: allow(unwrap): exactly two rows were pushed above
     let real = rows.pop().expect("two rows pushed");
     Ok((real, perfect))
 }

@@ -208,7 +208,9 @@ pub fn best_interval_figures(
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for b in Benchmark::ALL {
+        // lint: allow(unwrap): the sweep produced exactly two equal chunks
         let d = best_of(per_pick.next().expect("drowsy sweep chunk").to_vec())?;
+        // lint: allow(unwrap): the sweep produced exactly two equal chunks
         let g = best_of(per_pick.next().expect("gated sweep chunk").to_vec())?;
         benchmarks.push(b.name().to_string());
         savings.0.push(d.net_savings_pct);

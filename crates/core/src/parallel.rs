@@ -34,12 +34,15 @@ where
                 if i >= items.len() {
                     return;
                 }
+                // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                 if first_error.lock().expect("error slot lock").is_some() {
                     return;
                 }
                 match f(&items[i]) {
+                    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                     Ok(r) => *slots[i].lock().expect("result slot lock") = Some(r),
                     Err(e) => {
+                        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                         let mut slot = first_error.lock().expect("error slot lock");
                         if slot.is_none() {
                             *slot = Some(e);
@@ -50,6 +53,7 @@ where
             });
         }
     });
+    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
     if let Some(e) = first_error.into_inner().expect("error slot lock") {
         return Err(e);
     }
@@ -57,7 +61,9 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
+                // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                 .expect("result slot lock")
+                // lint: allow(unwrap): every slot is filled before join returns
                 .expect("slot filled")
         })
         .collect())

@@ -9,9 +9,24 @@ use hotleakage::structure::SramArray;
 use hotleakage::Environment;
 use leakctl::Technique;
 use serde::{Deserialize, Serialize};
+use units::{Cycles, Joules, Seconds, Watts};
 use wattch::{EnergyLedger, Event, PowerModel};
 
 use crate::study::RawRun;
+
+/// Cell-count ratio of the 2 MB L2 to one 64 KB L1 array (Table 2
+/// geometry: 32× the capacity at the same line size).
+pub const L2_TO_L1_CELL_RATIO: f64 = 32.0;
+
+/// Lines in the Table 2 L1 D-cache (64 KB / 64 B lines).
+pub const TABLE2_L1D_LINES: usize = 1024;
+
+/// Bits per L1 data line (64 B).
+pub const TABLE2_LINE_BITS: usize = 512;
+
+/// Tag + status + replacement metadata bits per line (the paper puts the
+/// tags at 5-10 % of cache leakage; 30 bits of a 512-bit line is 5.5 %).
+pub const TABLE2_TAG_BITS: usize = 30;
 
 /// The L1D arrays whose leakage the study accounts (64 KB data + tags for
 /// the Table 2 geometry).
@@ -27,11 +42,8 @@ impl CacheArrays {
     /// The Table 2 L1 D-cache geometry.
     pub fn table2_l1d() -> Self {
         CacheArrays {
-            data: SramArray::cache_data_array(1024, 512),
-            // Tag + status + replacement metadata per line (the paper puts the
-            // tags at 5-10 % of cache leakage; 30 bits of a 512-bit line is
-            // 5.5 %).
-            tags: SramArray::cache_tag_array(1024, 30),
+            data: SramArray::cache_data_array(TABLE2_L1D_LINES, TABLE2_LINE_BITS),
+            tags: SramArray::cache_tag_array(TABLE2_L1D_LINES, TABLE2_TAG_BITS),
         }
     }
 
@@ -44,7 +56,7 @@ impl CacheArrays {
     /// (same geometry and V_t as the D-cache), the 2 MB L2 (built from
     /// high-V_t cells, standard for large lower-level arrays — but with 32×
     /// the cells it still leaks about as much as one L1), the register
-    /// file, and the predictor tables. Watts.
+    /// file, and the predictor tables.
     ///
     /// This power burns for the whole run regardless of technique, so it
     /// cancels between baseline and technique *except over the technique's
@@ -52,7 +64,7 @@ impl CacheArrays {
     /// cost (§2.3 item 4) extended to static energy, which Wattch+HotLeakage
     /// capture automatically in the paper. It is the term that makes
     /// slowdowns expensive and drives gated-V_ss's energy loss at slow L2s.
-    pub fn other_static_power(&self, env: &hotleakage::Environment) -> f64 {
+    pub fn other_static_power(&self, env: &hotleakage::Environment) -> Watts {
         use hotleakage::bsim3::{self, TransistorState};
         use hotleakage::technology::DeviceType;
         let l1i_data = self.data.leakage_power(env);
@@ -71,7 +83,8 @@ impl CacheArrays {
         // model.
         let cell = hotleakage::Cell::new(hotleakage::CellKind::Sram6t);
         let gate_frac = cell.gate_current(env) / cell.leakage_current(env).max(f64::MIN_POSITIVE);
-        let l2 = 32.0 * (l1i_data + l1i_tags) * (vth_ratio * (1.0 - gate_frac) + gate_frac);
+        let l2 = (l1i_data + l1i_tags)
+            * (L2_TO_L1_CELL_RATIO * (vth_ratio * (1.0 - gate_frac) + gate_frac));
         let regfile = SramArray::register_file(80, 64).leakage_power(env);
         let bpred = SramArray::new(
             4096,
@@ -79,7 +92,7 @@ impl CacheArrays {
             hotleakage::structure::EdgeLogic::for_array(4096, 8),
         )
         .map(|a| a.leakage_power(env))
-        .unwrap_or(0.0);
+        .unwrap_or(Watts::ZERO);
         l1i_data + l1i_tags + l2 + regfile + bpred
     }
 }
@@ -88,21 +101,21 @@ impl CacheArrays {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Priced {
     /// L1D leakage energy over the run (rows + edge + technique extra
-    /// hardware), joules.
-    pub leakage_j: f64,
-    /// Dynamic energy over the run (all structures + transitions), joules.
-    pub dynamic_j: f64,
-    /// Run duration, seconds.
-    pub seconds: f64,
+    /// hardware).
+    pub leakage_j: Joules,
+    /// Dynamic energy over the run (all structures + transitions).
+    pub dynamic_j: Joules,
+    /// Run duration.
+    pub seconds: Seconds,
 }
 
 impl Priced {
-    /// Average L1D leakage power, watts.
-    pub fn leakage_watts(&self) -> f64 {
-        if self.seconds > 0.0 {
+    /// Average L1D leakage power.
+    pub fn leakage_watts(&self) -> Watts {
+        if self.seconds > Seconds::ZERO {
             self.leakage_j / self.seconds
         } else {
-            0.0
+            Watts::ZERO
         }
     }
 }
@@ -123,22 +136,21 @@ pub fn price(
     env: &Environment,
     arrays: &CacheArrays,
 ) -> Result<Priced, hotleakage::ModelError> {
-    let clock_hz = env.tech().clock_hz;
-    let seconds = raw.cycles as f64 / clock_hz;
+    let clock = env.tech().clock();
+    let seconds = Cycles::new(raw.cycles).seconds_at(clock);
     let physics = technique.physics(env, &arrays.data, &arrays.tags)?;
 
     // ---- leakage ----
     let mc = raw.l1d.mode_cycles;
     let lines = arrays.lines() as u64;
-    let (active_cycles, standby_cycles) = if mc.total() == 0 {
+    let (active_cycles, standby_cycles) = if mc.total() == Cycles::ZERO {
         // No decay machinery ran (baseline): every line active every cycle.
-        (lines * raw.cycles, 0)
+        (Cycles::new(lines * raw.cycles), Cycles::ZERO)
     } else {
         (mc.active + mc.transitioning, mc.standby)
     };
-    let row_leak_j = (active_cycles as f64 * physics.active_row_watts
-        + standby_cycles as f64 * physics.standby_row_watts)
-        / clock_hz;
+    let row_leak_j = physics.active_row_watts * active_cycles.seconds_at(clock)
+        + physics.standby_row_watts * standby_cycles.seconds_at(clock);
     let edge_leak_j = (arrays.data.edge_power(env) + arrays.tags.edge_power(env)) * seconds;
     let extra_hw_j = physics.extra_hw_watts * seconds;
 
@@ -161,9 +173,11 @@ pub fn price(
         Event::CounterTick,
         raw.l1d.local_counter_ticks + raw.l1d.global_counter_wraps,
     );
-    ledger.deposit_joules(
-        raw.l1d.sleeps as f64 * technique.sleep_energy(&model, env)
-            + raw.l1d.wakes as f64 * technique.wake_energy(&model, env),
+    #[allow(clippy::cast_precision_loss)]
+    // lint: allow(lossy-cast): transition counts are far below 2^53
+    ledger.deposit(
+        (raw.l1d.sleeps as f64) * technique.sleep_energy(&model, env)
+            + (raw.l1d.wakes as f64) * technique.wake_energy(&model, env),
     );
 
     Ok(Priced {
@@ -185,9 +199,9 @@ pub fn price(
 /// Returns a description of the offending field.
 pub fn check_priced(p: &Priced) -> Result<(), String> {
     for (name, v) in [
-        ("leakage_j", p.leakage_j),
-        ("dynamic_j", p.dynamic_j),
-        ("seconds", p.seconds),
+        ("leakage_j", p.leakage_j.get()),
+        ("dynamic_j", p.dynamic_j.get()),
+        ("seconds", p.seconds.get()),
     ] {
         if !v.is_finite() || v < 0.0 {
             return Err(format!("{name} = {v} is not a finite non-negative value"));
@@ -199,8 +213,9 @@ pub fn check_priced(p: &Priced) -> Result<(), String> {
 /// The paper's net leakage savings, as a fraction of the baseline's L1D
 /// leakage energy: gross leakage reduction minus the extra dynamic energy
 /// the technique induced.
+// lint: allow(raw-f64): dimensionless fraction of baseline leakage
 pub fn net_savings(base: &Priced, tech: &Priced) -> f64 {
-    if base.leakage_j <= 0.0 {
+    if base.leakage_j <= Joules::ZERO {
         return 0.0;
     }
     let gross = base.leakage_j - tech.leakage_j;
@@ -209,11 +224,15 @@ pub fn net_savings(base: &Priced, tech: &Priced) -> f64 {
 }
 
 /// Performance loss of the technique run relative to baseline, percent.
+// lint: allow(raw-f64): dimensionless percentage
 pub fn perf_loss_pct(base_cycles: u64, tech_cycles: u64) -> f64 {
     if base_cycles == 0 {
         return 0.0;
     }
-    (tech_cycles as f64 - base_cycles as f64) / base_cycles as f64 * 100.0
+    #[allow(clippy::cast_precision_loss)]
+    // lint: allow(lossy-cast): cycle counts are far below 2^53
+    let (base, tech) = (base_cycles as f64, tech_cycles as f64);
+    (tech - base) / base * 100.0
 }
 
 #[cfg(test)]
@@ -244,7 +263,7 @@ mod tests {
         let arrays = CacheArrays::table2_l1d();
         let raw = baseline_raw(1_000_000);
         let p = price(&raw, &Technique::none(), &env(), &arrays).unwrap();
-        assert!(p.leakage_j > 0.0);
+        assert!(p.leakage_j > Joules::ZERO);
         // Doubling cycles doubles leakage energy.
         let p2 = price(
             &baseline_raw(2_000_000),
@@ -263,15 +282,15 @@ mod tests {
         let lines = arrays.lines() as u64;
         let mut raw = baseline_raw(cycles);
         raw.l1d.mode_cycles = ModeCycles {
-            active: lines * cycles / 4,
-            standby: lines * cycles * 3 / 4,
-            transitioning: 0,
+            active: Cycles::new(lines * cycles / 4),
+            standby: Cycles::new(lines * cycles * 3 / 4),
+            transitioning: Cycles::ZERO,
         };
         let gated = Technique::gated_vss(4096);
         let p_gated = price(&raw, &gated, &env(), &arrays).unwrap();
         let p_base = price(&baseline_raw(cycles), &Technique::none(), &env(), &arrays).unwrap();
         assert!(
-            p_gated.leakage_j < 0.5 * p_base.leakage_j,
+            p_gated.leakage_j < p_base.leakage_j * 0.5,
             "75% turnoff must save most row leakage: {} vs {}",
             p_gated.leakage_j,
             p_base.leakage_j
@@ -281,14 +300,14 @@ mod tests {
     #[test]
     fn net_savings_charges_dynamic_costs() {
         let base = Priced {
-            leakage_j: 100e-6,
-            dynamic_j: 500e-6,
-            seconds: 1e-3,
+            leakage_j: Joules::new(100e-6),
+            dynamic_j: Joules::new(500e-6),
+            seconds: Seconds::new(1e-3),
         };
         let tech = Priced {
-            leakage_j: 30e-6,
-            dynamic_j: 510e-6,
-            seconds: 1e-3,
+            leakage_j: Joules::new(30e-6),
+            dynamic_j: Joules::new(510e-6),
+            seconds: Seconds::new(1e-3),
         };
         // gross 70, dynamic cost 10 → net 60%.
         assert!((net_savings(&base, &tech) - 0.60).abs() < 1e-12);
@@ -308,13 +327,15 @@ mod tests {
         let hot = Environment::new(TechNode::N70, 0.9, 383.15).unwrap();
         let pc = price(&raw, &Technique::none(), &cool, &arrays).unwrap();
         let ph = price(&raw, &Technique::none(), &hot, &arrays).unwrap();
-        assert!(ph.leakage_j > 1.3 * pc.leakage_j);
+        assert!(ph.leakage_j > pc.leakage_j * 1.3);
         // Event-priced dynamic energy is temperature-independent, but the
         // bundled rest-of-chip static energy rises with temperature.
         assert!(ph.dynamic_j > pc.dynamic_j);
         let other_delta =
             (arrays.other_static_power(&hot) - arrays.other_static_power(&cool)) * pc.seconds;
-        assert!((ph.dynamic_j - pc.dynamic_j - other_delta).abs() < 1e-9 * ph.dynamic_j);
+        assert!(
+            (ph.dynamic_j - pc.dynamic_j - other_delta).get().abs() < 1e-9 * ph.dynamic_j.get()
+        );
     }
 
     #[test]
@@ -327,7 +348,7 @@ mod tests {
             &arrays,
         )
         .unwrap();
-        let w = p.leakage_watts();
+        let w = p.leakage_watts().get();
         assert!(
             w > 0.05 && w < 3.0,
             "L1D leakage {w} W out of plausible band"

@@ -61,9 +61,11 @@ pub fn fmt_interval(cycles: u64) -> String {
 pub fn render_table1() -> String {
     let d = leakctl::Technique::drowsy(1)
         .decay_config()
+        // lint: allow(unwrap): the drowsy config always sets a decay policy
         .expect("drowsy has decay");
     let g = leakctl::Technique::gated_vss(1)
         .decay_config()
+        // lint: allow(unwrap): the gated config always sets a decay policy
         .expect("gated has decay");
     let mut out = String::new();
     let _ = writeln!(out, "Table 1. Settling time (cycles).");

@@ -281,13 +281,16 @@ struct InFlight {
 
 impl InFlight {
     fn finish(&self) {
+        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
         *self.done.lock().expect("in-flight lock") = true;
         self.cv.notify_all();
     }
 
     fn wait(&self) {
+        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
         let mut done = self.done.lock().expect("in-flight lock");
         while !*done {
+            // lint: allow(unwrap): a poisoned condvar means a worker panicked; propagate
             done = self.cv.wait(done).expect("in-flight wait");
         }
     }
@@ -309,6 +312,7 @@ impl Drop for PendingGuard<'_> {
                 .cache
                 .shard(&self.key)
                 .lock()
+                // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                 .expect("cache shard lock");
             shard.remove(&self.key);
             drop(shard);
@@ -363,6 +367,7 @@ impl RunCache {
             .iter()
             .map(|s| {
                 s.lock()
+                    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                     .expect("cache shard lock")
                     .values()
                     .filter(|slot| matches!(slot, Slot::Ready(_)))
@@ -384,6 +389,7 @@ impl RunCache {
 
     /// The memoized run for `key`, if finished.
     pub fn get(&self, key: &RunKey) -> Option<RawRun> {
+        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
         match self.shard(key).lock().expect("cache shard lock").get(key) {
             Some(Slot::Ready(run)) => Some(**run),
             _ => None,
@@ -404,6 +410,7 @@ impl RunCache {
         run: impl FnOnce() -> Result<RawRun, StudyError>,
     ) -> Result<RawRun, StudyError> {
         loop {
+            // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
             let mut shard = self.shard(&key).lock().expect("cache shard lock");
             match shard.get(&key) {
                 Some(Slot::Ready(r)) => return Ok(**r),
@@ -427,6 +434,7 @@ impl RunCache {
                     let result = run();
                     guard.armed = false;
                     drop(guard);
+                    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                     let mut shard = self.shard(&key).lock().expect("cache shard lock");
                     match &result {
                         Ok(r) => {
@@ -662,6 +670,7 @@ impl Study {
                     if i >= specs.len() {
                         return;
                     }
+                    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                     if first_error.lock().expect("error slot lock").is_some() {
                         return;
                     }
@@ -671,6 +680,7 @@ impl Study {
                             .execute(spec.benchmark, &spec.technique, spec.l2_latency)
                     });
                     if let Err(e) = result {
+                        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
                         let mut slot = first_error.lock().expect("error slot lock");
                         if slot.is_none() {
                             *slot = Some(e);
@@ -680,6 +690,7 @@ impl Study {
                 });
             }
         });
+        // lint: allow(unwrap): all workers joined; the mutex cannot be shared
         match first_error.into_inner().expect("error slot lock") {
             Some(e) => Err(e),
             None => Ok(()),
@@ -868,7 +879,7 @@ mod tests {
             .raw_run(Benchmark::Gzip, &Technique::gated_vss(2048), 11)
             .unwrap();
         assert!(
-            r.l1d.mode_cycles.standby > 0,
+            r.l1d.mode_cycles.standby > units::Cycles::ZERO,
             "gated run must put lines in standby"
         );
         assert!(r.l1d.sleeps > 0);

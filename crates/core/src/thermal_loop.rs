@@ -10,6 +10,7 @@ use hotleakage::thermal::{SteadyState, ThermalNode, ThermalParams};
 use leakctl::Technique;
 use serde::{Deserialize, Serialize};
 use specgen::Benchmark;
+use units::{Kelvin, Watts};
 
 use crate::pricing::{self, CacheArrays};
 use crate::study::{RawRun, Study, StudyError};
@@ -19,8 +20,8 @@ use crate::study::{RawRun, Study, StudyError};
 pub struct ThermalOutcome {
     /// Steady-state junction temperature, °C (`None` on thermal runaway).
     pub temperature_c: Option<f64>,
-    /// Total chip power at the steady state, watts.
-    pub power_watts: f64,
+    /// Total chip power at the steady state.
+    pub power_watts: Watts,
 }
 
 /// Solves the coupled steady state for one recorded run: total power =
@@ -49,27 +50,27 @@ pub fn steady_state(
     let dynamic_watts =
         (priced.dynamic_j - arrays.other_static_power(&ref_env) * priced.seconds) / priced.seconds;
 
-    let power_at = |t_k: f64| -> f64 {
-        let t_c = (t_k - 273.15).clamp(-20.0, 175.0);
+    let power_at = |t: Kelvin| -> Watts {
+        let t_c = t.celsius().clamp(-20.0, 175.0);
         let env = match cfg.environment(t_c) {
             Ok(env) => env,
-            Err(_) => return f64::MAX, // outside fit validity: force runaway
+            Err(_) => return Watts::new(f64::MAX), // outside fit validity: force runaway
         };
         let leak = match pricing::price(raw, technique, &env, &arrays) {
             Ok(p) => p.leakage_j / p.seconds,
-            Err(_) => return f64::MAX,
+            Err(_) => return Watts::new(f64::MAX),
         };
         dynamic_watts + leak + arrays.other_static_power(&env)
     };
 
-    match node.steady_state(power_at, 273.15 + 170.0) {
-        SteadyState::Stable(t_k) => Ok(ThermalOutcome {
-            temperature_c: Some(t_k - 273.15),
-            power_watts: power_at(t_k),
+    match node.steady_state(power_at, Kelvin::new(273.15 + 170.0)) {
+        SteadyState::Stable(t) => Ok(ThermalOutcome {
+            temperature_c: Some(t.celsius()),
+            power_watts: power_at(t),
         }),
-        SteadyState::Runaway(t_k) => Ok(ThermalOutcome {
+        SteadyState::Runaway(t) => Ok(ThermalOutcome {
             temperature_c: None,
-            power_watts: power_at(t_k.min(400.0)),
+            power_watts: power_at(Kelvin::new(t.get().min(400.0))),
         }),
     }
 }
@@ -112,7 +113,7 @@ mod tests {
         ThermalParams {
             r_th: 18.0,
             c_th: 20.0,
-            t_ambient: 318.15,
+            t_ambient: Kelvin::new(318.15),
         }
     }
 

@@ -46,9 +46,9 @@ fn consistent_raw(cycles: u64) -> RawRun {
             hits: 90,
             true_misses: 10,
             mode_cycles: ModeCycles {
-                active: lines * cycles,
-                standby: 0,
-                transitioning: 0,
+                active: units::Cycles::new(lines * cycles),
+                standby: units::Cycles::ZERO,
+                transitioning: units::Cycles::ZERO,
             },
             ..CacheStats::default()
         },
@@ -118,7 +118,7 @@ fn lost_hit_in_a_cached_run_is_an_audit_failure() {
 #[test]
 fn leaked_line_cycles_in_a_cached_run_are_an_audit_failure() {
     let mut raw = consistent_raw(50_000);
-    raw.l1d.mode_cycles.active -= 13;
+    raw.l1d.mode_cycles.active -= units::Cycles::new(13);
     let err = audit_raw_run(&raw, true).unwrap_err();
     assert!(
         matches!(&err, StudyError::AuditFailed(msg) if msg.contains("line-cycle conservation")),
@@ -129,22 +129,22 @@ fn leaked_line_cycles_in_a_cached_run_are_an_audit_failure() {
 #[test]
 fn negative_or_non_finite_priced_energies_are_rejected() {
     let good = Priced {
-        leakage_j: 1e-6,
-        dynamic_j: 2e-6,
-        seconds: 1e-3,
+        leakage_j: units::Joules::new(1e-6),
+        dynamic_j: units::Joules::new(2e-6),
+        seconds: units::Seconds::new(1e-3),
     };
     assert!(pricing::check_priced(&good).is_ok());
     for bad in [
         Priced {
-            leakage_j: -1e-9,
+            leakage_j: units::Joules::new(-1e-9),
             ..good
         },
         Priced {
-            dynamic_j: f64::NAN,
+            dynamic_j: units::Joules::new(f64::NAN),
             ..good
         },
         Priced {
-            seconds: f64::INFINITY,
+            seconds: units::Seconds::new(f64::INFINITY),
             ..good
         },
     ] {

@@ -55,12 +55,12 @@ impl TransistorState {
         let tech = env.tech();
         let d: &DeviceParams = tech.device(device);
         Self {
-            mobility: d.mobility_at(env.temperature_k()),
+            mobility: d.mobility_at(env.temperature()),
             cox: tech.cox(),
             w_over_l: 1.0,
             vdd: env.vdd(),
             vdd0: tech.vdd0,
-            vth: d.vth_at(env.temperature_k()),
+            vth: d.vth_at(env.temperature()).get(),
             dibl_b: d.dibl_b,
             swing_n: d.swing_n,
             voff: d.voff,

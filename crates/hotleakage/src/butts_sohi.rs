@@ -72,7 +72,7 @@ impl ButtsSohiModel {
     /// point `env` (0 at the calibration point, growing as `env` departs
     /// from it).
     pub fn relative_error(&self, env: &Environment) -> f64 {
-        let truth = Cell::new(self.kind).leakage_power(env);
+        let truth = Cell::new(self.kind).leakage_power(env).get();
         if truth <= 0.0 {
             return 0.0;
         }

@@ -3,6 +3,7 @@
 //! (tunnelling) leakage.
 
 use serde::{Deserialize, Serialize};
+use units::Watts;
 
 use crate::gate_leakage;
 use crate::kdesign::{self, GateTopology, KDesign, Network};
@@ -92,7 +93,7 @@ impl CellKind {
 /// assert!(i > 0.0);
 /// // P_static = Vdd · I (Eq. 4, for a single cell)
 /// let p = bit.leakage_power(&env);
-/// assert!((p - env.vdd() * i).abs() < 1e-18);
+/// assert!((p.get() - env.vdd() * i).abs() < 1e-18);
 /// # Ok::<(), hotleakage::ModelError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -143,10 +144,10 @@ impl Cell {
         self.subthreshold_current(env) + self.gate_current(env)
     }
 
-    /// Static power of the cell, watts: `P = V_dd · I_cell` (paper Eq. 4
+    /// Static power of the cell: `P = V_dd · I_cell` (paper Eq. 4
     /// specialised to one cell).
-    pub fn leakage_power(&self, env: &Environment) -> f64 {
-        env.vdd() * self.leakage_current(env)
+    pub fn leakage_power(&self, env: &Environment) -> Watts {
+        Watts::new(env.vdd() * self.leakage_current(env))
     }
 }
 
@@ -212,7 +213,7 @@ mod tests {
     fn power_is_vdd_times_current() {
         let c = Cell::new(CellKind::Nand2);
         let e = env();
-        assert!((c.leakage_power(&e) - e.vdd() * c.leakage_current(&e)).abs() < 1e-20);
+        assert!((c.leakage_power(&e).get() - e.vdd() * c.leakage_current(&e)).abs() < 1e-20);
     }
 
     #[test]

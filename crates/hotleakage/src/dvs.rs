@@ -8,6 +8,7 @@
 //! segment.
 
 use serde::{Deserialize, Serialize};
+use units::{Joules, Kelvin, Seconds, Volts, Watts};
 
 use crate::error::ModelError;
 use crate::structure::SramArray;
@@ -16,12 +17,12 @@ use crate::Environment;
 /// One segment of a DVS/thermal schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
-    /// Supply voltage during the segment, volts.
-    pub vdd: f64,
-    /// Temperature during the segment, kelvin.
-    pub temperature_k: f64,
-    /// Segment duration, seconds.
-    pub seconds: f64,
+    /// Supply voltage during the segment.
+    pub vdd: Volts,
+    /// Temperature during the segment.
+    pub temperature: Kelvin,
+    /// Segment duration.
+    pub seconds: Seconds,
 }
 
 /// A piecewise-constant schedule of operating points.
@@ -29,15 +30,16 @@ pub struct Segment {
 /// ```
 /// use hotleakage::dvs::{Schedule, Segment};
 /// use hotleakage::{structure::SramArray, Environment, TechNode};
+/// use units::{Joules, Kelvin, Seconds, Volts};
 ///
 /// let schedule = Schedule::new(vec![
-///     Segment { vdd: 1.0, temperature_k: 360.0, seconds: 1e-3 },
-///     Segment { vdd: 0.7, temperature_k: 350.0, seconds: 1e-3 },
+///     Segment { vdd: Volts::new(1.0), temperature: Kelvin::new(360.0), seconds: Seconds::new(1e-3) },
+///     Segment { vdd: Volts::new(0.7), temperature: Kelvin::new(350.0), seconds: Seconds::new(1e-3) },
 /// ])?;
 /// let base = Environment::nominal(TechNode::N70);
 /// let array = SramArray::cache_data_array(1024, 512);
 /// let joules = schedule.leakage_energy(&base, &array)?;
-/// assert!(joules > 0.0);
+/// assert!(joules > Joules::ZERO);
 /// # Ok::<(), hotleakage::ModelError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,7 +61,7 @@ impl Schedule {
             ));
         }
         for s in &segments {
-            if !(s.seconds.is_finite() && s.seconds > 0.0) {
+            if !(s.seconds.is_finite() && s.seconds > Seconds::ZERO) {
                 return Err(ModelError::InvalidGeometry(format!(
                     "segment duration {} must be positive",
                     s.seconds
@@ -74,8 +76,8 @@ impl Schedule {
         &self.segments
     }
 
-    /// Total schedule duration, seconds.
-    pub fn duration(&self) -> f64 {
+    /// Total schedule duration.
+    pub fn duration(&self) -> Seconds {
         self.segments.iter().map(|s| s.seconds).sum()
     }
 
@@ -87,21 +89,31 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns [`ModelError`] if any segment is an invalid operating point.
-    pub fn leakage_energy(&self, base: &Environment, array: &SramArray) -> Result<f64, ModelError> {
-        let mut joules = 0.0;
+    pub fn leakage_energy(
+        &self,
+        base: &Environment,
+        array: &SramArray,
+    ) -> Result<Joules, ModelError> {
+        let mut joules = Joules::ZERO;
         for s in &self.segments {
-            let env = base.with_vdd(s.vdd)?.with_temperature(s.temperature_k)?;
+            let env = base
+                .with_vdd(s.vdd.get())?
+                .with_temperature(s.temperature.get())?;
             joules += array.leakage_power(&env) * s.seconds;
         }
         Ok(joules)
     }
 
-    /// Average leakage power over the schedule, watts.
+    /// Average leakage power over the schedule.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError`] if any segment is an invalid operating point.
-    pub fn average_power(&self, base: &Environment, array: &SramArray) -> Result<f64, ModelError> {
+    pub fn average_power(
+        &self,
+        base: &Environment,
+        array: &SramArray,
+    ) -> Result<Watts, ModelError> {
         Ok(self.leakage_energy(base, array)? / self.duration())
     }
 }
@@ -119,96 +131,57 @@ mod tests {
         SramArray::cache_data_array(1024, 512)
     }
 
+    fn seg(vdd: f64, t_k: f64, secs: f64) -> Segment {
+        Segment {
+            vdd: Volts::new(vdd),
+            temperature: Kelvin::new(t_k),
+            seconds: Seconds::new(secs),
+        }
+    }
+
     #[test]
     fn rejects_empty_and_nonpositive() {
         assert!(Schedule::new(vec![]).is_err());
-        assert!(Schedule::new(vec![Segment {
-            vdd: 1.0,
-            temperature_k: 300.0,
-            seconds: 0.0
-        }])
-        .is_err());
-        assert!(Schedule::new(vec![Segment {
-            vdd: 1.0,
-            temperature_k: 300.0,
-            seconds: f64::NAN
-        }])
-        .is_err());
+        assert!(Schedule::new(vec![seg(1.0, 300.0, 0.0)]).is_err());
+        assert!(Schedule::new(vec![seg(1.0, 300.0, f64::NAN)]).is_err());
     }
 
     #[test]
     fn constant_schedule_matches_direct_evaluation() {
-        let s = Schedule::new(vec![Segment {
-            vdd: 0.9,
-            temperature_k: 383.15,
-            seconds: 2e-3,
-        }])
-        .expect("valid");
+        let s = Schedule::new(vec![seg(0.9, 383.15, 2e-3)]).expect("valid");
         let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
-        let direct = array().leakage_power(&env) * 2e-3;
+        let direct = array().leakage_power(&env) * Seconds::new(2e-3);
         let via = s.leakage_energy(&base(), &array()).expect("valid");
-        assert!((via - direct).abs() < 1e-15);
+        assert!((via - direct).get().abs() < 1e-15);
     }
 
     #[test]
     fn dvs_saves_leakage_energy() {
-        let always_high = Schedule::new(vec![Segment {
-            vdd: 1.0,
-            temperature_k: 360.0,
-            seconds: 2e-3,
-        }])
-        .expect("valid");
-        let scaled = Schedule::new(vec![
-            Segment {
-                vdd: 1.0,
-                temperature_k: 360.0,
-                seconds: 1e-3,
-            },
-            Segment {
-                vdd: 0.6,
-                temperature_k: 360.0,
-                seconds: 1e-3,
-            },
-        ])
-        .expect("valid");
+        let always_high = Schedule::new(vec![seg(1.0, 360.0, 2e-3)]).expect("valid");
+        let scaled =
+            Schedule::new(vec![seg(1.0, 360.0, 1e-3), seg(0.6, 360.0, 1e-3)]).expect("valid");
         let high = always_high
             .leakage_energy(&base(), &array())
             .expect("valid");
         let less = scaled.leakage_energy(&base(), &array()).expect("valid");
         assert!(
-            less < 0.85 * high,
+            less < high * 0.85,
             "halving time at 0.6 V must save: {less} vs {high}"
         );
     }
 
     #[test]
     fn average_power_is_energy_over_time() {
-        let s = Schedule::new(vec![
-            Segment {
-                vdd: 0.9,
-                temperature_k: 360.0,
-                seconds: 1e-3,
-            },
-            Segment {
-                vdd: 0.7,
-                temperature_k: 340.0,
-                seconds: 3e-3,
-            },
-        ])
-        .expect("valid");
+        let s = Schedule::new(vec![seg(0.9, 360.0, 1e-3), seg(0.7, 340.0, 3e-3)]).expect("valid");
         let e = s.leakage_energy(&base(), &array()).expect("valid");
         let p = s.average_power(&base(), &array()).expect("valid");
-        assert!((p - e / 4e-3).abs() < 1e-12);
+        assert!((p - e / Seconds::new(4e-3)).get().abs() < 1e-12);
     }
 
     #[test]
     fn invalid_segment_point_is_reported() {
-        let s = Schedule::new(vec![Segment {
-            vdd: -0.5,
-            temperature_k: 300.0,
-            seconds: 1e-3,
-        }])
-        .expect("schedule builds; the operating point fails later");
+        let s = Schedule::new(vec![seg(-0.5, 300.0, 1e-3)])
+            .expect("schedule builds; the operating point fails later");
         assert!(s.leakage_energy(&base(), &array()).is_err());
     }
 }

@@ -29,7 +29,7 @@
 //! let env = Environment::new(TechNode::N70, 0.9, 383.15)?;
 //! let array = SramArray::cache_data_array(1024, 512);
 //! let watts = array.leakage_power(&env);
-//! assert!(watts > 0.0);
+//! assert!(watts > units::Watts::ZERO);
 //! # Ok::<(), hotleakage::ModelError>(())
 //! ```
 //!
@@ -179,6 +179,11 @@ impl Environment {
     }
 
     /// Current supply voltage in volts.
+    pub fn vdd_volts(&self) -> units::Volts {
+        units::Volts::new(self.vdd)
+    }
+
+    /// Supply voltage, volts (raw, for the BSIM3 fit internals).
     pub fn vdd(&self) -> f64 {
         self.vdd
     }
@@ -186,6 +191,11 @@ impl Environment {
     /// Current temperature in kelvin.
     pub fn temperature_k(&self) -> f64 {
         self.temperature_k
+    }
+
+    /// Junction temperature as a typed quantity.
+    pub fn temperature(&self) -> units::Kelvin {
+        units::Kelvin::new(self.temperature_k)
     }
 
     /// Current temperature in degrees Celsius.

@@ -12,8 +12,14 @@
 //! leaking) and [`SramArray::edge_power`] (what stays awake regardless).
 
 use serde::{Deserialize, Serialize};
+use units::Watts;
 
 use crate::cell::{Cell, CellKind};
+
+/// Documented conversion: device counts are exact in `f64` (< 2^53).
+fn count(n: usize) -> f64 {
+    n as f64 // lint: allow(lossy-cast): usize device counts are exact in f64
+}
 use crate::error::ModelError;
 use crate::Environment;
 
@@ -45,17 +51,17 @@ impl EdgeLogic {
         }
     }
 
-    /// Total edge-logic leakage power at `env`, watts.
-    pub fn leakage_power(&self, env: &Environment) -> f64 {
+    /// Total edge-logic leakage power at `env`.
+    pub fn leakage_power(&self, env: &Environment) -> Watts {
         let nand3 = Cell::new(CellKind::Nand3).leakage_power(env);
         let inv = Cell::new(CellKind::Inverter).leakage_power(env);
         let sa = Cell::new(CellKind::SenseAmp).leakage_power(env);
         let nand2 = Cell::new(CellKind::Nand2).leakage_power(env);
-        self.decoder_nand3 as f64 * nand3
-            + self.wordline_inverters as f64 * inv
-            + self.sense_amps as f64 * sa
-            + self.precharge_inverters as f64 * inv
-            + self.output_nand2 as f64 * nand2
+        count(self.decoder_nand3) * nand3
+            + count(self.wordline_inverters) * inv
+            + count(self.sense_amps) * sa
+            + count(self.precharge_inverters) * inv
+            + count(self.output_nand2) * nand2
     }
 
     /// Total transistor count of the edge logic.
@@ -79,6 +85,7 @@ impl EdgeLogic {
 /// let total = data.leakage_power(&env);
 /// let one_row = data.row_power(&env);
 /// assert!(total > 1024.0 * one_row); // edge logic leaks on top of the cells
+///
 /// # Ok::<(), hotleakage::ModelError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +121,7 @@ impl SramArray {
             bits_per_line,
             EdgeLogic::for_array(lines, bits_per_line),
         )
+        // lint: allow(unwrap): dimensions are positive literals
         .expect("cache data array dimensions must be positive")
     }
 
@@ -125,6 +133,7 @@ impl SramArray {
     /// Panics if either dimension is zero.
     pub fn cache_tag_array(lines: usize, tag_bits: usize) -> Self {
         Self::new(lines, tag_bits, EdgeLogic::for_array(lines, tag_bits))
+            // lint: allow(unwrap): dimensions are positive literals
             .expect("cache tag array dimensions must be positive")
     }
 
@@ -140,6 +149,7 @@ impl SramArray {
         let mut edge = EdgeLogic::for_array(regs, width);
         edge.sense_amps *= 3;
         edge.decoder_nand3 *= 3;
+        // lint: allow(unwrap): dimensions are positive literals
         Self::new(regs, width, edge).expect("register file dimensions must be positive")
     }
 
@@ -158,26 +168,26 @@ impl SramArray {
         &self.edge
     }
 
-    /// Leakage power of a single 6T cell at `env`, watts.
-    pub fn cell_power(&self, env: &Environment) -> f64 {
+    /// Leakage power of a single 6T cell at `env`.
+    pub fn cell_power(&self, env: &Environment) -> Watts {
         Cell::new(CellKind::Sram6t).leakage_power(env)
     }
 
-    /// Leakage power of one full row of cells (no edge logic), watts.
+    /// Leakage power of one full row of cells (no edge logic).
     /// This is the quantum a leakage-control technique saves per standby
     /// line.
-    pub fn row_power(&self, env: &Environment) -> f64 {
-        self.cols as f64 * self.cell_power(env)
+    pub fn row_power(&self, env: &Environment) -> Watts {
+        count(self.cols) * self.cell_power(env)
     }
 
-    /// Leakage power of the always-on edge logic, watts.
-    pub fn edge_power(&self, env: &Environment) -> f64 {
+    /// Leakage power of the always-on edge logic.
+    pub fn edge_power(&self, env: &Environment) -> Watts {
         self.edge.leakage_power(env)
     }
 
-    /// Total leakage power of the array (all rows active + edge), watts.
-    pub fn leakage_power(&self, env: &Environment) -> f64 {
-        self.rows as f64 * self.row_power(env) + self.edge_power(env)
+    /// Total leakage power of the array (all rows active + edge).
+    pub fn leakage_power(&self, env: &Environment) -> Watts {
+        count(self.rows) * self.row_power(env) + self.edge_power(env)
     }
 
     /// Total transistor count (cells + edge), for Butts–Sohi style
@@ -203,8 +213,8 @@ mod tests {
         let array = SramArray::cache_data_array(1024, 512);
         let p = array.leakage_power(&env());
         assert!(
-            p > 5e-3 && p < 2.0,
-            "L1D leakage {p} W out of plausible band"
+            p > Watts::new(5e-3) && p < Watts::new(2.0),
+            "L1D leakage {p} out of plausible band"
         );
     }
 
@@ -212,7 +222,7 @@ mod tests {
     fn row_power_times_rows_below_total() {
         let array = SramArray::cache_data_array(256, 512);
         let e = env();
-        assert!(array.rows() as f64 * array.row_power(&e) < array.leakage_power(&e));
+        assert!(count(array.rows()) * array.row_power(&e) < array.leakage_power(&e));
     }
 
     #[test]
@@ -249,7 +259,7 @@ mod tests {
     #[test]
     fn register_file_leaks() {
         let rf = SramArray::register_file(80, 64);
-        assert!(rf.leakage_power(&env()) > 0.0);
+        assert!(rf.leakage_power(&env()) > Watts::ZERO);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! annotated below.
 
 use serde::{Deserialize, Serialize};
+use units::{Hertz, Kelvin, Volts};
 
 use crate::consts;
 
@@ -56,14 +57,14 @@ pub struct DeviceParams {
 }
 
 impl DeviceParams {
-    /// Threshold voltage magnitude at temperature `t_k`.
-    pub fn vth_at(&self, t_k: f64) -> f64 {
-        (self.vth0 + self.vth_tc * (t_k - consts::T_REF)).max(0.0)
+    /// Threshold voltage magnitude at temperature `t`.
+    pub fn vth_at(&self, t: Kelvin) -> Volts {
+        Volts::new((self.vth0 + self.vth_tc * (t.get() - consts::T_REF)).max(0.0))
     }
 
-    /// Mobility at temperature `t_k`, m²/(V·s).
-    pub fn mobility_at(&self, t_k: f64) -> f64 {
-        self.u0 * (t_k / consts::T_REF).powf(self.mobility_te)
+    /// Mobility at temperature `t`, m²/(V·s).
+    pub fn mobility_at(&self, t: Kelvin) -> f64 {
+        self.u0 * (t.get() / consts::T_REF).powf(self.mobility_te)
     }
 }
 
@@ -88,6 +89,11 @@ pub struct TechParams {
 }
 
 impl TechParams {
+    /// Nominal study clock at this node as a typed frequency.
+    pub fn clock(&self) -> Hertz {
+        Hertz::new(self.clock_hz)
+    }
+
     /// Gate-oxide capacitance per unit area, F/m².
     pub fn cox(&self) -> f64 {
         consts::oxide_capacitance(self.tox)
@@ -300,14 +306,14 @@ mod tests {
     #[test]
     fn vth_falls_with_temperature() {
         let d = TechNode::N70.params().nmos;
-        assert!(d.vth_at(383.15) < d.vth_at(300.0));
-        assert!(d.vth_at(383.15) > 0.0);
+        assert!(d.vth_at(Kelvin::new(383.15)) < d.vth_at(Kelvin::new(300.0)));
+        assert!(d.vth_at(Kelvin::new(383.15)) > Volts::ZERO);
     }
 
     #[test]
     fn mobility_falls_with_temperature() {
         let d = TechNode::N70.params().nmos;
-        assert!(d.mobility_at(383.15) < d.mobility_at(300.0));
+        assert!(d.mobility_at(Kelvin::new(383.15)) < d.mobility_at(Kelvin::new(300.0)));
     }
 
     #[test]

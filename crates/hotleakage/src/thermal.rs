@@ -16,6 +16,7 @@
 //! leakage feedback beats the package's ability to remove heat).
 
 use serde::{Deserialize, Serialize};
+use units::{Kelvin, Seconds, Watts};
 
 use crate::error::ModelError;
 
@@ -26,8 +27,8 @@ pub struct ThermalParams {
     pub r_th: f64,
     /// Thermal capacitance of the die + spreader, J/K.
     pub c_th: f64,
-    /// Ambient temperature, kelvin.
-    pub t_ambient: f64,
+    /// Ambient temperature.
+    pub t_ambient: Kelvin,
 }
 
 impl ThermalParams {
@@ -37,7 +38,7 @@ impl ThermalParams {
         ThermalParams {
             r_th: 0.8,
             c_th: 120.0,
-            t_ambient: 318.15,
+            t_ambient: Kelvin::new(318.15),
         }
     }
 
@@ -60,8 +61,8 @@ impl ThermalParams {
                 self.c_th
             )));
         }
-        if !(200.0..=400.0).contains(&self.t_ambient) {
-            return Err(ModelError::InvalidTemperature(self.t_ambient));
+        if !(200.0..=400.0).contains(&self.t_ambient.get()) {
+            return Err(ModelError::InvalidTemperature(self.t_ambient.get()));
         }
         Ok(())
     }
@@ -70,18 +71,18 @@ impl ThermalParams {
 /// Outcome of a steady-state solve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SteadyState {
-    /// Converged to a stable junction temperature, kelvin.
-    Stable(f64),
+    /// Converged to a stable junction temperature.
+    Stable(Kelvin),
     /// The leakage feedback outruns heat removal: thermal runaway (the
     /// temperature at which the search gave up is attached).
-    Runaway(f64),
+    Runaway(Kelvin),
 }
 
 /// A lumped thermal node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalNode {
     params: ThermalParams,
-    temperature_k: f64,
+    temperature: Kelvin,
 }
 
 impl ThermalNode {
@@ -94,13 +95,13 @@ impl ThermalNode {
         params.validate()?;
         Ok(ThermalNode {
             params,
-            temperature_k: params.t_ambient,
+            temperature: params.t_ambient,
         })
     }
 
-    /// Current junction temperature, kelvin.
-    pub fn temperature_k(&self) -> f64 {
-        self.temperature_k
+    /// Current junction temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
     }
 
     /// The thermal parameters.
@@ -108,16 +109,18 @@ impl ThermalNode {
         &self.params
     }
 
-    /// Advances the node by `dt` seconds while dissipating `power(T)` watts
-    /// (the closure is evaluated at the current temperature so leakage
-    /// feedback is captured). Returns the new temperature.
-    pub fn step<P: FnMut(f64) -> f64>(&mut self, dt: f64, mut power: P) -> f64 {
-        let p = power(self.temperature_k);
-        let cooling = (self.temperature_k - self.params.t_ambient) / self.params.r_th;
-        self.temperature_k += dt * (p - cooling) / self.params.c_th;
+    /// Advances the node by `dt` while dissipating `power(T)` (the closure
+    /// is evaluated at the current temperature so leakage feedback is
+    /// captured). Returns the new temperature.
+    pub fn step<P: FnMut(Kelvin) -> Watts>(&mut self, dt: Seconds, mut power: P) -> Kelvin {
+        let p = power(self.temperature);
+        let cooling = Watts::new((self.temperature - self.params.t_ambient) / self.params.r_th);
+        self.temperature = self.temperature + ((p - cooling) * dt).get() / self.params.c_th;
         // The die cannot cool below ambient without active cooling.
-        self.temperature_k = self.temperature_k.max(self.params.t_ambient);
-        self.temperature_k
+        if self.temperature < self.params.t_ambient {
+            self.temperature = self.params.t_ambient;
+        }
+        self.temperature
     }
 
     /// Finds the steady-state temperature for a temperature-dependent power
@@ -125,10 +128,14 @@ impl ThermalNode {
     ///
     /// Declares [`SteadyState::Runaway`] if the fixed point exceeds
     /// `t_limit` (e.g. 500 K, the validity edge of the leakage fits).
-    pub fn steady_state<P: FnMut(f64) -> f64>(&self, mut power: P, t_limit: f64) -> SteadyState {
+    pub fn steady_state<P: FnMut(Kelvin) -> Watts>(
+        &self,
+        mut power: P,
+        t_limit: Kelvin,
+    ) -> SteadyState {
         let mut t = self.params.t_ambient;
         for _ in 0..500 {
-            let target = self.params.t_ambient + self.params.r_th * power(t);
+            let target = self.params.t_ambient + self.params.r_th * power(t).get();
             let next = t + 0.3 * (target - t);
             if next > t_limit {
                 return SteadyState::Runaway(next);
@@ -151,10 +158,10 @@ mod tests {
     #[test]
     fn constant_power_reaches_rc_fixed_point() {
         let node = ThermalNode::new(ThermalParams::desktop()).expect("valid");
-        match node.steady_state(|_| 50.0, 500.0) {
+        match node.steady_state(|_| Watts::new(50.0), Kelvin::new(500.0)) {
             SteadyState::Stable(t) => {
                 // T = T_amb + R*P = 318.15 + 0.8*50 = 358.15
-                assert!((t - 358.15).abs() < 1e-3, "t={t}");
+                assert!((t - Kelvin::new(358.15)).abs() < 1e-3, "t={t}");
             }
             SteadyState::Runaway(t) => panic!("50 W must be stable, ran away at {t}"),
         }
@@ -163,14 +170,20 @@ mod tests {
     #[test]
     fn transient_approaches_steady_state_monotonically() {
         let mut node = ThermalNode::new(ThermalParams::desktop()).expect("valid");
-        let mut prev = node.temperature_k();
+        let mut prev = node.temperature();
         for _ in 0..60_000 {
             // 600 s ≈ 6 RC time constants
-            let t = node.step(0.01, |_| 50.0);
-            assert!(t >= prev - 1e-9, "heating transient must be monotone");
+            let t = node.step(Seconds::new(0.01), |_| Watts::new(50.0));
+            assert!(
+                t.get() >= prev.get() - 1e-9,
+                "heating transient must be monotone"
+            );
             prev = t;
         }
-        assert!((prev - 358.15).abs() < 0.5, "converged to {prev}");
+        assert!(
+            (prev - Kelvin::new(358.15)).abs() < 0.5,
+            "converged to {prev}"
+        );
     }
 
     #[test]
@@ -181,15 +194,17 @@ mod tests {
         let base = Environment::nominal(TechNode::N70);
         let node = ThermalNode::new(ThermalParams::desktop()).expect("valid");
         // 64x the L1D stands in for all on-chip SRAM at the same Vt.
-        let leak = |t: f64| -> f64 {
-            let env = base.with_temperature(t.clamp(250.0, 450.0)).expect("valid");
+        let leak = |t: Kelvin| -> Watts {
+            let env = base
+                .with_temperature(t.get().clamp(250.0, 450.0))
+                .expect("valid");
             64.0 * array.leakage_power(&env)
         };
-        let open_loop = 318.15 + 0.8 * (40.0 + leak(318.15));
-        match node.steady_state(|t| 40.0 + leak(t), 500.0) {
+        let open_loop = 318.15 + 0.8 * (40.0 + leak(Kelvin::new(318.15)).get());
+        match node.steady_state(|t| Watts::new(40.0) + leak(t), Kelvin::new(500.0)) {
             SteadyState::Stable(t) => {
                 assert!(
-                    t > open_loop + 0.5,
+                    t.get() > open_loop + 0.5,
                     "feedback must add heat: {t} vs {open_loop}"
                 );
             }
@@ -205,15 +220,17 @@ mod tests {
         let node = ThermalNode::new(ThermalParams {
             r_th: 12.0,
             c_th: 20.0,
-            t_ambient: 318.15,
+            t_ambient: Kelvin::new(318.15),
         })
         .expect("valid");
         let result = node.steady_state(
             |t| {
-                let env = base.with_temperature(t.clamp(250.0, 449.0)).expect("valid");
-                30.0 + 512.0 * array.leakage_power(&env)
+                let env = base
+                    .with_temperature(t.get().clamp(250.0, 449.0))
+                    .expect("valid");
+                Watts::new(30.0) + 512.0 * array.leakage_power(&env)
             },
-            450.0,
+            Kelvin::new(450.0),
         );
         assert!(matches!(result, SteadyState::Runaway(_)), "got {result:?}");
     }
@@ -223,19 +240,19 @@ mod tests {
         assert!(ThermalNode::new(ThermalParams {
             r_th: 0.0,
             c_th: 1.0,
-            t_ambient: 300.0
+            t_ambient: Kelvin::new(300.0)
         })
         .is_err());
         assert!(ThermalNode::new(ThermalParams {
             r_th: 1.0,
             c_th: -1.0,
-            t_ambient: 300.0
+            t_ambient: Kelvin::new(300.0)
         })
         .is_err());
         assert!(ThermalNode::new(ThermalParams {
             r_th: 1.0,
             c_th: 1.0,
-            t_ambient: 500.0
+            t_ambient: Kelvin::new(500.0)
         })
         .is_err());
     }

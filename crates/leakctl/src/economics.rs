@@ -12,6 +12,7 @@
 use hotleakage::structure::SramArray;
 use hotleakage::Environment;
 use serde::{Deserialize, Serialize};
+use units::{Cycles, Hertz, Joules, Watts};
 use wattch::{Event, PowerModel};
 
 use crate::technique::{Technique, TechniqueKind};
@@ -19,33 +20,36 @@ use crate::technique::{Technique, TechniqueKind};
 /// The energy ledger of one sleep/wake round trip for a reused line.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrip {
-    /// Leakage power saved per cycle of standby, watts.
-    pub saved_watts: f64,
+    /// Leakage power saved per cycle of standby.
+    pub saved_watts: Watts,
     /// One-off energy cost of the sleep + wake transitions and the data
-    /// restoration (L2 refill for non-state-preserving techniques), joules.
-    pub cost_joules: f64,
-    /// Clock frequency used to convert cycles to seconds, Hz.
-    pub clock_hz: f64,
+    /// restoration (L2 refill for non-state-preserving techniques).
+    pub cost_joules: Joules,
+    /// Clock frequency used to convert cycles to seconds.
+    pub clock_hz: Hertz,
 }
 
 impl RoundTrip {
     /// Standby cycles needed before the trip pays for itself.
+    // lint: allow(raw-f64): fractional cycle count; compared against reuse gaps
     pub fn break_even_cycles(&self) -> f64 {
-        if self.saved_watts <= 0.0 {
+        if self.saved_watts <= Watts::ZERO {
             return f64::INFINITY;
         }
-        self.cost_joules / self.saved_watts * self.clock_hz
+        // Joules / Watts = Seconds; Seconds × Hertz = a dimensionless
+        // cycle count.
+        (self.cost_joules / self.saved_watts) * self.clock_hz
     }
 
     /// Net energy of sleeping a line that is reused after `reuse_gap`
-    /// cycles under decay interval `interval`: positive = profit, joules.
+    /// cycles under decay interval `interval`: positive = profit.
     /// Lines with `reuse_gap ≤ interval` never decay (zero).
-    pub fn net_joules(&self, interval: u64, reuse_gap: u64) -> f64 {
+    pub fn net_joules(&self, interval: u64, reuse_gap: u64) -> Joules {
         if reuse_gap <= interval {
-            return 0.0;
+            return Joules::ZERO;
         }
-        let standby_cycles = (reuse_gap - interval) as f64;
-        standby_cycles / self.clock_hz * self.saved_watts - self.cost_joules
+        let standby = Cycles::new(reuse_gap - interval).seconds_at(self.clock_hz);
+        self.saved_watts * standby - self.cost_joules
     }
 }
 
@@ -72,7 +76,7 @@ pub fn round_trip(
     Ok(RoundTrip {
         saved_watts: physics.active_row_watts - physics.standby_row_watts,
         cost_joules: cost,
-        clock_hz: env.tech().clock_hz,
+        clock_hz: env.tech().clock(),
     })
 }
 
@@ -147,16 +151,16 @@ mod tests {
         let rt = round_trip(&Technique::gated_vss(1024), &env, &data, &tags).expect("physics");
         let be = rt.break_even_cycles() as u64;
         assert!(
-            rt.net_joules(1024, 1024 + be / 2) < 0.0,
+            rt.net_joules(1024, 1024 + be / 2) < Joules::ZERO,
             "early reuse loses energy"
         );
         assert!(
-            rt.net_joules(1024, 1024 + be * 2) > 0.0,
+            rt.net_joules(1024, 1024 + be * 2) > Joules::ZERO,
             "late reuse profits"
         );
         assert_eq!(
             rt.net_joules(1024, 512),
-            0.0,
+            Joules::ZERO,
             "reuse inside the interval never decays"
         );
     }

@@ -7,6 +7,7 @@ use hotleakage::structure::SramArray;
 use hotleakage::technology::DeviceType;
 use hotleakage::{Cell, CellKind, Environment};
 use serde::{Deserialize, Serialize};
+use units::{Joules, Volts, Watts};
 use wattch::PowerModel;
 
 /// Extra storage cells per line added by the decay hardware (the two-bit
@@ -16,6 +17,10 @@ pub const COUNTER_CELLS_PER_LINE: usize = 3;
 /// Aspect ratio of the per-line gated-V_ss sleep footer (sized to sink the
 /// read current of a whole row, hence wide).
 pub const FOOTER_W_OVER_L: f64 = 64.0;
+
+/// Drowsy retention voltage as a multiple of the NMOS threshold voltage
+/// (paper §2.2: the retention rail sits at 1.5 · V_t).
+pub const DROWSY_RETENTION_VTH_MULTIPLE: f64 = 1.5;
 
 /// The leakage-control techniques.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -150,7 +155,7 @@ impl Technique {
         // entry *also* enters standby is the `tags_decay` choice (§5.3).
         let active_row = data.row_power(env) + tags.row_power(env);
         // Standby power of one row of `array`.
-        let standby_of = |array: &SramArray| -> Result<f64, hotleakage::ModelError> {
+        let standby_of = |array: &SramArray| -> Result<Watts, hotleakage::ModelError> {
             Ok(match self.kind {
                 TechniqueKind::None => array.row_power(env),
                 TechniqueKind::Drowsy => {
@@ -163,8 +168,8 @@ impl Technique {
                     // models the same V_t for every transistor (§2.3), so
                     // the bitline path stays and drowsy's residual leakage
                     // is substantial — the paper's "non-trivial amount".
-                    let v_drowsy = 1.5 * env.node().vth_n();
-                    let internal = array.row_power(&env.with_vdd(v_drowsy)?);
+                    let v_drowsy = drowsy_retention_voltage(env);
+                    let internal = array.row_power(&env.with_vdd(v_drowsy.get())?);
                     let access_state = TransistorState::at(env, DeviceType::Nmos)
                         .with_w_over_l(hotleakage::cell::SRAM_WL_ACCESS);
                     // Bitline conditioning: precharge is gated off while a
@@ -173,11 +178,13 @@ impl Technique {
                     // of standby time sees the full-V_dd bitline bias
                     // (Flautner et al. §3; DESIGN.md "drowsy residual").
                     const BITLINE_CONDITIONING: f64 = 0.25;
-                    let bitline_path = BITLINE_CONDITIONING
-                        * env.vdd()
-                        * bsim3::unit_leakage(&access_state)
-                        * env.variation_factor()
-                        * array.cols() as f64;
+                    let bitline_path = Watts::new(
+                        BITLINE_CONDITIONING
+                            * env.vdd()
+                            * bsim3::unit_leakage(&access_state)
+                            * env.variation_factor()
+                            * cols(array),
+                    );
                     internal + bitline_path
                 }
                 TechniqueKind::GatedVss => {
@@ -186,7 +193,7 @@ impl Technique {
                         .with_w_over_l(FOOTER_W_OVER_L)
                         .with_vth(env.tech().vth_high);
                     state.swing_n = env.tech().nmos.swing_n;
-                    env.vdd() * bsim3::unit_leakage(&state) * env.variation_factor()
+                    Watts::new(env.vdd() * bsim3::unit_leakage(&state) * env.variation_factor())
                 }
                 TechniqueKind::Rbb => {
                     let reduction = hotleakage::gate_leakage::rbb_effective_reduction(env, 0.5);
@@ -205,8 +212,10 @@ impl Technique {
         // into the counter-cell estimate).
         let counter_cell = Cell::new(CellKind::Sram6t).leakage_power(env);
         let extra_hw = match self.kind {
-            TechniqueKind::None => 0.0,
-            _ => (data.rows() * COUNTER_CELLS_PER_LINE) as f64 * counter_cell,
+            TechniqueKind::None => Watts::ZERO,
+            #[allow(clippy::cast_precision_loss)]
+            // lint: allow(lossy-cast): counter-cell counts are exact in f64
+            _ => ((data.rows() * COUNTER_CELLS_PER_LINE) as f64) * counter_cell,
         };
         Ok(TechniquePhysics {
             active_row_watts: active_row,
@@ -215,47 +224,64 @@ impl Technique {
         })
     }
 
-    /// Energy to put one line into standby, joules.
+    /// Energy to put one line into standby.
     ///
     /// Drowsy dumps the rail from `V_dd` to the retention voltage; gating
     /// discharges it entirely; RBB pumps the wells (approximated as a full
     /// rail swing).
-    pub fn sleep_energy(&self, model: &PowerModel, env: &Environment) -> f64 {
+    pub fn sleep_energy(&self, model: &PowerModel, env: &Environment) -> Joules {
         match self.kind {
-            TechniqueKind::None => 0.0,
-            TechniqueKind::Drowsy => model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n()),
-            TechniqueKind::GatedVss => model.line_rail_energy(env.vdd()),
-            TechniqueKind::Rbb => model.line_rail_energy(env.vdd()),
+            TechniqueKind::None => Joules::ZERO,
+            TechniqueKind::Drowsy => model.line_rail_energy(drowsy_rail_step(env)),
+            TechniqueKind::GatedVss => model.line_rail_energy(env.vdd_volts()),
+            TechniqueKind::Rbb => model.line_rail_energy(env.vdd_volts()),
         }
     }
 
-    /// Energy to wake one line, joules (recharging the rail).
-    pub fn wake_energy(&self, model: &PowerModel, env: &Environment) -> f64 {
+    /// Energy to wake one line (recharging the rail).
+    pub fn wake_energy(&self, model: &PowerModel, env: &Environment) -> Joules {
         match self.kind {
-            TechniqueKind::None => 0.0,
-            TechniqueKind::Drowsy => model.line_rail_energy(env.vdd() - 1.5 * env.node().vth_n()),
-            TechniqueKind::GatedVss => model.line_rail_energy(env.vdd()),
-            TechniqueKind::Rbb => model.line_rail_energy(env.vdd()),
+            TechniqueKind::None => Joules::ZERO,
+            TechniqueKind::Drowsy => model.line_rail_energy(drowsy_rail_step(env)),
+            TechniqueKind::GatedVss => model.line_rail_energy(env.vdd_volts()),
+            TechniqueKind::Rbb => model.line_rail_energy(env.vdd_volts()),
         }
     }
+}
+
+/// Drowsy retention voltage: `1.5 · V_t` of the node's NMOS (paper §2.2).
+pub fn drowsy_retention_voltage(env: &Environment) -> Volts {
+    Volts::new(DROWSY_RETENTION_VTH_MULTIPLE * env.node().vth_n())
+}
+
+/// Rail step between full `V_dd` and the drowsy retention voltage — the
+/// swing charged/discharged on each drowsy sleep/wake transition.
+fn drowsy_rail_step(env: &Environment) -> Volts {
+    Volts::new(env.vdd() - drowsy_retention_voltage(env).get())
+}
+
+/// Documented conversion: column counts are exact in `f64`.
+fn cols(array: &SramArray) -> f64 {
+    array.cols() as f64 // lint: allow(lossy-cast): usize counts are exact in f64
 }
 
 /// Per-row leakage numbers for one technique at one operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TechniquePhysics {
-    /// Leakage power of one active line (data + decayed tags), watts.
-    pub active_row_watts: f64,
-    /// Leakage power of one standby line, watts.
-    pub standby_row_watts: f64,
-    /// Always-on extra-hardware leakage (counters, latches), watts.
-    pub extra_hw_watts: f64,
+    /// Leakage power of one active line (data + decayed tags).
+    pub active_row_watts: Watts,
+    /// Leakage power of one standby line.
+    pub standby_row_watts: Watts,
+    /// Always-on extra-hardware leakage (counters, latches).
+    pub extra_hw_watts: Watts,
 }
 
 impl TechniquePhysics {
     /// The fraction of a line's leakage that standby *retains* (0 for an
     /// ideal switch-off).
+    // lint: allow(raw-f64): dimensionless fraction in [0, 1]
     pub fn standby_fraction(&self) -> f64 {
-        if self.active_row_watts <= 0.0 {
+        if self.active_row_watts <= Watts::ZERO {
             0.0
         } else {
             self.standby_row_watts / self.active_row_watts
@@ -308,7 +334,7 @@ mod tests {
             .unwrap();
         let d = Technique::drowsy(4096).physics(&env, &data, &tags).unwrap();
         assert!(g.standby_row_watts < d.standby_row_watts);
-        assert!((g.active_row_watts - d.active_row_watts).abs() < 1e-12);
+        assert!((g.active_row_watts - d.active_row_watts).get().abs() < 1e-12);
     }
 
     #[test]
@@ -326,7 +352,7 @@ mod tests {
         let (env, data, tags) = setup();
         let p = Technique::none().physics(&env, &data, &tags).unwrap();
         assert_eq!(p.standby_fraction(), 1.0);
-        assert_eq!(p.extra_hw_watts, 0.0);
+        assert_eq!(p.extra_hw_watts, Watts::ZERO);
         assert!(Technique::none().decay_config().is_none());
     }
 
@@ -361,7 +387,7 @@ mod tests {
         for t in [Technique::gated_vss(4096), Technique::drowsy(4096)] {
             let sleep = t.sleep_energy(&model, &env);
             let wake = t.wake_energy(&model, &env);
-            assert!(sleep > 0.0 && wake > 0.0);
+            assert!(sleep > Joules::ZERO && wake > Joules::ZERO);
             assert!(wake < model.energy(wattch::Event::L2Access) / 10.0);
         }
     }
@@ -388,7 +414,7 @@ mod tests {
             p.extra_hw_watts < 0.02 * cache_total,
             "counter overhead must be small"
         );
-        assert!(p.extra_hw_watts > 0.0);
+        assert!(p.extra_hw_watts > Watts::ZERO);
     }
 
     #[test]

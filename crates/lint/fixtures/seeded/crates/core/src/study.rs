@@ -1,0 +1,14 @@
+//! Seeded tidy violation (fixture — never compiled). Mirrors the real
+//! `crates/core/src/study.rs` path so the lock-order rule applies.
+
+fn get_or_run(&self, key: &RunKey) -> RunResult {
+    let mut shard = self.shard(key).lock().expect("cache shard lock");
+    if let Some(hit) = shard.get(key) {
+        return hit.clone();
+    }
+    // Violation: blocking on the inflight table while the shard guard is
+    // still live — the deadlock pattern the sharded design forbids.
+    self.inflight.wait(key);
+    drop(shard);
+    self.run_uncached(key)
+}

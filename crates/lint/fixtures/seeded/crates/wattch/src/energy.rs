@@ -1,0 +1,13 @@
+//! Seeded tidy violations (fixture — never compiled). Mirrors the real
+//! `crates/wattch/src/energy.rs` path so the energy-module rules apply.
+
+// Violation: bare f64 quantity in a public energy-module signature.
+pub fn read_energy_joules(accesses: u64, per_access: f64) -> f64 {
+    // Violation: undocumented lossy cast.
+    accesses as f64 * per_access
+}
+
+pub fn lookup(table: &[f64], idx: usize) -> f64 {
+    // Violation: unwrap in library code.
+    table.get(idx).copied().unwrap()
+}

@@ -1,0 +1,438 @@
+//! Repo tidy lint (rust-tidy style: plain-text scanning, no external
+//! dependencies, no network).
+//!
+//! Four rule families, each suppressible only by an explicit, reasoned
+//! marker comment — `// lint: allow(<rule>): <reason>` on the offending
+//! line or within [`MARKER_WINDOW`] lines above it:
+//!
+//! * **`raw-f64`** — public functions in the energy/pricing modules must
+//!   not expose bare `f64` quantities; dimensioned values go through the
+//!   `units` newtypes (dimensionless ratios carry a marker saying so).
+//! * **`lossy-cast`** — `as f64` conversions in those modules lose
+//!   precision silently; each one must be documented as exact or routed
+//!   through a named conversion.
+//! * **`unwrap`** — `.unwrap()` / `.expect(` outside `#[cfg(test)]`
+//!   modules; library code propagates errors, and the few structurally
+//!   infallible sites say why.
+//! * **`lock-order`** — in the sharded run-cache (`core::study`,
+//!   `core::parallel`), a live shard guard must be dropped before any
+//!   other `.lock(`/`.wait(` call; holding it across a blocking call is
+//!   the deadlock pattern the shard design exists to prevent.
+//!
+//! The scanner is deliberately line-based: the codebase is rustfmt-clean,
+//! so declarations and statements land on predictable lines, and a dumb
+//! scanner that anyone can read beats a syntax-aware one nobody audits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an offending line a `// lint: allow(...)` marker
+/// is honored (statements and attribute stacks span a few lines).
+pub const MARKER_WINDOW: usize = 4;
+
+/// Modules whose public signatures and casts carry physical quantities;
+/// matched as path suffixes so the seeded fixture tree mirrors them.
+pub const ENERGY_MODULES: &[&str] = &[
+    "crates/wattch/src/energy.rs",
+    "crates/wattch/src/ledger.rs",
+    "crates/wattch/src/cacti.rs",
+    "crates/core/src/pricing.rs",
+    "crates/leakctl/src/economics.rs",
+    "crates/leakctl/src/technique.rs",
+];
+
+/// Files holding the sharded-lock discipline.
+pub const LOCK_ORDER_FILES: &[&str] = &["crates/core/src/study.rs", "crates/core/src/parallel.rs"];
+
+/// The rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Bare `f64` in a public signature of an energy/pricing module.
+    RawF64PublicSig,
+    /// Undocumented `as f64` cast in an energy/pricing module.
+    LossyCast,
+    /// `.unwrap()` / `.expect(` outside test code.
+    UnwrapOutsideTests,
+    /// Another lock acquired while a shard guard is live.
+    LockOrder,
+}
+
+impl Rule {
+    /// The marker name that suppresses this rule.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Rule::RawF64PublicSig => "raw-f64",
+            Rule::LossyCast => "lossy-cast",
+            Rule::UnwrapOutsideTests => "unwrap",
+            Rule::LockOrder => "lock-order",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.marker())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt
+        )
+    }
+}
+
+fn has_marker(lines: &[&str], idx: usize, rule: Rule) -> bool {
+    let needle = format!("lint: allow({})", rule.marker());
+    let lo = idx.saturating_sub(MARKER_WINDOW);
+    lines[lo..=idx].iter().any(|l| l.contains(&needle))
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#!")
+}
+
+/// Net brace depth change of one line, ignoring braces inside string
+/// literals and line comments (good enough for rustfmt-formatted code).
+fn brace_delta(line: &str) -> i32 {
+    let code = line.split("//").next().unwrap_or(line);
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev = ' ';
+    for c in code.chars() {
+        match c {
+            '"' if prev != '\\' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev = c;
+    }
+    depth
+}
+
+/// Tracks which lines sit inside `#[cfg(test)] mod` blocks.
+fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i32;
+    let mut pending_cfg_test = false;
+    let mut test_depth: Option<i32> = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let before = depth;
+        depth += brace_delta(line);
+        if pending_cfg_test && line.contains("mod ") && line.contains('{') {
+            test_depth = Some(before + 1);
+            pending_cfg_test = false;
+        }
+        if let Some(td) = test_depth {
+            mask[i] = true;
+            if depth < td {
+                test_depth = None;
+            }
+        }
+    }
+    mask
+}
+
+fn path_matches(rel: &Path, suffixes: &[&str]) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    suffixes.iter().any(|s| p.ends_with(s))
+}
+
+fn check_raw_f64(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if in_test[i] || is_comment(line) || !line.trim_start().starts_with("pub fn") {
+            i += 1;
+            continue;
+        }
+        // Accumulate the signature until the body opens (or `;` for trait
+        // methods).
+        let mut sig = String::new();
+        let mut j = i;
+        while j < lines.len() {
+            let l = lines[j].split("//").next().unwrap_or(lines[j]);
+            sig.push_str(l);
+            sig.push(' ');
+            if l.contains('{') || l.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        let sig = sig.split('{').next().unwrap_or(&sig);
+        if sig.contains("f64") && !has_marker(lines, i, Rule::RawF64PublicSig) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::RawF64PublicSig,
+                excerpt: line.trim().to_string(),
+            });
+        }
+        i = j + 1;
+    }
+}
+
+fn check_lossy_cast(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        if code.contains(" as f64") && !has_marker(lines, i, Rule::LossyCast) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::LossyCast,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
+fn check_unwrap(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        if (code.contains(".unwrap()") || code.contains(".expect("))
+            && !has_marker(lines, i, Rule::UnwrapOutsideTests)
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::UnwrapOutsideTests,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Guard-liveness scan: from a `let ... shard = ... .lock()` binding until
+/// the matching `drop(shard)` (or the end of the binding's block), any
+/// further `.lock(` or `.wait(` acquisition is a lock-order violation.
+fn check_lock_order(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    let mut depth = 0i32;
+    let mut guard: Option<(i32, usize)> = None; // (binding depth, line)
+    for (i, line) in lines.iter().enumerate() {
+        let before = depth;
+        depth += brace_delta(line);
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        if let Some((gd, _)) = guard {
+            if depth < gd || code.contains("drop(shard)") {
+                guard = None;
+            } else if (code.contains(".lock(") || code.contains(".wait("))
+                && !has_marker(lines, i, Rule::LockOrder)
+            {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: Rule::LockOrder,
+                    excerpt: line.trim().to_string(),
+                });
+                guard = None; // one report per held guard
+                continue;
+            }
+        }
+        // A new shard-guard binding (possibly re-binding) starts liveness.
+        let t = code.trim_start();
+        if (t.starts_with("let mut shard") || t.starts_with("let shard")) && code.contains(".lock(")
+        {
+            guard = Some((before, i));
+        }
+    }
+}
+
+/// Scans one file's content; `rel` decides which rules apply.
+pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = content.lines().collect();
+    let in_test = test_mask(&lines);
+    let mut out = Vec::new();
+    if path_matches(rel, ENERGY_MODULES) {
+        check_raw_f64(rel, &lines, &in_test, &mut out);
+        check_lossy_cast(rel, &lines, &in_test, &mut out);
+    }
+    if path_matches(rel, LOCK_ORDER_FILES) {
+        check_lock_order(rel, &lines, &in_test, &mut out);
+    }
+    check_unwrap(rel, &lines, &in_test, &mut out);
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == ".git" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// True if `rel` is library/binary source the tidy rules govern: `src/`
+/// trees of the workspace crates and the root package. Shims are vendored
+/// API stubs, and the lint crate itself names the forbidden patterns.
+fn in_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if p.starts_with("shims/") || p.starts_with("crates/lint/") {
+        return false;
+    }
+    let src_tree = p.starts_with("src/") || (p.starts_with("crates/") && p.contains("/src/"));
+    src_tree && !p.contains("/tests/") && !p.contains("/benches/")
+}
+
+/// Scans a workspace (or fixture) root, applying each rule to the files in
+/// its scope. Paths in the returned violations are relative to `root`.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] if the tree cannot be read.
+pub fn scan_root(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if !in_scope(&rel) {
+            continue;
+        }
+        let content = fs::read_to_string(&path)?;
+        out.extend(scan_content(&rel, &content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(p: &str) -> PathBuf {
+        PathBuf::from(p)
+    }
+
+    #[test]
+    fn raw_f64_in_public_energy_signature_fires() {
+        let src = "pub fn read_energy(v: f64) -> f64 {\n    v\n}\n";
+        let v = scan_content(&rel("crates/wattch/src/energy.rs"), src);
+        assert!(v.iter().any(|v| v.rule == Rule::RawF64PublicSig), "{v:?}");
+    }
+
+    #[test]
+    fn raw_f64_marker_suppresses() {
+        let src = "/// A ratio.\n// lint: allow(raw-f64): dimensionless ratio\npub fn frac() -> f64 {\n    0.5\n}\n";
+        let v = scan_content(&rel("crates/wattch/src/energy.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::RawF64PublicSig), "{v:?}");
+    }
+
+    #[test]
+    fn raw_f64_ignored_outside_energy_modules() {
+        let src = "pub fn ipc(&self) -> f64 {\n    1.0\n}\n";
+        let v = scan_content(&rel("crates/uarch/src/core.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lossy_cast_fires_and_marker_suppresses() {
+        let bad = "fn f(n: usize) -> f64 {\n    n as f64\n}\n";
+        let v = scan_content(&rel("crates/core/src/pricing.rs"), bad);
+        assert!(v.iter().any(|v| v.rule == Rule::LossyCast), "{v:?}");
+        let good =
+            "fn f(n: usize) -> f64 {\n    n as f64 // lint: allow(lossy-cast): counts are exact\n}\n";
+        let v = scan_content(&rel("crates/core/src/pricing.rs"), good);
+        assert!(v.iter().all(|v| v.rule != Rule::LossyCast), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_tests_fires() {
+        let src = "pub fn f() {\n    let x: Option<u8> = None;\n    x.unwrap();\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnwrapOutsideTests);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_module_is_fine() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        None::<u8>.unwrap();\n    }\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn doc_comment_unwrap_is_fine() {
+        let src = "/// ```\n/// thing().unwrap();\n/// ```\npub fn thing() {}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_while_shard_guard_live_fires() {
+        let src = "fn f(&self) {\n    let mut shard = self.shard(&key).lock().unwrap();\n    self.inflight.wait();\n    drop(shard);\n}\n";
+        let v = scan_content(&rel("crates/core/src/study.rs"), src);
+        assert!(v.iter().any(|v| v.rule == Rule::LockOrder), "{v:?}");
+    }
+
+    #[test]
+    fn lock_after_drop_is_fine() {
+        let src = "fn f(&self) {\n    let mut shard = self.shard(&key).lock().unwrap();\n    drop(shard);\n    self.inflight.wait();\n}\n";
+        let v = scan_content(&rel("crates/core/src/study.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::LockOrder), "{v:?}");
+    }
+
+    #[test]
+    fn guard_dies_with_its_block() {
+        let src = "fn f(&self) {\n    {\n        let shard = m.lock().unwrap();\n    }\n    other.lock();\n}\n";
+        let v = scan_content(&rel("crates/core/src/parallel.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::LockOrder), "{v:?}");
+    }
+
+    #[test]
+    fn scope_excludes_shims_and_lint_itself() {
+        assert!(!in_scope(&rel("shims/serde/src/lib.rs")));
+        assert!(!in_scope(&rel("crates/lint/src/lib.rs")));
+        assert!(in_scope(&rel("crates/wattch/src/energy.rs")));
+        assert!(in_scope(&rel("src/lib.rs")));
+        assert!(!in_scope(&rel("tests/properties.rs")));
+        assert!(!in_scope(&rel("crates/core/tests/audit_properties.rs")));
+    }
+}

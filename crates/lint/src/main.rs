@@ -1,0 +1,33 @@
+//! Tidy entry point: `cargo run -p lint [root]`.
+//!
+//! Scans the workspace (or the given root) and exits non-zero if any rule
+//! fires. Meant to be cheap enough to run on every push.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let violations = match lint::scan_root(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("lint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "lint: {} violation(s); suppress intentional ones with \
+         `// lint: allow(<rule>): <reason>`",
+        violations.len()
+    );
+    ExitCode::FAILURE
+}

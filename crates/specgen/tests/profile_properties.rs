@@ -1,0 +1,73 @@
+//! Property tests on the calibrated benchmark profiles: every profile the
+//! table can produce must satisfy the generator's preconditions, and the
+//! derived quantities must stay physical.
+
+use proptest::prelude::*;
+use specgen::{Benchmark, BenchmarkProfile};
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+#[test]
+fn every_profile_passes_its_own_validator() {
+    for b in Benchmark::ALL {
+        b.profile().assert_valid();
+    }
+}
+
+#[test]
+fn memory_regions_partition_the_access_stream() {
+    for b in Benchmark::ALL {
+        let p = b.profile();
+        let explicit = p.stack_frac + p.resident_frac + p.stream_frac + p.chase_frac;
+        let total = explicit + p.hot_frac();
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "{b}: explicit regions + hot pool must cover all accesses, got {total}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profiles_are_deterministic_and_self_describing(b in arb_benchmark()) {
+        let p = b.profile();
+        prop_assert_eq!(p.benchmark, b, "profile must name its benchmark");
+        prop_assert_eq!(p, b.profile(), "profile lookup must be deterministic");
+    }
+
+    #[test]
+    fn derived_quantities_stay_physical(b in arb_benchmark()) {
+        let p = b.profile();
+        prop_assert!(p.mem_frac() > 0.0 && p.mem_frac() < 1.0);
+        prop_assert!((0.0..=1.0).contains(&p.hot_frac()));
+        let reuse = p.resident_reuse_insts();
+        prop_assert!(reuse > 0.0, "{}: reuse interval must be positive", b);
+        // Every studied benchmark has a resident set, so the interval is
+        // finite — and it is at least the footprint itself (at most one
+        // access per instruction touches the region).
+        prop_assert!(reuse.is_finite(), "{}", b);
+        prop_assert!(reuse >= p.resident_lines as f64, "{}", b);
+    }
+
+    #[test]
+    fn scaling_the_resident_set_scales_its_reuse_interval(
+        b in arb_benchmark(),
+        factor in 2usize..17,
+    ) {
+        let p = b.profile();
+        let scaled = BenchmarkProfile {
+            resident_lines: p.resident_lines * factor,
+            ..p
+        };
+        let ratio = scaled.resident_reuse_insts() / p.resident_reuse_insts();
+        prop_assert!(
+            (ratio - factor as f64).abs() < 1e-9,
+            "{}: reuse interval must scale linearly with footprint, ratio {ratio}",
+            b
+        );
+    }
+}

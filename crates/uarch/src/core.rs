@@ -184,10 +184,12 @@ impl Core {
         let mut earliest_dispatch = fetch_at + 1;
         if self.ruu.len() == self.cfg.ruu_size {
             // Oldest window entry must commit to free a slot.
+            // lint: allow(unwrap): a full RUU is by definition non-empty
             let frees_at = self.ruu.pop_front().expect("ruu full implies non-empty");
             earliest_dispatch = earliest_dispatch.max(frees_at);
         }
         if op.class.is_mem() && self.lsq.len() == self.cfg.lsq_size {
+            // lint: allow(unwrap): a full LSQ is by definition non-empty
             let frees_at = self.lsq.pop_front().expect("lsq full implies non-empty");
             earliest_dispatch = earliest_dispatch.max(frees_at);
         }

@@ -101,6 +101,7 @@ impl UnitPool {
             .iter()
             .enumerate()
             .min_by_key(|&(_, &t)| t)
+            // lint: allow(unwrap): the pool is sized > 0 at construction
             .expect("pool is non-empty");
         let start = earliest.max(free_at);
         self.next_free[idx] = start + occupy.max(1);

@@ -1,0 +1,619 @@
+//! Zero-cost dimensional newtypes for the leakage study.
+//!
+//! Every quantity the energy comparison depends on — cycle counts, joules,
+//! watts, volts, kelvin — gets a `#[repr(transparent)]` wrapper that only
+//! implements the *physically meaningful* operations:
+//!
+//! - [`Watts`] `*` [`Seconds`] → [`Joules`] (and commuted)
+//! - [`Joules`] `/` [`Seconds`] → [`Watts`], [`Joules`] `/` [`Watts`] → [`Seconds`]
+//! - [`Cycles`] → [`Seconds`] only via the named conversion
+//!   [`Cycles::seconds_at`] (a clock frequency is required — there is *no*
+//!   `Joules / Cycles` and no implicit `cycles as f64`)
+//! - [`Volts`] `*` [`Volts`] → [`VoltsSquared`], [`Farads`] `*`
+//!   [`VoltsSquared`] → [`Joules`] (the CACTI `C·V²` decomposition)
+//! - [`PerCycle`] `*` [`Cycles`] → dimensionless event count
+//!
+//! Same-dimension division yields a dimensionless `f64` ratio, so
+//! percentages and normalized comparisons stay ordinary floats. Anything
+//! else — adding joules to cycles, multiplying watts by watts — is a
+//! *compile error*, which is the point: the class of unit-mixing bugs that
+//! PR 2's runtime conservation audit can only catch statistically now fails
+//! `cargo build`. The `unit-bug` feature gates a deliberate violation that
+//! CI builds to prove the wall holds.
+//!
+//! All wrappers are `Copy`, `#[repr(transparent)]`, and fully inlined:
+//! the generated code is identical to raw `u64`/`f64` arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Implements the self-shaped ring ops shared by the `f64`-backed
+/// quantities: addition/subtraction within the dimension, scaling by a
+/// dimensionless factor, and same-dimension division to a ratio.
+macro_rules! f64_quantity {
+    ($t:ident, $unit:literal) => {
+        impl $t {
+            /// The zero quantity.
+            pub const ZERO: $t = $t(0.0);
+
+            /// Wraps a raw value expressed in the quantity's SI unit.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                $t(v)
+            }
+
+            /// The raw value in the quantity's SI unit. This is the *only*
+            /// way out of the dimension — keep it at formatting and FFI
+            /// boundaries.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Whether the value is finite (audit checks).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The larger of two quantities (NaN-propagating like `f64::max`).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $t(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                $t(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: f64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$t> for f64 {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: $t) -> $t {
+                $t(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: f64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+
+        /// Same-dimension division: a dimensionless ratio.
+        impl Div<$t> for $t {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $t) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                $t(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+/// A count of clock cycles (or line-cycles, when integrating per-line
+/// occupancy over time).
+///
+/// Backed by `u64` like every cycle counter in the simulator. Cycles can
+/// be added, subtracted, compared, and summed, but they carry no wall-time
+/// or energy meaning on their own: converting to [`Seconds`] requires a
+/// clock via [`Cycles::seconds_at`], and there is deliberately no
+/// `Joules / Cycles` — energy-per-cycle ratios must route through a
+/// frequency so the units stay honest.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Named conversion to wall time at a given clock: `cycles / f`.
+    ///
+    /// This is the *only* path from the cycle domain into the SI domain,
+    /// which is what makes `Watts * cycles.seconds_at(clock)` → [`Joules`]
+    /// well-typed while `Joules / Cycles` stays a compile error.
+    #[inline]
+    pub fn seconds_at(self, clock: Hertz) -> Seconds {
+        // u64 → f64 is exact for every cycle count this simulator can
+        // reach (< 2^53); documented lossy conversion.
+        #[allow(clippy::cast_precision_loss)]
+        Seconds(self.0 as f64 / clock.0)
+    }
+
+    /// Dimensionless ratio of two cycle counts (for percentages such as
+    /// turnoff ratio and performance loss). Returns 0 when `denom` is zero.
+    #[inline]
+    pub fn ratio_of(self, denom: Cycles) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.0 as f64 / denom.0 as f64
+            }
+        }
+    }
+
+    /// Saturating subtraction, mirroring `u64::saturating_sub`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|v| v.0).sum())
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Wall-clock time in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Seconds(f64);
+f64_quantity!(Seconds, "s");
+
+/// Clock frequency in hertz.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Hertz(f64);
+f64_quantity!(Hertz, "Hz");
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Joules(f64);
+f64_quantity!(Joules, "J");
+
+/// Power in watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Watts(f64);
+f64_quantity!(Watts, "W");
+
+/// Electric potential in volts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Volts(f64);
+f64_quantity!(Volts, "V");
+
+/// Squared potential in volts² — the `V²` half of CACTI's `C·V²`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct VoltsSquared(f64);
+f64_quantity!(VoltsSquared, "V^2");
+
+/// Capacitance in farads — the `C` half of CACTI's `C·V²`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Farads(f64);
+f64_quantity!(Farads, "F");
+
+/// Absolute temperature in kelvin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Wraps an absolute temperature in kelvin.
+    #[inline]
+    pub const fn new(v: f64) -> Self {
+        Kelvin(v)
+    }
+
+    /// Converts from degrees Celsius.
+    #[inline]
+    pub const fn from_celsius(c: f64) -> Self {
+        Kelvin(c + 273.15)
+    }
+
+    /// The raw value in kelvin.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The temperature in degrees Celsius.
+    #[inline]
+    pub const fn celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// Whether the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+/// Temperature deltas are dimensionally kelvin too, but letting
+/// `Kelvin - Kelvin` produce a bare `f64` delta keeps the RC thermal
+/// model readable without a separate delta type.
+impl Sub for Kelvin {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: Kelvin) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+/// Offsetting a temperature by a delta in kelvin.
+impl Add<f64> for Kelvin {
+    type Output = Kelvin;
+    #[inline]
+    fn add(self, rhs: f64) -> Kelvin {
+        Kelvin(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K", self.0)
+    }
+}
+
+/// An event rate per clock cycle (dimension 1/cycle) — e.g. decay sweeps
+/// per cycle or induced misses per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct PerCycle(f64);
+f64_quantity!(PerCycle, "/cycle");
+
+// ---- Cross-dimension operations (the physically meaningful set) ----
+
+/// `P · t = E`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `t · P = E`.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `E / t = P`.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `E / P = t` (break-even horizons).
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+/// `E · f = P` (energy per event × event rate).
+impl Mul<Hertz> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// `f · E = P`.
+impl Mul<Joules> for Hertz {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Joules) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// `t · f` = a dimensionless cycle count (real-valued; round explicitly
+/// if an integral [`Cycles`] is needed).
+impl Mul<Hertz> for Seconds {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+/// `f · t` = a dimensionless cycle count.
+impl Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+/// `V · V = V²`.
+impl Mul<Volts> for Volts {
+    type Output = VoltsSquared;
+    #[inline]
+    fn mul(self, rhs: Volts) -> VoltsSquared {
+        VoltsSquared(self.0 * rhs.0)
+    }
+}
+
+impl Volts {
+    /// `V²` of this potential.
+    #[inline]
+    pub fn squared(self) -> VoltsSquared {
+        VoltsSquared(self.0 * self.0)
+    }
+}
+
+/// `C · V² = E` (CACTI dynamic energy).
+impl Mul<VoltsSquared> for Farads {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: VoltsSquared) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `V² · C = E`.
+impl Mul<Farads> for VoltsSquared {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Farads) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Rate × duration = expected event count (dimensionless).
+impl Mul<Cycles> for PerCycle {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Cycles) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.0 * rhs.0 as f64
+        }
+    }
+}
+
+impl PerCycle {
+    /// The rate of `events` occurring uniformly over `span` cycles.
+    /// Returns zero for an empty span.
+    #[inline]
+    pub fn rate(events: u64, span: Cycles) -> PerCycle {
+        if span.0 == 0 {
+            PerCycle(0.0)
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            PerCycle(events as f64 / span.0 as f64)
+        }
+    }
+}
+
+/// Deliberate dimensional violation, compiled only under the `unit-bug`
+/// feature. CI runs `cargo build -p units --features unit-bug` and asserts
+/// that the build FAILS — proving that adding [`Joules`] to [`Cycles`]
+/// is rejected by the type system, not merely by convention.
+#[cfg(feature = "unit-bug")]
+pub fn seeded_unit_bug() -> Joules {
+    Joules::new(1.0e-9) + Cycles::new(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(2.0) * Seconds::new(3.0);
+        assert_eq!(e, Joules::new(6.0));
+        assert_eq!(Seconds::new(3.0) * Watts::new(2.0), e);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        assert_eq!(Joules::new(6.0) / Seconds::new(3.0), Watts::new(2.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        assert_eq!(Joules::new(6.0) / Watts::new(2.0), Seconds::new(3.0));
+    }
+
+    #[test]
+    fn cycles_reach_seconds_only_through_a_clock() {
+        let s = Cycles::new(5_600_000_000).seconds_at(Hertz::new(5.6e9));
+        assert!((s.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv2_is_energy() {
+        let e = Farads::new(1.0e-15) * Volts::new(2.0).squared();
+        assert_eq!(e, Joules::new(4.0e-15));
+        assert_eq!(Volts::new(2.0) * Volts::new(2.0), VoltsSquared::new(4.0));
+    }
+
+    #[test]
+    fn same_dimension_division_is_a_ratio() {
+        assert_eq!(Joules::new(1.0) / Joules::new(4.0), 0.25);
+        assert_eq!(Watts::new(3.0) / Watts::new(1.5), 2.0);
+        assert_eq!(Cycles::new(75).ratio_of(Cycles::new(100)), 0.75);
+        assert_eq!(Cycles::new(75).ratio_of(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn cycle_arithmetic_matches_u64() {
+        let mut c = Cycles::new(10);
+        c += Cycles::new(5);
+        c -= Cycles::new(3);
+        assert_eq!(c, Cycles::new(12));
+        assert_eq!(c * 4, Cycles::new(48));
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(7)), Cycles::ZERO);
+        let total: Cycles = [Cycles::new(1), Cycles::new(2)].into_iter().sum();
+        assert_eq!(total, Cycles::new(3));
+    }
+
+    #[test]
+    fn kelvin_celsius_round_trip() {
+        let t = Kelvin::from_celsius(110.0);
+        assert!((t.get() - 383.15).abs() < 1e-12);
+        assert!((t.celsius() - 110.0).abs() < 1e-12);
+        assert!((Kelvin::new(384.15) - t - 1.0).abs() < 1e-12);
+        assert_eq!(t + 1.0, Kelvin::new(384.15));
+    }
+
+    #[test]
+    fn per_cycle_rate_times_span_recovers_count() {
+        let r = PerCycle::rate(4, Cycles::new(1024));
+        assert!((r * Cycles::new(1024) - 4.0).abs() < 1e-12);
+        assert_eq!(PerCycle::rate(4, Cycles::ZERO), PerCycle::ZERO);
+    }
+
+    #[test]
+    fn scaling_and_accumulation() {
+        let mut e = Joules::ZERO;
+        e += 3.0 * Joules::new(1.0e-9);
+        e += Joules::new(1.0e-9) * 2.0;
+        assert_eq!(e, Joules::new(5.0e-9));
+        assert_eq!(-e + e, Joules::ZERO);
+        assert_eq!(e / 5.0, Joules::new(1.0e-9));
+        let s: Joules = [e, e].into_iter().sum();
+        assert_eq!(s, e * 2.0);
+        assert!(e.is_finite());
+        assert_eq!(e.max(Joules::ZERO), e);
+    }
+
+    #[test]
+    fn display_carries_units() {
+        assert_eq!(Joules::new(1.5).to_string(), "1.5 J");
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+        assert_eq!(Kelvin::new(300.0).to_string(), "300 K");
+    }
+}

@@ -9,6 +9,13 @@
 
 use hotleakage::{Environment, TechNode};
 use serde::{Deserialize, Serialize};
+use units::{Farads, Joules, Volts};
+
+/// Documented conversion: geometry counts are exact in `f64` far beyond
+/// any array dimension this model reaches (< 2^53).
+fn count(n: usize) -> f64 {
+    n as f64 // lint: allow(lossy-cast): usize geometry counts are exact in f64
+}
 
 /// Per-node unit capacitances.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,16 +85,16 @@ impl ArrayGeometry {
 /// Capacitances of one access path through an array.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ArrayCaps {
-    /// Decoder input + predecode capacitance, farads.
-    pub decoder: f64,
-    /// One wordline (gate cap of a row's access devices + wire), farads.
-    pub wordline: f64,
-    /// One bitline (diffusion of all rows + wire), farads.
-    pub bitline: f64,
-    /// Sense-amplifier internal capacitance per column, farads.
-    pub sense: f64,
-    /// Output-driver and bus capacitance per bit, farads.
-    pub output: f64,
+    /// Decoder input + predecode capacitance.
+    pub decoder: Farads,
+    /// One wordline (gate cap of a row's access devices + wire).
+    pub wordline: Farads,
+    /// One bitline (diffusion of all rows + wire).
+    pub bitline: Farads,
+    /// Sense-amplifier internal capacitance per column.
+    pub sense: Farads,
+    /// Output-driver and bus capacitance per bit.
+    pub output: Farads,
 }
 
 /// Fraction of `V_dd` the bitlines swing before the sense amps fire.
@@ -96,50 +103,55 @@ pub const BITLINE_SWING: f64 = 0.15;
 /// Computes the access-path capacitances of `geom` at `node`.
 pub fn array_caps(node: TechNode, geom: &ArrayGeometry) -> ArrayCaps {
     let u = UnitCaps::for_node(node);
-    let row_wire_um = geom.cols as f64 * u.cell_pitch_um;
-    let col_wire_um = geom.rows as f64 * u.cell_pitch_um;
+    let row_wire_um = count(geom.cols) * u.cell_pitch_um;
+    let col_wire_um = count(geom.rows) * u.cell_pitch_um;
     // Access-device widths ≈ 1.2 feature sizes (matches the SRAM cell model).
     let access_w_um = 1.2 * node.params().feature_nm / 1000.0;
     ArrayCaps {
         // Predecode + final NAND gates: ~4 gate loads per address bit.
-        decoder: 4.0 * (geom.rows.max(2) as f64).log2() * 3.0 * u.gate_per_um * access_w_um * 8.0,
-        wordline: geom.cols as f64 * 2.0 * u.gate_per_um * access_w_um
-            + row_wire_um * u.wire_per_um,
-        bitline: geom.rows as f64 * u.diff_per_um * access_w_um + col_wire_um * u.wire_per_um,
-        sense: 10.0 * u.gate_per_um * access_w_um,
-        output: 20.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,
+        decoder: Farads::new(
+            4.0 * count(geom.rows.max(2)).log2() * 3.0 * u.gate_per_um * access_w_um * 8.0,
+        ),
+        wordline: Farads::new(
+            count(geom.cols) * 2.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um,
+        ),
+        bitline: Farads::new(
+            count(geom.rows) * u.diff_per_um * access_w_um + col_wire_um * u.wire_per_um,
+        ),
+        sense: Farads::new(10.0 * u.gate_per_um * access_w_um),
+        output: Farads::new(20.0 * u.gate_per_um * access_w_um + row_wire_um * u.wire_per_um),
     }
 }
 
-/// Dynamic energy of one **read** access to the array, joules.
+/// Dynamic energy of one **read** access to the array.
 ///
 /// Decoder and wordline swing the full supply; each of the `cols` bitline
 /// pairs swings `BITLINE_SWING·V_dd`; sensing and output driving swing the
 /// accessed bits full rail.
-pub fn read_energy(env: &Environment, geom: &ArrayGeometry) -> f64 {
+pub fn read_energy(env: &Environment, geom: &ArrayGeometry) -> Joules {
     let caps = array_caps(env.node(), geom);
-    let v = env.vdd();
-    let full = v * v;
-    let swing = v * (BITLINE_SWING * v);
+    let v = Volts::new(env.vdd());
+    let full = v.squared();
+    let swing = v.squared() * BITLINE_SWING;
     caps.decoder * full
         + caps.wordline * full
-        + geom.cols as f64 * 2.0 * caps.bitline * swing
-        + geom.cols as f64 * caps.sense * full
-        + geom.access_bits as f64 * caps.output * full
+        + count(geom.cols) * 2.0 * caps.bitline * swing
+        + count(geom.cols) * caps.sense * full
+        + count(geom.access_bits) * caps.output * full
 }
 
-/// Dynamic energy of one **write** access, joules: like a read, but the
-/// written bits drive their bitlines full-rail instead of sensing.
-pub fn write_energy(env: &Environment, geom: &ArrayGeometry) -> f64 {
+/// Dynamic energy of one **write** access: like a read, but the written
+/// bits drive their bitlines full-rail instead of sensing.
+pub fn write_energy(env: &Environment, geom: &ArrayGeometry) -> Joules {
     let caps = array_caps(env.node(), geom);
-    let v = env.vdd();
-    let full = v * v;
-    let swing = v * (BITLINE_SWING * v);
+    let v = Volts::new(env.vdd());
+    let full = v.squared();
+    let swing = v.squared() * BITLINE_SWING;
     caps.decoder * full
         + caps.wordline * full
-        + geom.access_bits as f64 * 2.0 * caps.bitline * full
-        + (geom.cols - geom.access_bits.min(geom.cols)) as f64 * 2.0 * caps.bitline * swing
-        + geom.access_bits as f64 * caps.output * full
+        + count(geom.access_bits) * 2.0 * caps.bitline * full
+        + count(geom.cols - geom.access_bits.min(geom.cols)) * 2.0 * caps.bitline * swing
+        + count(geom.access_bits) * caps.output * full
 }
 
 #[cfg(test)]
@@ -156,7 +168,10 @@ mod tests {
         // (Wattch-class models report ~0.1–1 nJ).
         let geom = ArrayGeometry::cache_data(1024, 512);
         let e = read_energy(&env(), &geom);
-        assert!(e > 0.05e-9 && e < 5e-9, "L1 read energy {e} J implausible");
+        assert!(
+            e > Joules::new(0.05e-9) && e < Joules::new(5e-9),
+            "L1 read energy {e} implausible"
+        );
     }
 
     #[test]
@@ -170,7 +185,7 @@ mod tests {
     fn tag_probe_cheaper_than_data_read() {
         let data = ArrayGeometry::cache_data(1024, 512);
         let tag = ArrayGeometry::cache_tag(1024, 30);
-        assert!(read_energy(&env(), &tag) < 0.25 * read_energy(&env(), &data));
+        assert!(read_energy(&env(), &tag) < read_energy(&env(), &data) * 0.25);
     }
 
     #[test]
@@ -178,7 +193,7 @@ mod tests {
         let geom = ArrayGeometry::cache_data(1024, 512);
         let r = read_energy(&env(), &geom);
         let w = write_energy(&env(), &geom);
-        assert!(w > 0.2 * r && w < 20.0 * r, "r={r} w={w}");
+        assert!(w > r * 0.2 && w < r * 20.0, "r={r} w={w}");
     }
 
     #[test]

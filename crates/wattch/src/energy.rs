@@ -8,6 +8,7 @@
 
 use hotleakage::Environment;
 use serde::{Deserialize, Serialize};
+use units::{Farads, Joules, Volts};
 
 use crate::cacti::{self, ArrayGeometry};
 use crate::ledger::Event;
@@ -61,28 +62,47 @@ impl MachineGeometry {
     }
 }
 
-/// Pre-computed per-event dynamic energies (joules) at one operating point.
+/// Pre-computed per-event dynamic energies at one operating point.
 ///
 /// Rebuild the model whenever `V_dd` changes (all energies scale as `C·V²`);
 /// temperature does not enter dynamic energy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerModel {
     geometry: MachineGeometry,
-    l1d_read: f64,
-    l1d_write: f64,
-    l1d_tag_probe: f64,
-    l1i_read: f64,
-    l2_access: f64,
-    mem_access: f64,
-    regfile_read: f64,
-    regfile_write: f64,
-    alu_op: f64,
-    fp_op: f64,
-    bpred_access: f64,
-    clock_cycle: f64,
-    counter_tick: f64,
-    line_rail_per_volt2: f64,
+    l1d_read: Joules,
+    l1d_write: Joules,
+    l1d_tag_probe: Joules,
+    l1i_read: Joules,
+    l2_access: Joules,
+    mem_access: Joules,
+    regfile_read: Joules,
+    regfile_write: Joules,
+    alu_op: Joules,
+    fp_op: Joules,
+    bpred_access: Joules,
+    clock_cycle: Joules,
+    counter_tick: Joules,
+    line_rail_cap: Farads,
 }
+
+/// Off-chip/DRAM access energy: dominated by I/O and DRAM core energy; a
+/// fixed 2 nJ is representative for early-2000s parts.
+pub const DRAM_ACCESS_ENERGY: Joules = Joules::new(2.0e-9);
+
+/// Effective switched capacitance of one 64-bit integer ALU operation.
+pub const ALU_OP_CAP: Farads = Farads::new(40.0e-12 / (0.9 * 0.9));
+
+/// Effective switched capacitance of one FP operation (~3× an ALU op).
+pub const FP_OP_CAP: Farads = Farads::new(120.0e-12 / (0.9 * 0.9));
+
+/// Global clock network capacitance switched per cycle.
+pub const CLOCK_NETWORK_CAP: Farads = Farads::new(300.0e-12);
+
+/// Switched gate capacitance of a 2-bit saturating counter increment.
+pub const COUNTER_TICK_CAP: Farads = Farads::new(10.0e-15);
+
+/// Supply-rail capacitance per SRAM cell (~1 fF of rail per cell).
+pub const RAIL_CAP_PER_CELL: Farads = Farads::new(1.0e-15);
 
 impl PowerModel {
     /// Builds the model for the Table 2 machine at operating point `env`.
@@ -92,7 +112,7 @@ impl PowerModel {
 
     /// Builds the model for an explicit machine geometry.
     pub fn with_geometry(env: &Environment, geometry: MachineGeometry) -> Self {
-        let v2 = env.vdd() * env.vdd();
+        let v2 = Volts::new(env.vdd()).squared();
         let l1d_data_r = cacti::read_energy(env, &geometry.l1d_data);
         let l1d_data_w = cacti::write_energy(env, &geometry.l1d_data);
         let l1d_tag_r = cacti::read_energy(env, &geometry.l1d_tag);
@@ -102,8 +122,9 @@ impl PowerModel {
             cacti::read_energy(env, &geometry.l2_data) + cacti::read_energy(env, &geometry.l2_tag);
         // One line's worth of supply-rail capacitance: the quantum charged
         // when a drowsy line is restored to full V_dd or a gated line is
-        // reconnected. ~1 fF of rail per cell.
-        let rail_cap = geometry.l1d_data.cols as f64 * 1.0e-15;
+        // reconnected.
+        #[allow(clippy::cast_precision_loss)]
+        let rail_cap = RAIL_CAP_PER_CELL * (geometry.l1d_data.cols as f64); // lint: allow(lossy-cast): usize count exact in f64
         PowerModel {
             geometry,
             l1d_read: l1d_data_r + l1d_tag_r,
@@ -111,21 +132,16 @@ impl PowerModel {
             l1d_tag_probe: l1d_tag_r,
             l1i_read: l1i_r,
             l2_access: l2,
-            // Off-chip/DRAM access: dominated by I/O and DRAM core energy;
-            // a fixed 2 nJ is representative for early-2000s parts.
-            mem_access: 2.0e-9,
+            mem_access: DRAM_ACCESS_ENERGY,
             regfile_read: cacti::read_energy(env, &geometry.regfile),
             regfile_write: cacti::write_energy(env, &geometry.regfile),
-            // Datapath ops: effective switched capacitance ~60 pF·bit-ops →
-            // a few tens of pJ per 64-bit ALU op at 0.9 V.
-            alu_op: 40.0e-12 * v2 / (0.9 * 0.9),
-            fp_op: 120.0e-12 * v2 / (0.9 * 0.9),
+            // Datapath ops: a few tens of pJ per 64-bit op at 0.9 V.
+            alu_op: ALU_OP_CAP * v2,
+            fp_op: FP_OP_CAP * v2,
             bpred_access: cacti::read_energy(env, &geometry.bpred),
-            // Global clock network: ~300 pF switched per cycle.
-            clock_cycle: 300.0e-12 * v2,
-            // A 2-bit saturating counter increment: ~10 fF of switched gates.
-            counter_tick: 10.0e-15 * v2,
-            line_rail_per_volt2: rail_cap,
+            clock_cycle: CLOCK_NETWORK_CAP * v2,
+            counter_tick: COUNTER_TICK_CAP * v2,
+            line_rail_cap: rail_cap,
         }
     }
 
@@ -134,8 +150,8 @@ impl PowerModel {
         &self.geometry
     }
 
-    /// Energy of one occurrence of `event`, joules.
-    pub fn energy(&self, event: Event) -> f64 {
+    /// Energy of one occurrence of `event`.
+    pub fn energy(&self, event: Event) -> Joules {
         match event {
             Event::L1dAccess => self.l1d_read,
             Event::L1dWrite => self.l1d_write,
@@ -154,10 +170,10 @@ impl PowerModel {
     }
 
     /// Energy to recharge one cache line's supply rail across a voltage step
-    /// of `delta_v` volts (drowsy wake: `V_dd − V_drowsy`; gated-V_ss
-    /// reconnect: full `V_dd`), joules.
-    pub fn line_rail_energy(&self, delta_v: f64) -> f64 {
-        self.line_rail_per_volt2 * delta_v * delta_v
+    /// of `delta_v` (drowsy wake: `V_dd − V_drowsy`; gated-V_ss reconnect:
+    /// full `V_dd`).
+    pub fn line_rail_energy(&self, delta_v: Volts) -> Joules {
+        self.line_rail_cap * delta_v.squared()
     }
 }
 
@@ -174,7 +190,7 @@ mod tests {
     #[test]
     fn l2_costs_more_than_l1() {
         let m = model();
-        assert!(m.energy(Event::L2Access) > 1.5 * m.energy(Event::L1dAccess));
+        assert!(m.energy(Event::L2Access) > m.energy(Event::L1dAccess) * 1.5);
     }
 
     #[test]
@@ -186,28 +202,28 @@ mod tests {
     #[test]
     fn tag_probe_much_cheaper_than_full_access() {
         let m = model();
-        assert!(m.energy(Event::L1dTagProbe) < 0.3 * m.energy(Event::L1dAccess));
+        assert!(m.energy(Event::L1dTagProbe) < m.energy(Event::L1dAccess) * 0.3);
     }
 
     #[test]
     fn counter_tick_is_negligible_vs_cache_access() {
         let m = model();
-        assert!(m.energy(Event::CounterTick) < 1e-3 * m.energy(Event::L1dAccess));
+        assert!(m.energy(Event::CounterTick) < m.energy(Event::L1dAccess) * 1e-3);
     }
 
     #[test]
     fn all_events_have_positive_energy() {
         let m = model();
         for event in Event::ALL {
-            assert!(m.energy(event) > 0.0, "{event:?}");
+            assert!(m.energy(event) > Joules::ZERO, "{event:?}");
         }
     }
 
     #[test]
     fn rail_energy_quadratic_in_step() {
         let m = model();
-        let e1 = m.line_rail_energy(0.3);
-        let e2 = m.line_rail_energy(0.6);
+        let e1 = m.line_rail_energy(Volts::new(0.3));
+        let e2 = m.line_rail_energy(Volts::new(0.6));
         assert!((e2 / e1 - 4.0).abs() < 1e-9);
     }
 
@@ -217,13 +233,13 @@ mod tests {
         // (~0.6 V step on one line's rail) must be much cheaper than an
         // L2 access, else drowsy would never win anywhere.
         let m = model();
-        assert!(m.line_rail_energy(0.62) < 0.05 * m.energy(Event::L2Access));
+        assert!(m.line_rail_energy(Volts::new(0.62)) < m.energy(Event::L2Access) * 0.05);
     }
 
     #[test]
     fn clock_power_reasonable_at_5_6ghz() {
         let m = model();
-        let p = m.energy(Event::ClockCycle) * 5.6e9;
+        let p = m.energy(Event::ClockCycle).get() * 5.6e9;
         assert!(p > 0.3 && p < 5.0, "clock power {p} W");
     }
 }

@@ -1,6 +1,7 @@
 //! Activity counting and energy accumulation.
 
 use serde::{Deserialize, Serialize};
+use units::Joules;
 
 use crate::energy::PowerModel;
 
@@ -90,9 +91,9 @@ impl Event {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyLedger {
     counts: [u64; 13],
-    /// Energy recorded directly in joules (e.g. technique-specific
-    /// transition energies priced at record time).
-    direct_joules: f64,
+    /// Energy recorded directly (e.g. technique-specific transition
+    /// energies priced at record time).
+    direct: Joules,
 }
 
 impl EnergyLedger {
@@ -106,10 +107,10 @@ impl EnergyLedger {
         self.counts[event.index()] += n;
     }
 
-    /// Deposits a pre-priced energy amount in joules (used for transition
-    /// energies whose price depends on technique state).
-    pub fn deposit_joules(&mut self, joules: f64) {
-        self.direct_joules += joules;
+    /// Deposits a pre-priced energy amount (used for transition energies
+    /// whose price depends on technique state).
+    pub fn deposit(&mut self, energy: Joules) {
+        self.direct += energy;
     }
 
     /// The number of recorded occurrences of `event`.
@@ -117,19 +118,24 @@ impl EnergyLedger {
         self.counts[event.index()]
     }
 
-    /// Direct joules deposited so far.
-    pub fn direct_joules(&self) -> f64 {
-        self.direct_joules
+    /// Directly deposited energy so far.
+    pub fn direct(&self) -> Joules {
+        self.direct
     }
 
-    /// Total dynamic energy priced with `model`, joules (counted events plus
+    /// Total dynamic energy priced with `model` (counted events plus
     /// direct deposits).
-    pub fn total_energy(&self, model: &PowerModel) -> f64 {
+    pub fn total_energy(&self, model: &PowerModel) -> Joules {
         Event::ALL
             .iter()
-            .map(|&e| self.count(e) as f64 * model.energy(e))
-            .sum::<f64>()
-            + self.direct_joules
+            .map(|&e| {
+                #[allow(clippy::cast_precision_loss)]
+                // lint: allow(lossy-cast): event counts are exact in f64
+                let n = self.count(e) as f64;
+                n * model.energy(e)
+            })
+            .sum::<Joules>()
+            + self.direct
     }
 
     /// Merges another ledger's activity into this one.
@@ -137,7 +143,7 @@ impl EnergyLedger {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
             *mine += theirs;
         }
-        self.direct_joules += other.direct_joules;
+        self.direct += other.direct;
     }
 }
 
@@ -166,20 +172,20 @@ mod tests {
         a.record(Event::L1dAccess, 100);
         let mut b = EnergyLedger::new();
         b.record(Event::L1dAccess, 200);
-        assert!((b.total_energy(&m) - 2.0 * a.total_energy(&m)).abs() < 1e-18);
+        assert!((b.total_energy(&m) - a.total_energy(&m) * 2.0).get().abs() < 1e-18);
     }
 
     #[test]
     fn merge_adds_counts_and_deposits() {
         let mut a = EnergyLedger::new();
         a.record(Event::AluOp, 7);
-        a.deposit_joules(1e-9);
+        a.deposit(Joules::new(1e-9));
         let mut b = EnergyLedger::new();
         b.record(Event::AluOp, 3);
-        b.deposit_joules(2e-9);
+        b.deposit(Joules::new(2e-9));
         a.merge(&b);
         assert_eq!(a.count(Event::AluOp), 10);
-        assert!((a.direct_joules() - 3e-9).abs() < 1e-20);
+        assert!((a.direct() - Joules::new(3e-9)).get().abs() < 1e-20);
     }
 
     #[test]
@@ -195,6 +201,6 @@ mod tests {
 
     #[test]
     fn empty_ledger_prices_to_zero() {
-        assert_eq!(EnergyLedger::new().total_energy(&model()), 0.0);
+        assert_eq!(EnergyLedger::new().total_energy(&model()), Joules::ZERO);
     }
 }

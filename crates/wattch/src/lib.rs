@@ -32,7 +32,7 @@
 //! ledger.record(Event::L1dAccess, 1_000);
 //! ledger.record(Event::L2Access, 40);
 //! let joules = ledger.total_energy(&model);
-//! assert!(joules > 0.0);
+//! assert!(joules > units::Joules::ZERO);
 //! # Ok::<(), hotleakage::ModelError>(())
 //! ```
 

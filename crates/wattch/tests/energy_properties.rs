@@ -2,6 +2,7 @@
 
 use hotleakage::{Environment, TechNode};
 use proptest::prelude::*;
+use units::{Joules, Volts};
 use wattch::cacti::{self, ArrayGeometry};
 use wattch::{EnergyLedger, Event, PowerModel};
 
@@ -25,7 +26,7 @@ proptest! {
     #[test]
     fn read_energy_positive_and_finite(env in arb_env(), geom in arb_geom()) {
         let e = cacti::read_energy(&env, &geom);
-        prop_assert!(e.is_finite() && e > 0.0);
+        prop_assert!(e.is_finite() && e > Joules::ZERO);
     }
 
     #[test]
@@ -57,10 +58,10 @@ proptest! {
             b.record(event, counts[Event::ALL.len() - 1 - i]);
             merged.record(event, counts[i] + counts[Event::ALL.len() - 1 - i]);
         }
-        a.deposit_joules(extra);
-        merged.deposit_joules(extra);
-        let sum = a.total_energy(&model) + b.total_energy(&model);
-        let whole = merged.total_energy(&model);
+        a.deposit(Joules::new(extra));
+        merged.deposit(Joules::new(extra));
+        let sum = (a.total_energy(&model) + b.total_energy(&model)).get();
+        let whole = merged.total_energy(&model).get();
         prop_assert!((sum - whole).abs() <= 1e-12 * whole.max(1e-30) + 1e-24);
     }
 
@@ -68,8 +69,8 @@ proptest! {
     fn rail_energy_nonnegative_and_quadratic(dv in 0.0f64..1.2) {
         let env = Environment::new(TechNode::N70, 0.9, 383.15).expect("valid");
         let model = PowerModel::alpha21264_like(&env);
-        let e1 = model.line_rail_energy(dv);
-        let e2 = model.line_rail_energy(2.0 * dv);
+        let e1 = model.line_rail_energy(Volts::new(dv)).get();
+        let e2 = model.line_rail_energy(Volts::new(2.0 * dv)).get();
         prop_assert!(e1 >= 0.0);
         prop_assert!((e2 - 4.0 * e1).abs() <= 1e-9 * e2.max(1e-30));
     }

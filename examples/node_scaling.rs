@@ -29,15 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let leak_w = data.leakage_power(&env);
         // Dynamic power at one access per two cycles at the node's clock.
         let access_j = cacti::read_energy(&env, &geom);
-        let dyn_w = access_j * p.clock_hz / 2.0;
+        let dyn_w = access_j * p.clock() / 2.0;
         let share = leak_w / (leak_w + dyn_w);
         println!(
             "{:>6} {:>7.2}V {:>12.1} {:>12.1} {:>12.1} {:>9.1}%",
             node.to_string(),
             p.vdd0,
-            leak_w * 1e3,
-            dyn_w * 1e3,
-            (leak_w + dyn_w) * 1e3,
+            leak_w.get() * 1e3,
+            dyn_w.get() * 1e3,
+            (leak_w + dyn_w).get() * 1e3,
             share * 100.0
         );
     }

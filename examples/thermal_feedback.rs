@@ -17,6 +17,7 @@ use leakctl::Technique;
 use simcore::thermal_loop::compare_thermal;
 use simcore::{Study, StudyConfig};
 use specgen::Benchmark;
+use units::{Kelvin, Watts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The coupled study: steady-state junction temperature per technique
@@ -24,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ThermalParams {
         r_th: 18.0,
         c_th: 20.0,
-        t_ambient: 318.15,
+        t_ambient: Kelvin::new(318.15),
     };
     let study = Study::new(StudyConfig::with_insts(200_000));
     println!("Closed-loop steady-state junction temperature (L2 = 11 cycles):\n");
@@ -53,20 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let node = ThermalNode::new(ThermalParams {
             r_th,
             c_th: 20.0,
-            t_ambient: 318.15,
+            t_ambient: Kelvin::new(318.15),
         })?;
         let outcome = node.steady_state(
             |t| {
                 let env = base_env
-                    .with_temperature(t.clamp(250.0, 449.0))
+                    .with_temperature(t.get().clamp(250.0, 449.0))
                     .expect("clamped to valid range");
-                3.0 + 64.0 * array.leakage_power(&env)
+                Watts::new(3.0) + array.leakage_power(&env) * 64.0
             },
-            450.0,
+            Kelvin::new(450.0),
         );
         match outcome {
             SteadyState::Stable(t) => {
-                println!("  R_th = {r_th:>4.1} K/W: stable at {:.1} C", t - 273.15)
+                println!("  R_th = {r_th:>4.1} K/W: stable at {:.1} C", t.celsius())
             }
             SteadyState::Runaway(_) => {
                 println!("  R_th = {r_th:>4.1} K/W: THERMAL RUNAWAY")

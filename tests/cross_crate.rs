@@ -77,7 +77,7 @@ fn mode_cycles_conserve_under_real_workloads() {
         let lines = CacheConfig::l1_64k_2way().num_lines() as u64;
         assert_eq!(
             raw.l1d.mode_cycles.total(),
-            lines * raw.cycles,
+            units::Cycles::new(lines * raw.cycles),
             "{technique:?}: line-cycles must be conserved"
         );
     }
@@ -98,7 +98,7 @@ fn repricing_is_consistent_across_temperatures() {
     let technique = Technique::drowsy(4096);
     let p_cool = pricing::price(&raw, &technique, &cool, &arrays).expect("prices");
     let p_hot = pricing::price(&raw, &technique, &hot, &arrays).expect("prices");
-    assert!(p_hot.leakage_j > 1.3 * p_cool.leakage_j);
+    assert!(p_hot.leakage_j > p_cool.leakage_j * 1.3);
     assert_eq!(p_hot.seconds, p_cool.seconds);
 }
 
@@ -179,7 +179,7 @@ fn leakage_energy_scale_is_coherent_across_crates() {
     let expected_w = arrays.data.leakage_power(&env) + arrays.tags.leakage_power(&env);
     let actual_w = priced.leakage_j / priced.seconds;
     assert!(
-        (actual_w - expected_w).abs() / expected_w < 1e-9,
+        (actual_w - expected_w).get().abs() / expected_w.get() < 1e-9,
         "baseline leakage {actual_w} W must equal the array model {expected_w} W"
     );
 }

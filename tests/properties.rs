@@ -107,7 +107,7 @@ proptest! {
         }
         cache.finalize(now);
         let lines = cache.config().num_lines() as u64;
-        prop_assert_eq!(cache.stats().mode_cycles.total(), lines * now);
+        prop_assert_eq!(cache.stats().mode_cycles.total(), units::Cycles::new(lines * now));
     }
 
     #[test]
@@ -171,11 +171,15 @@ proptest! {
         dyn_base in 0.0f64..1.0e-3,
         dyn_extra in 0.0f64..1.0e-4,
     ) {
-        let base = Priced { leakage_j: base_leak, dynamic_j: dyn_base, seconds: 1e-3 };
+        let base = Priced {
+            leakage_j: units::Joules::new(base_leak),
+            dynamic_j: units::Joules::new(dyn_base),
+            seconds: units::Seconds::new(1e-3),
+        };
         let tech = Priced {
-            leakage_j: base_leak * tech_leak_frac,
-            dynamic_j: dyn_base + dyn_extra,
-            seconds: 1e-3,
+            leakage_j: units::Joules::new(base_leak * tech_leak_frac),
+            dynamic_j: units::Joules::new(dyn_base + dyn_extra),
+            seconds: units::Seconds::new(1e-3),
         };
         let net = net_savings(&base, &tech);
         let gross = 1.0 - tech_leak_frac;
