@@ -15,14 +15,15 @@ use std::time::Instant;
 
 use serde::Serialize;
 use simcore::{figures, Study, StudyConfig};
+use units::Seconds;
 
 #[derive(Serialize)]
 struct ThreadPoint {
     threads: usize,
-    /// Fastest repeat, seconds.
-    best_seconds: f64,
-    /// All repeats, seconds.
-    repeats_seconds: Vec<f64>,
+    /// Fastest repeat.
+    best_seconds: Seconds,
+    /// All repeats.
+    repeats_seconds: Vec<Seconds>,
     /// best_seconds(1 thread) / best_seconds(this point).
     speedup_vs_1: f64,
 }
@@ -83,19 +84,32 @@ fn main() {
             let start = Instant::now();
             figures::savings_figure(&study, "fig3", 5, 110.0)
                 .unwrap_or_else(|e| die(&format!("fig3 sweep: {e}")));
-            times.push(start.elapsed().as_secs_f64());
+            times.push(Seconds::new(start.elapsed().as_secs_f64()));
         }
-        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let best =
+            times.iter().cloned().fold(
+                Seconds::new(f64::INFINITY),
+                |a, b| {
+                    if b < a {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
         let base = points
             .first()
             .map(|p: &ThreadPoint| p.best_seconds)
             .unwrap_or(best);
-        eprintln!("threads={threads}: best {best:.3}s over {repeats} repeats");
+        eprintln!(
+            "threads={threads}: best {:.3}s over {repeats} repeats",
+            best.get()
+        );
         points.push(ThreadPoint {
             threads,
             best_seconds: best,
             repeats_seconds: times,
-            speedup_vs_1: base / best,
+            speedup_vs_1: base.get() / best.get(),
         });
     }
 

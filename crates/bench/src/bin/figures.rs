@@ -170,7 +170,7 @@ fn print_reuse(study: &Study) {
             p.reuse_cdf[1] * 100.0,
             p.reuse_cdf[2] * 100.0,
             p.reuse_cdf[3] * 100.0,
-            report::fmt_interval(p.interval_99),
+            report::fmt_interval(units::Cycles::new(p.interval_99)),
         );
     }
     println!();

@@ -108,6 +108,29 @@ impl ReuseProfiler {
             .collect()
     }
 
+    /// The log₂ histogram of **dead time** at cycle `now`: for every line
+    /// touched, the gap from its last access to `now`. These are the gaps a
+    /// decay interval harvests for free — a line never reused again sleeps
+    /// from `last access + interval` to the end of the run with no wake-up
+    /// cost — so together with [`ReuseProfiler::histogram`] they determine
+    /// the analytic best decay interval (the Table 3 knee).
+    ///
+    /// Accesses at or after `now` count as a zero gap (first bucket).
+    pub fn dead_histogram(&self, now: u64) -> Vec<(u64, u64)> {
+        let mut buckets = vec![0u64; BUCKETS];
+        for &last in self.last_access.values() {
+            let gap = now.saturating_sub(last);
+            let bucket = (64 - gap.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+            buckets[bucket] += 1;
+        }
+        buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+
     /// The smallest power-of-two interval that leaves at least `keep`
     /// fraction of reuses undisturbed — a direct predictor of the
     /// technique's preferred decay interval.
@@ -184,6 +207,20 @@ mod tests {
         p.record(0, 100);
         p.record(0, 100_100);
         assert!((p.disturbed_fraction(1024) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_histogram_counts_every_line_once() {
+        let mut p = ReuseProfiler::new();
+        p.record(0, 0); // dead for 10_000 cycles at now=10_000
+        p.record(64, 9_000); // dead for 1_000
+        p.record(128, 10_000); // dead for 0 (first bucket)
+        let h = p.dead_histogram(10_000);
+        let total: u64 = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3, "every touched line has exactly one dead gap");
+        assert!(h.iter().any(|&(floor, _)| floor == 8192), "10k gap bucket");
+        assert!(h.iter().any(|&(floor, _)| floor == 512), "1k gap bucket");
+        assert!(h.iter().any(|&(floor, _)| floor == 1), "zero gap bucket");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use leakctl::TechniqueKind;
 use serde::{Deserialize, Serialize};
 use specgen::Benchmark;
+use units::Cycles;
 
 use crate::config::{DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
 use crate::study::{best_of, technique_of, CompareRequest, RunResult, Study, StudyError};
@@ -75,7 +76,7 @@ fn avg(v: &[f64]) -> f64 {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table3 {
     /// `(benchmark, best drowsy interval, best gated interval)` rows.
-    pub rows: Vec<(String, u64, u64)>,
+    pub rows: Vec<(String, Cycles, Cycles)>,
 }
 
 /// Figures 3/5/8/10 (and 7 at 85 °C): net leakage savings at the default
@@ -217,7 +218,11 @@ pub fn best_interval_figures(
         savings.1.push(g.net_savings_pct);
         losses.0.push(d.perf_loss_pct);
         losses.1.push(g.perf_loss_pct);
-        rows.push((b.name().to_string(), d.interval, g.interval));
+        rows.push((
+            b.name().to_string(),
+            Cycles::new(d.interval),
+            Cycles::new(g.interval),
+        ));
         results.push(d);
         results.push(g);
     }
@@ -291,5 +296,55 @@ mod tests {
         };
         assert_eq!(fig.gated_wins_higher(), 2);
         assert_eq!(fig.gated_wins_lower(), 1);
+    }
+
+    fn series(drowsy: Vec<f64>, gated: Vec<f64>) -> FigureSeries {
+        let benchmarks = (0..drowsy.len()).map(|i| format!("b{i}")).collect();
+        FigureSeries {
+            id: "t".into(),
+            title: String::new(),
+            unit: String::new(),
+            benchmarks,
+            drowsy,
+            gated,
+            results: vec![],
+        }
+    }
+
+    #[test]
+    fn win_counters_score_ties_for_neither_side() {
+        // Exact ties are wins for neither direction: both counters use
+        // strict comparison, so a dead-heat benchmark drops out of both.
+        let fig = series(vec![5.0, 2.0, 7.0], vec![5.0, 2.0, 7.0]);
+        assert_eq!(fig.gated_wins_higher(), 0);
+        assert_eq!(fig.gated_wins_lower(), 0);
+        // Mixed: one tie, one gated-higher, one gated-lower.
+        let fig = series(vec![5.0, 2.0, 7.0], vec![5.0, 3.0, 6.0]);
+        assert_eq!(fig.gated_wins_higher(), 1);
+        assert_eq!(fig.gated_wins_lower(), 1);
+        assert!(
+            fig.gated_wins_higher() + fig.gated_wins_lower() < fig.benchmarks.len(),
+            "the tied benchmark counts for neither"
+        );
+    }
+
+    #[test]
+    fn win_counters_on_a_single_benchmark_series() {
+        let gated_better = series(vec![10.0], vec![20.0]);
+        assert_eq!(gated_better.gated_wins_higher(), 1);
+        assert_eq!(gated_better.gated_wins_lower(), 0);
+        let drowsy_better = series(vec![20.0], vec![10.0]);
+        assert_eq!(drowsy_better.gated_wins_higher(), 0);
+        assert_eq!(drowsy_better.gated_wins_lower(), 1);
+        assert!(drowsy_better.drowsy_avg() == 20.0 && drowsy_better.gated_avg() == 10.0);
+    }
+
+    #[test]
+    fn win_counters_and_averages_on_an_empty_series() {
+        let empty = series(vec![], vec![]);
+        assert_eq!(empty.gated_wins_higher(), 0);
+        assert_eq!(empty.gated_wins_lower(), 0);
+        assert_eq!(empty.drowsy_avg(), 0.0);
+        assert_eq!(empty.gated_avg(), 0.0);
     }
 }

@@ -137,7 +137,7 @@ pub fn price(
     arrays: &CacheArrays,
 ) -> Result<Priced, hotleakage::ModelError> {
     let clock = env.tech().clock();
-    let seconds = Cycles::new(raw.cycles).seconds_at(clock);
+    let seconds = raw.cycles.seconds_at(clock);
     let physics = technique.physics(env, &arrays.data, &arrays.tags)?;
 
     // ---- leakage ----
@@ -145,7 +145,7 @@ pub fn price(
     let lines = arrays.lines() as u64;
     let (active_cycles, standby_cycles) = if mc.total() == Cycles::ZERO {
         // No decay machinery ran (baseline): every line active every cycle.
-        (Cycles::new(lines * raw.cycles), Cycles::ZERO)
+        (Cycles::new(lines * raw.cycles.get()), Cycles::ZERO)
     } else {
         (mc.active + mc.transitioning, mc.standby)
     };
@@ -157,7 +157,7 @@ pub fn price(
     // ---- dynamic ----
     let model = PowerModel::alpha21264_like(env);
     let mut ledger = EnergyLedger::new();
-    ledger.record(Event::ClockCycle, raw.cycles);
+    ledger.record(Event::ClockCycle, raw.cycles.get());
     ledger.record(Event::L1iAccess, raw.core.l1i_accesses);
     ledger.record(Event::L1dAccess, raw.core.loads);
     ledger.record(Event::L1dWrite, raw.core.stores);
@@ -225,13 +225,13 @@ pub fn net_savings(base: &Priced, tech: &Priced) -> f64 {
 
 /// Performance loss of the technique run relative to baseline, percent.
 // lint: allow(raw-f64): dimensionless percentage
-pub fn perf_loss_pct(base_cycles: u64, tech_cycles: u64) -> f64 {
-    if base_cycles == 0 {
+pub fn perf_loss_pct(base_cycles: Cycles, tech_cycles: Cycles) -> f64 {
+    if base_cycles == Cycles::ZERO {
         return 0.0;
     }
     #[allow(clippy::cast_precision_loss)]
     // lint: allow(lossy-cast): cycle counts are far below 2^53
-    let (base, tech) = (base_cycles as f64, tech_cycles as f64);
+    let (base, tech) = (base_cycles.get() as f64, tech_cycles.get() as f64);
     (tech - base) / base * 100.0
 }
 
@@ -248,7 +248,7 @@ mod tests {
 
     fn baseline_raw(cycles: u64) -> RawRun {
         RawRun {
-            cycles,
+            cycles: Cycles::new(cycles),
             core: CoreStats {
                 cycles,
                 committed: cycles,
@@ -315,8 +315,8 @@ mod tests {
 
     #[test]
     fn perf_loss_percent() {
-        assert!((perf_loss_pct(1_000_000, 1_014_000) - 1.4).abs() < 1e-9);
-        assert_eq!(perf_loss_pct(0, 10), 0.0);
+        assert!((perf_loss_pct(Cycles::new(1_000_000), Cycles::new(1_014_000)) - 1.4).abs() < 1e-9);
+        assert_eq!(perf_loss_pct(Cycles::ZERO, Cycles::new(10)), 0.0);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use units::Cycles;
+
 use crate::figures::{FigureSeries, Table3};
 
 /// Renders a figure's two series as an aligned table with averages.
@@ -49,11 +51,12 @@ pub fn render_table3(t: &Table3) -> String {
 }
 
 /// Formats an interval the way the paper does ("4k", "64k").
-pub fn fmt_interval(cycles: u64) -> String {
-    if cycles >= 1024 && cycles.is_multiple_of(1024) {
-        format!("{}k", cycles / 1024)
+pub fn fmt_interval(cycles: Cycles) -> String {
+    let n = cycles.get();
+    if n >= 1024 && n.is_multiple_of(1024) {
+        format!("{}k", n / 1024)
     } else {
-        cycles.to_string()
+        n.to_string()
     }
 }
 
@@ -128,9 +131,9 @@ mod tests {
 
     #[test]
     fn interval_formatting_matches_paper() {
-        assert_eq!(fmt_interval(1024), "1k");
-        assert_eq!(fmt_interval(65536), "64k");
-        assert_eq!(fmt_interval(1000), "1000");
+        assert_eq!(fmt_interval(Cycles::new(1024)), "1k");
+        assert_eq!(fmt_interval(Cycles::new(65536)), "64k");
+        assert_eq!(fmt_interval(Cycles::new(1000)), "1000");
     }
 
     #[test]
@@ -167,7 +170,7 @@ mod tests {
     #[test]
     fn table3_renders_rows() {
         let t = Table3 {
-            rows: vec![("gcc".into(), 1024, 2048)],
+            rows: vec![("gcc".into(), Cycles::new(1024), Cycles::new(2048))],
         };
         let r = render_table3(&t);
         assert!(r.contains("1k"));

@@ -36,6 +36,7 @@ use leakctl::{Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
 use specgen::{Benchmark, SpecTrace};
 use uarch::{Core, CoreConfig, CoreStats};
+use units::Cycles;
 
 use crate::config::StudyConfig;
 use crate::pricing::{self, CacheArrays};
@@ -97,8 +98,8 @@ impl From<cachesim::ConfigError> for StudyError {
 /// The temperature-independent record of one timing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RawRun {
-    /// Total cycles.
-    pub cycles: u64,
+    /// Total run length.
+    pub cycles: Cycles,
     /// Core-side counters.
     pub core: CoreStats,
     /// L1D counters and mode-cycle integrals.
@@ -817,7 +818,7 @@ pub fn execute(
     core.audit()
         .map_err(|report| StudyError::AuditFailed(report.to_string()))?;
     Ok(RawRun {
-        cycles: stats.cycles,
+        cycles: Cycles::new(stats.cycles),
         core: stats,
         l1d: *core.hierarchy().l1d().stats(),
     })
@@ -838,7 +839,7 @@ pub fn audit_raw_run(raw: &RawRun, has_decay: bool) -> Result<(), StudyError> {
     let mut report = cachesim::audit::AuditReport::new();
     report.absorb(
         "l1d",
-        cachesim::audit::check_cache_stats(&raw.l1d, num_lines, Some(raw.cycles), has_decay),
+        cachesim::audit::check_cache_stats(&raw.l1d, num_lines, Some(raw.cycles.get()), has_decay),
     );
     report
         .into_result()
@@ -863,7 +864,7 @@ mod tests {
         let b = study.baseline(Benchmark::Gzip, 11).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.core.committed, 60_000);
-        assert!(a.cycles > 0);
+        assert!(a.cycles > Cycles::ZERO);
         assert!(
             a.core.ipc() > 0.2 && a.core.ipc() < 4.0,
             "ipc={}",

@@ -32,7 +32,7 @@ fn arb_env() -> impl Strategy<Value = Environment> {
 fn consistent_raw(cycles: u64) -> RawRun {
     let lines = CacheArrays::table2_l1d().lines() as u64;
     RawRun {
-        cycles,
+        cycles: units::Cycles::new(cycles),
         core: CoreStats {
             cycles,
             committed: cycles,

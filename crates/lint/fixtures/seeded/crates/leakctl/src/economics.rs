@@ -1,0 +1,9 @@
+//! Seeded tidy violation (fixture — never compiled). Mirrors the real
+//! `crates/leakctl/src/economics.rs` path so the typed-constant rule
+//! applies.
+
+fn tag_array_bits() -> usize {
+    // Violation: bare Table-2 numbers duplicating TABLE2_L1D_LINES /
+    // TABLE2_TAG_BITS instead of naming the constants.
+    1024 * 30
+}

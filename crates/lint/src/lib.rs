@@ -1,7 +1,7 @@
 //! Repo tidy lint (rust-tidy style: plain-text scanning, no external
 //! dependencies, no network).
 //!
-//! Four rule families, each suppressible only by an explicit, reasoned
+//! Five rule families, each suppressible only by an explicit, reasoned
 //! marker comment — `// lint: allow(<rule>): <reason>` on the offending
 //! line or within [`MARKER_WINDOW`] lines above it:
 //!
@@ -18,6 +18,11 @@
 //!   `core::parallel`), a live shard guard must be dropped before any
 //!   other `.lock(`/`.wait(` call; holding it across a blocking call is
 //!   the deadlock pattern the shard design exists to prevent.
+//! * **`typed-constant`** — in the Table-2 geometry modules
+//!   (`core::pricing`, `leakctl::economics`), the machine-configuration
+//!   numbers (cell ratio 32.0, 1024 lines, 512 line bits, 30 tag bits)
+//!   have named constants; repeating the bare literal silently forks the
+//!   configuration when one copy is edited.
 //!
 //! The scanner is deliberately line-based: the codebase is rustfmt-clean,
 //! so declarations and statements land on predictable lines, and a dumb
@@ -48,6 +53,18 @@ pub const ENERGY_MODULES: &[&str] = &[
 /// Files holding the sharded-lock discipline.
 pub const LOCK_ORDER_FILES: &[&str] = &["crates/core/src/study.rs", "crates/core/src/parallel.rs"];
 
+/// Modules where the Table-2 machine configuration is spelled out; bare
+/// copies of its numbers belong behind the named constants.
+pub const TYPED_CONSTANT_FILES: &[&str] = &[
+    "crates/core/src/pricing.rs",
+    "crates/leakctl/src/economics.rs",
+];
+
+/// The Table-2 numbers with named constants (`L2_TO_L1_CELL_RATIO`,
+/// `TABLE2_L1D_LINES`, `TABLE2_LINE_BITS`, `TABLE2_TAG_BITS`): a bare
+/// occurrence outside the defining `const` duplicates the configuration.
+pub const TABLE2_LITERALS: &[&str] = &["32.0", "1024", "512", "30"];
+
 /// The rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
@@ -59,6 +76,8 @@ pub enum Rule {
     UnwrapOutsideTests,
     /// Another lock acquired while a shard guard is live.
     LockOrder,
+    /// A bare Table-2 literal shadowing its named constant.
+    TypedConstant,
 }
 
 impl Rule {
@@ -69,6 +88,7 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::UnwrapOutsideTests => "unwrap",
             Rule::LockOrder => "lock-order",
+            Rule::TypedConstant => "typed-constant",
         }
     }
 }
@@ -274,6 +294,43 @@ fn check_lock_order(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<
     }
 }
 
+/// True if `text[start..start + lit.len()]` is a standalone numeric token:
+/// not embedded in a longer number (`512` in `1512` or `30` in `383.15`),
+/// an identifier, or a digit-grouped literal (`100_000`).
+fn standalone_number(text: &str, start: usize, lit: &str) -> bool {
+    let boundary = |c: Option<char>| match c {
+        None => true,
+        Some(c) => !c.is_ascii_alphanumeric() && c != '_' && c != '.',
+    };
+    boundary(text[..start].chars().next_back())
+        && boundary(text[start + lit.len()..].chars().next())
+}
+
+fn check_typed_constant(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        // The named definitions themselves are the one legitimate home.
+        if code.contains("const ") {
+            continue;
+        }
+        let fired = TABLE2_LITERALS.iter().any(|lit| {
+            code.match_indices(lit)
+                .any(|(pos, _)| standalone_number(code, pos, lit))
+        });
+        if fired && !has_marker(lines, i, Rule::TypedConstant) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::TypedConstant,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 /// Scans one file's content; `rel` decides which rules apply.
 pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     let lines: Vec<&str> = content.lines().collect();
@@ -285,6 +342,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     }
     if path_matches(rel, LOCK_ORDER_FILES) {
         check_lock_order(rel, &lines, &in_test, &mut out);
+    }
+    if path_matches(rel, TYPED_CONSTANT_FILES) {
+        check_typed_constant(rel, &lines, &in_test, &mut out);
     }
     check_unwrap(rel, &lines, &in_test, &mut out);
     out
@@ -424,6 +484,35 @@ mod tests {
         let src = "fn f(&self) {\n    {\n        let shard = m.lock().unwrap();\n    }\n    other.lock();\n}\n";
         let v = scan_content(&rel("crates/core/src/parallel.rs"), src);
         assert!(v.iter().all(|v| v.rule != Rule::LockOrder), "{v:?}");
+    }
+
+    #[test]
+    fn typed_constant_fires_on_bare_table2_literals() {
+        let src = "fn arrays() -> (usize, usize) {\n    (1024, 512)\n}\n";
+        let v = scan_content(&rel("crates/core/src/pricing.rs"), src);
+        assert!(v.iter().any(|v| v.rule == Rule::TypedConstant), "{v:?}");
+    }
+
+    #[test]
+    fn typed_constant_allows_the_defining_const_and_markers() {
+        let src = "pub const TABLE2_L1D_LINES: usize = 1024;\n";
+        let v = scan_content(&rel("crates/core/src/pricing.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::TypedConstant), "{v:?}");
+        let marked = "// lint: allow(typed-constant): interval menu, not geometry\nlet d = 1024;\n";
+        let v = scan_content(&rel("crates/leakctl/src/economics.rs"), marked);
+        assert!(v.iter().all(|v| v.rule != Rule::TypedConstant), "{v:?}");
+    }
+
+    #[test]
+    fn typed_constant_ignores_embedded_digits_and_other_files() {
+        // 383.15, 100_000 and 1512 all contain the literals as substrings
+        // but are different numbers; other modules are out of scope.
+        let src = "fn f() {\n    let t = 383.15;\n    let n = 100_000;\n    let x = 1512;\n}\n";
+        let v = scan_content(&rel("crates/leakctl/src/economics.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::TypedConstant), "{v:?}");
+        let elsewhere = "fn f() -> u64 {\n    1024\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), elsewhere);
+        assert!(v.iter().all(|v| v.rule != Rule::TypedConstant), "{v:?}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn seeded_fixtures_trip_every_rule() {
         Rule::LossyCast,
         Rule::UnwrapOutsideTests,
         Rule::LockOrder,
+        Rule::TypedConstant,
     ] {
         assert!(
             fired.contains(&rule),

@@ -77,7 +77,7 @@ fn mode_cycles_conserve_under_real_workloads() {
         let lines = CacheConfig::l1_64k_2way().num_lines() as u64;
         assert_eq!(
             raw.l1d.mode_cycles.total(),
-            units::Cycles::new(lines * raw.cycles),
+            units::Cycles::new(lines * raw.cycles.get()),
             "{technique:?}: line-cycles must be conserved"
         );
     }
