@@ -286,7 +286,7 @@ fn print_calibration(study: &Study) {
         println!(
             "{:<10} {:>6.2} {:>9.1} {:>9.1}% {:>11.1}%",
             b.name(),
-            r.core.ipc(),
+            r.core.ipc().get(),
             mpki,
             miss_pct,
             bp

@@ -1,0 +1,222 @@
+//! Load generator for the `studyd` study server: N concurrent TCP
+//! clients replay the same request menu against one in-process server,
+//! then every wire response is checked bitwise against a fresh
+//! sequential [`Study`] serving the identical requests. Results —
+//! throughput, cache sharing, equality — land in `BENCH_studyd.json`.
+//!
+//! ```text
+//! studyd_load [--clients N] [--requests-per-client M] [--insts I]
+//!             [--workers W] [--queue-capacity Q] [--out FILE]
+//! ```
+//!
+//! Exits non-zero if any response differs from the sequential
+//! reference, or if the concurrent run shared zero timing runs
+//! (`hits + coalesced == 0`) — the whole point of funnelling clients
+//! through one run cache.
+
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+use simcore::{RunCacheCounters, Study, StudyConfig, StudyRequest};
+use studyd::{Server, ServerConfig, TcpClient};
+use units::Seconds;
+
+#[derive(Serialize)]
+struct LoadReport {
+    clients: usize,
+    requests_per_client: usize,
+    total_requests: usize,
+    workers: usize,
+    queue_capacity: usize,
+    insts: u64,
+    elapsed_seconds: Seconds,
+    throughput_rps: f64,
+    completed: u64,
+    rejected_busy: u64,
+    cache: RunCacheCounters,
+    /// Timing runs recalled or coalesced instead of re-simulated.
+    shared_runs: u64,
+    bitwise_equal_to_sequential: bool,
+}
+
+/// The request menu every client replays, index-cycled: overlapping
+/// compares (shared baselines and intervals) plus one sweep, so
+/// concurrent clients genuinely contend for the same run-cache keys.
+fn menu(requests_per_client: usize) -> Vec<StudyRequest> {
+    use leakctl::TechniqueKind;
+    use specgen::Benchmark;
+    let base = [
+        StudyRequest::Compare {
+            benchmark: Benchmark::Gzip,
+            technique: TechniqueKind::Drowsy,
+            interval: 2048,
+            l2_latency: 11,
+            temperature_c: 110.0,
+        },
+        StudyRequest::Compare {
+            benchmark: Benchmark::Gzip,
+            technique: TechniqueKind::GatedVss,
+            interval: 2048,
+            l2_latency: 11,
+            temperature_c: 110.0,
+        },
+        StudyRequest::Compare {
+            benchmark: Benchmark::Mcf,
+            technique: TechniqueKind::Drowsy,
+            interval: 4096,
+            l2_latency: 11,
+            temperature_c: 110.0,
+        },
+        StudyRequest::IntervalSweep {
+            benchmark: Benchmark::Gcc,
+            technique: TechniqueKind::Drowsy,
+            intervals: vec![1024, 4096, 16384],
+            l2_latency: 11,
+            temperature_c: 110.0,
+        },
+    ];
+    (0..requests_per_client)
+        .map(|i| base[i % base.len()].clone())
+        .collect()
+}
+
+fn main() {
+    let mut clients: usize = 4;
+    let mut requests_per_client: usize = 6;
+    let mut insts: u64 = 20_000;
+    let mut workers: usize = 0; // 0: match the client count
+    let mut queue_capacity: usize = 0; // 0: 2x the client count
+    let mut out = String::from("BENCH_studyd.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        fn num<T: std::str::FromStr>(v: Option<&String>, name: &str) -> T {
+            v.and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        }
+        match a.as_str() {
+            "--clients" => clients = num::<usize>(it.next(), "--clients").max(1),
+            "--requests-per-client" => {
+                requests_per_client = num::<usize>(it.next(), "--requests-per-client").max(1);
+            }
+            "--insts" => insts = num(it.next(), "--insts"),
+            "--workers" => workers = num(it.next(), "--workers"),
+            "--queue-capacity" => queue_capacity = num(it.next(), "--queue-capacity"),
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .to_string()
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    let workers = if workers == 0 { clients } else { workers };
+    let queue_capacity = if queue_capacity == 0 {
+        2 * clients
+    } else {
+        queue_capacity
+    };
+
+    let study_cfg = StudyConfig {
+        insts,
+        ..StudyConfig::default()
+    };
+    let server = Server::start(
+        study_cfg,
+        &ServerConfig {
+            workers,
+            queue_capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("starting server: {e}")));
+    let addr = server.local_addr().to_string();
+    let requests = menu(requests_per_client);
+
+    // N concurrent clients through the workspace's one fanout primitive.
+    let seats: Vec<usize> = (0..clients).collect();
+    let start = Instant::now();
+    let per_client: Vec<Vec<Value>> =
+        simcore::parallel::map_ordered(clients, &seats, |_seat| -> Result<Vec<Value>, String> {
+            let mut client =
+                TcpClient::connect(&addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            requests
+                .iter()
+                .map(|r| {
+                    client
+                        .request_value(r)
+                        .map_err(|e| format!("serving {r:?}: {e}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|e| die(&e));
+    let elapsed = Seconds::new(start.elapsed().as_secs_f64());
+
+    // Sequential reference: a fresh single-threaded Study with its own
+    // cold cache serving the same menu.
+    let sequential: Vec<Value> = {
+        let study = Study::with_threads(
+            StudyConfig {
+                insts,
+                ..StudyConfig::default()
+            },
+            1,
+        );
+        requests
+            .iter()
+            .map(|r| {
+                study
+                    .serve(r)
+                    .map(|resp| resp.to_value())
+                    .unwrap_or_else(|e| die(&format!("sequential reference {r:?}: {e}")))
+            })
+            .collect()
+    };
+    let bitwise_equal = per_client.iter().all(|responses| responses == &sequential);
+
+    let report = server.shutdown();
+    let total = clients * requests_per_client;
+    let shared_runs = report.cache.hits + report.cache.coalesced;
+    let load = LoadReport {
+        clients,
+        requests_per_client,
+        total_requests: total,
+        workers,
+        queue_capacity,
+        insts,
+        elapsed_seconds: elapsed,
+        // Exact for any request count this binary can finish.
+        throughput_rps: total as f64 / elapsed.get().max(1e-9),
+        completed: report.completed,
+        rejected_busy: report.rejected_busy,
+        cache: report.cache,
+        shared_runs,
+        bitwise_equal_to_sequential: bitwise_equal,
+    };
+    let json =
+        serde_json::to_string_pretty(&load).unwrap_or_else(|e| die(&format!("serialise: {e}")));
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    eprintln!(
+        "studyd_load: {clients} clients x {requests_per_client} requests in {:.3}s \
+         ({:.1} req/s), cache hits {} misses {} coalesced {}",
+        elapsed.get(),
+        load.throughput_rps,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.coalesced,
+    );
+    eprintln!("wrote {out}");
+
+    if !bitwise_equal {
+        die("concurrent responses differ from the sequential reference");
+    }
+    if shared_runs == 0 {
+        die("no timing runs were shared (hits + coalesced == 0)");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("studyd_load: {msg}");
+    std::process::exit(1)
+}

@@ -279,6 +279,19 @@ impl Cache {
         self.clock
     }
 
+    /// Phase of the hierarchical counter within the full decay interval:
+    /// how many quarter-interval sweeps have fired since the counter was
+    /// (re)started, modulo 4. The `Simple` policy's full-interval flush
+    /// fires when this wraps to 0.
+    ///
+    /// Distinct from `stats().global_counter_wraps % 4`: the stats counter
+    /// accumulates across [`Cache::set_decay_interval`] restarts (it prices
+    /// counter energy), while this phase restarts with the interval — after
+    /// a mid-run switch only this accessor tracks the flush schedule.
+    pub fn wrap_phase(&self) -> u64 {
+        self.global.wraps % 4
+    }
+
     /// Changes the decay interval at runtime (adaptive decay schemes:
     /// Kaxiras-style interval selection, adaptive mode control, feedback
     /// control). Takes effect from the next global-counter wrap; intervals

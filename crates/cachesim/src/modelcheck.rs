@@ -28,6 +28,12 @@
 //! cycle or advances time by exactly one quarter interval (which exceeds
 //! every settle time) — so the reachable space is finite and small
 //! (hundreds of states per configuration).
+//!
+//! [`explore_with_switches`] additionally puts mid-run decay-interval
+//! *switching* in the alphabet (the adaptive controllers' move, over the
+//! small [`SWITCH_INTERVALS`] ladder), so every invariant is also checked
+//! across interval changes from every reachable state — not just the
+//! chosen scenarios the proptest/oracle suites drive.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -47,6 +53,12 @@ pub const CHECK_INTERVAL_CYCLES: u64 = 256;
 /// the machine grew.
 pub const MAX_STATES: usize = 100_000;
 
+/// The decay intervals a switching exploration toggles between, cycles.
+/// Every quarter (64, 128, 256) exceeds the longest Table-1 settle time
+/// (30 cycles), preserving the timing normalization: one [`Event::IdleQuarter`]
+/// under *any* alphabet interval still completes every pending transition.
+pub const SWITCH_INTERVALS: [u64; 3] = [CHECK_INTERVAL_CYCLES, 512, 1024];
+
 /// One step of the event alphabet the checker drives the cache with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Event {
@@ -57,6 +69,9 @@ pub enum Event {
     Read(u8),
     /// Write tag `0..num_tags` at the current cycle.
     Write(u8),
+    /// Switch the decay interval to the given cycle count mid-run (the
+    /// adaptive-controller move; restarts the idle clock).
+    SwitchInterval(u64),
 }
 
 impl fmt::Display for Event {
@@ -65,6 +80,7 @@ impl fmt::Display for Event {
             Event::IdleQuarter => write!(f, "idle-quarter"),
             Event::Read(t) => write!(f, "read {}", char::from(b'A' + t)),
             Event::Write(t) => write!(f, "write {}", char::from(b'A' + t)),
+            Event::SwitchInterval(cycles) => write!(f, "switch-interval {cycles}"),
         }
     }
 }
@@ -115,8 +131,16 @@ struct Key {
     /// clock, two-bit counter, data state, tag, LRU rank within the set).
     lines: Vec<(u8, u64, u8, u8, u64, u8)>,
     /// Global-counter wrap phase within the full interval (drives the
-    /// `simple` policy's full-interval flush).
+    /// `simple` policy's full-interval flush). Taken from
+    /// [`Cache::wrap_phase`], which restarts on an interval switch — the
+    /// cumulative stats counter would alias states whose flush schedules
+    /// differ after a mid-run switch.
     wrap_phase: u64,
+    /// The decay interval currently in force, cycles. Fixed-interval
+    /// explorations carry a constant here; switching explorations need it
+    /// because the pending-settle residues (absolute cycles) interact with
+    /// the quarter length an [`Event::IdleQuarter`] advances by.
+    interval: u64,
 }
 
 fn data_code(d: LineDataView) -> u8 {
@@ -163,8 +187,15 @@ fn canonical_key(cache: &Cache) -> Key {
         .collect();
     Key {
         lines,
-        wrap_phase: cache.stats().global_counter_wraps % 4,
+        wrap_phase: cache.wrap_phase(),
+        interval: current_interval(cache),
     }
+}
+
+/// The decay interval currently configured (0 when decay is disabled —
+/// unreachable in this checker, which always configures decay).
+fn current_interval(cache: &Cache) -> u64 {
+    cache.decay_config().map(|d| d.interval_cycles).unwrap_or(0)
 }
 
 /// Observable deltas an event is allowed to produce, captured before/after.
@@ -200,6 +231,9 @@ fn apply(cache: &mut Cache, event: Event) {
         Event::Write(t) => {
             let addr = u64::from(t) * cache.config().line_bytes as u64;
             cache.access(addr, AccessKind::Write, cache.clock());
+        }
+        Event::SwitchInterval(cycles) => {
+            cache.set_decay_interval(cycles);
         }
     }
 }
@@ -286,9 +320,12 @@ fn check_invariants(cache: &Cache, obs: &Observation, decay: &DecayConfig) -> Op
     // (4b) Interval-change probe: from *any* reachable state, changing the
     // decay interval must restart every line's idle history. This is the
     // PR 2 stale-counter bug; `--features pre-fix-stale-counter` reverts
-    // the fix and this probe finds it with a minimal trace.
+    // the fix and this probe finds it with a minimal trace. The probe
+    // quadruples the interval *currently in force* (which a switching
+    // exploration may have moved off `decay.interval_cycles`), so it is
+    // always a genuine change.
     let mut probe = cache.clone();
-    probe.set_decay_interval(4 * decay.interval_cycles);
+    probe.set_decay_interval(4 * current_interval(cache).max(1));
     for i in 0..n {
         let c = probe.line_view(i).local_counter;
         if c != 0 {
@@ -328,6 +365,29 @@ fn check_invariants(cache: &Cache, obs: &Observation, decay: &DecayConfig) -> Op
 /// Panics if the state space exceeds [`MAX_STATES`] (an abstraction bug in
 /// the checker itself, not a property of the machine).
 pub fn explore(decay: DecayConfig, assoc: usize, num_tags: u8) -> Result<Report, Counterexample> {
+    explore_with_switches(decay, assoc, num_tags, &[])
+}
+
+/// [`explore`] with mid-run decay-interval switching in the alphabet: at
+/// any reachable state the checker may retune the interval to any entry of
+/// `switch_intervals` (the adaptive-controller move), then keep driving
+/// reads/writes/idle quarters. Closes the gap where switching correctness
+/// had only chosen-scenario (proptest/oracle) coverage.
+///
+/// # Errors
+///
+/// Returns the minimal [`Counterexample`] if any invariant is violated.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds [`MAX_STATES`] (an abstraction bug in
+/// the checker itself, not a property of the machine).
+pub fn explore_with_switches(
+    decay: DecayConfig,
+    assoc: usize,
+    num_tags: u8,
+    switch_intervals: &[u64],
+) -> Result<Report, Counterexample> {
     let cfg = CacheConfig {
         size_bytes: 64 * assoc,
         assoc,
@@ -341,6 +401,9 @@ pub fn explore(decay: DecayConfig, assoc: usize, num_tags: u8) -> Result<Report,
     for t in 0..num_tags {
         events.push(Event::Read(t));
         events.push(Event::Write(t));
+    }
+    for &cycles in switch_intervals {
+        events.push(Event::SwitchInterval(cycles));
     }
 
     // BFS. `nodes` stores the parent links for trace reconstruction; the
@@ -433,6 +496,23 @@ pub fn check_all() -> Result<Vec<Report>, Counterexample> {
     Ok(reports)
 }
 
+/// Runs the switching exploration ([`SWITCH_INTERVALS`] alphabet) for every
+/// studied configuration on both geometries of [`check_all`]. The state
+/// space is the fixed-interval one times the reachable (interval,
+/// wrap-phase, counter-residue) cross products a mid-run switch creates.
+///
+/// # Errors
+///
+/// Returns the first minimal [`Counterexample`] found.
+pub fn check_all_switching() -> Result<Vec<Report>, Counterexample> {
+    let mut reports = Vec::new();
+    for decay in studied_configs() {
+        reports.push(explore_with_switches(decay, 1, 2, &SWITCH_INTERVALS)?);
+        reports.push(explore_with_switches(decay, 2, 3, &SWITCH_INTERVALS)?);
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +544,66 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn switching_explorations_satisfy_the_invariants() {
+        match check_all_switching() {
+            Ok(reports) => {
+                assert_eq!(reports.len(), 8);
+                for r in &reports {
+                    assert!(r.states > 10, "degenerate exploration: {r:?}");
+                }
+            }
+            Err(ce) => panic!("switching model checker found a violation:\n{ce}"),
+        }
+    }
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn switching_reaches_strictly_more_states() {
+        // The switch alphabet must genuinely enlarge the reachable space
+        // (otherwise the new events collapsed into aliases and the
+        // exploration proves nothing new).
+        let decay = studied_configs()[2]; // Simple policy: flush phase matters
+        let fixed = explore(decay, 1, 2).expect("invariants hold");
+        let switching =
+            explore_with_switches(decay, 1, 2, &SWITCH_INTERVALS).expect("invariants hold");
+        assert!(
+            switching.states > fixed.states,
+            "switching must reach more states: {} vs {}",
+            switching.states,
+            fixed.states
+        );
+    }
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn wrap_phase_restarts_on_switch_but_stats_accumulate() {
+        // The canonical key must follow Cache::wrap_phase (the flush
+        // schedule), not the cumulative stats counter: after a mid-run
+        // switch the two diverge and only the former predicts the Simple
+        // policy's full-interval flush.
+        let decay = studied_configs()[2];
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            assoc: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+        let quarter = decay.quarter_interval();
+        cache.advance_to(3 * quarter); // three sweeps: phase 3
+        assert_eq!(cache.wrap_phase(), 3);
+        assert_eq!(cache.stats().global_counter_wraps % 4, 3);
+        cache.set_decay_interval(2 * decay.interval_cycles);
+        assert_eq!(cache.wrap_phase(), 0, "switch restarts the flush phase");
+        assert_eq!(
+            cache.stats().global_counter_wraps,
+            3,
+            "priced counter energy keeps accumulating across switches"
+        );
+    }
+
     /// With the stale-counter fix reverted, the checker must rediscover the
     /// historical bug — and because the interval-change probe runs on every
     /// state, the minimal trace is just the shortest path to a non-zero
@@ -482,6 +622,13 @@ mod tests {
             ce.trace.len()
         );
         println!("{ce}");
+        // The switching exploration drives set_decay_interval as a plain
+        // alphabet event, so it must rediscover the same bug.
+        let ce = check_all_switching().expect_err("reverted fix must be caught while switching");
+        assert!(
+            ce.violation.contains("stale"),
+            "wrong violation reported: {ce}"
+        );
     }
 
     #[test]

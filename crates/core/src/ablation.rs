@@ -138,7 +138,7 @@ pub fn execute_with_core(
     let mut trace = SpecTrace::new(benchmark, cfg.seed);
     let stats = core.run(&mut trace, cfg.insts);
     Ok(RawRun {
-        cycles: units::Cycles::new(stats.cycles),
+        cycles: stats.cycles,
         core: stats,
         l1d: *core.hierarchy().l1d().stats(),
     })

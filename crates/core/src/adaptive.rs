@@ -114,7 +114,7 @@ pub fn run_adaptive(
     let final_interval = interval_trace.last().copied().unwrap_or(initial);
     Ok(AdaptiveRun {
         raw: RawRun {
-            cycles: units::Cycles::new(stats.cycles),
+            cycles: stats.cycles,
             core: stats,
             l1d,
         },

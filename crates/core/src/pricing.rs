@@ -250,7 +250,7 @@ mod tests {
         RawRun {
             cycles: Cycles::new(cycles),
             core: CoreStats {
-                cycles,
+                cycles: Cycles::new(cycles),
                 committed: cycles,
                 ..CoreStats::default()
             },

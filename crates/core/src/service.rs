@@ -1,0 +1,500 @@
+//! Request-shaped entry points over [`Study`] — the typed boundary the
+//! `studyd` server (and any other front end) drives.
+//!
+//! A [`StudyRequest`] names one unit of servable work: a single priced
+//! comparison, an interval sweep, a closed-loop adaptive run, or a whole
+//! default-interval figure. [`Study::serve`] executes it against the
+//! study's shared [`crate::study::RunCache`], so concurrent callers
+//! issuing overlapping requests coalesce their timing runs. Responses are
+//! plain data ([`StudyResponse`]) and serialize through the workspace
+//! serde shim; [`StudyRequest::from_value`] parses the exact value shape
+//! `#[derive(Serialize)]` emits, so the wire format round-trips without a
+//! separate schema.
+
+use leakctl::TechniqueKind;
+use serde::{Serialize, Value};
+use specgen::Benchmark;
+
+use crate::adaptive::{run_adaptive, AdaptiveRun, Controller};
+use crate::figures::{perf_figure, savings_figure, FigureSeries};
+use crate::study::{technique_of, RunResult, Study, StudyError};
+
+/// Which metric a served figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FigureMetric {
+    /// Net leakage-energy savings, % (Figure-3 family).
+    Savings,
+    /// Execution-time increase, % (Figure-4 family).
+    PerfLoss,
+}
+
+/// One unit of servable work.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum StudyRequest {
+    /// One baseline-vs-technique comparison at one operating point.
+    Compare {
+        /// The benchmark.
+        benchmark: Benchmark,
+        /// The technique family.
+        technique: TechniqueKind,
+        /// Decay interval, cycles (ignored for [`TechniqueKind::None`]).
+        interval: u64,
+        /// L2 hit latency, cycles.
+        l2_latency: u32,
+        /// Pricing temperature, °C.
+        temperature_c: f64,
+    },
+    /// A decay-interval sweep for one benchmark and technique.
+    IntervalSweep {
+        /// The benchmark.
+        benchmark: Benchmark,
+        /// The technique family.
+        technique: TechniqueKind,
+        /// The intervals to sweep, cycles.
+        intervals: Vec<u64>,
+        /// L2 hit latency, cycles.
+        l2_latency: u32,
+        /// Pricing temperature, °C.
+        temperature_c: f64,
+    },
+    /// A closed-loop adaptive run (paper §5.4).
+    Adaptive {
+        /// The benchmark.
+        benchmark: Benchmark,
+        /// The technique family.
+        technique: TechniqueKind,
+        /// The runtime controller driving the interval.
+        controller: Controller,
+        /// Observation-window length, instructions.
+        window_insts: u64,
+        /// L2 hit latency, cycles.
+        l2_latency: u32,
+    },
+    /// A whole default-interval figure over every benchmark.
+    Figure {
+        /// Which metric the figure reports.
+        metric: FigureMetric,
+        /// L2 hit latency, cycles.
+        l2_latency: u32,
+        /// Pricing temperature, °C.
+        temperature_c: f64,
+    },
+}
+
+/// The result of serving one [`StudyRequest`], variant-matched to the
+/// request kind.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum StudyResponse {
+    /// Response to [`StudyRequest::Compare`].
+    Compare(RunResult),
+    /// Response to [`StudyRequest::IntervalSweep`], one result per
+    /// interval in request order.
+    Sweep(Vec<RunResult>),
+    /// Response to [`StudyRequest::Adaptive`].
+    Adaptive(AdaptiveRun),
+    /// Response to [`StudyRequest::Figure`].
+    Figure(FigureSeries),
+}
+
+/// The request families, for per-kind accounting (latency histograms,
+/// counters) without holding whole requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RequestKind {
+    /// [`StudyRequest::Compare`].
+    Compare,
+    /// [`StudyRequest::IntervalSweep`].
+    IntervalSweep,
+    /// [`StudyRequest::Adaptive`].
+    Adaptive,
+    /// [`StudyRequest::Figure`].
+    Figure,
+}
+
+impl RequestKind {
+    /// Every kind, in a fixed reporting order.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Compare,
+        RequestKind::IntervalSweep,
+        RequestKind::Adaptive,
+        RequestKind::Figure,
+    ];
+
+    /// Stable lower-case name (wire/report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Compare => "compare",
+            RequestKind::IntervalSweep => "interval_sweep",
+            RequestKind::Adaptive => "adaptive",
+            RequestKind::Figure => "figure",
+        }
+    }
+
+    /// Index into [`RequestKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Compare => 0,
+            RequestKind::IntervalSweep => 1,
+            RequestKind::Adaptive => 2,
+            RequestKind::Figure => 3,
+        }
+    }
+}
+
+impl StudyRequest {
+    /// The request's family.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            StudyRequest::Compare { .. } => RequestKind::Compare,
+            StudyRequest::IntervalSweep { .. } => RequestKind::IntervalSweep,
+            StudyRequest::Adaptive { .. } => RequestKind::Adaptive,
+            StudyRequest::Figure { .. } => RequestKind::Figure,
+        }
+    }
+
+    /// Parses the externally tagged value shape `#[derive(Serialize)]`
+    /// emits for this enum (`{"Compare": {"benchmark": "Gzip", ...}}`),
+    /// accepting integers wherever floats are expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch (the
+    /// protocol layer forwards it verbatim to the client).
+    pub fn from_value(v: &Value) -> Result<StudyRequest, String> {
+        let fields = obj(v, "request")?;
+        let (tag, body) = match fields {
+            [(tag, body)] => (tag.as_str(), body),
+            _ => return Err("request must be a single-key tagged object".to_string()),
+        };
+        match tag {
+            "Compare" => Ok(StudyRequest::Compare {
+                benchmark: benchmark_field(body)?,
+                technique: technique_field(body)?,
+                interval: u64_field(body, "interval")?,
+                l2_latency: u32_field(body, "l2_latency")?,
+                temperature_c: f64_field(body, "temperature_c")?,
+            }),
+            "IntervalSweep" => Ok(StudyRequest::IntervalSweep {
+                benchmark: benchmark_field(body)?,
+                technique: technique_field(body)?,
+                intervals: u64_list_field(body, "intervals")?,
+                l2_latency: u32_field(body, "l2_latency")?,
+                temperature_c: f64_field(body, "temperature_c")?,
+            }),
+            "Adaptive" => Ok(StudyRequest::Adaptive {
+                benchmark: benchmark_field(body)?,
+                technique: technique_field(body)?,
+                controller: controller_field(body)?,
+                window_insts: u64_field(body, "window_insts")?,
+                l2_latency: u32_field(body, "l2_latency")?,
+            }),
+            "Figure" => Ok(StudyRequest::Figure {
+                metric: metric_field(body)?,
+                l2_latency: u32_field(body, "l2_latency")?,
+                temperature_c: f64_field(body, "temperature_c")?,
+            }),
+            other => Err(format!(
+                "unknown request kind {other:?} (expected Compare, IntervalSweep, Adaptive or Figure)"
+            )),
+        }
+    }
+}
+
+fn obj<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], String> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        _ => Err(format!("{what} must be a JSON object")),
+    }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, String> {
+    obj(v, "request body")?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+fn u64_field(v: &Value, name: &str) -> Result<u64, String> {
+    match field(v, name)? {
+        Value::UInt(u) => Ok(*u),
+        _ => Err(format!("field {name:?} must be a non-negative integer")),
+    }
+}
+
+fn u32_field(v: &Value, name: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, name)?).map_err(|_| format!("field {name:?} exceeds u32"))
+}
+
+fn f64_field(v: &Value, name: &str) -> Result<f64, String> {
+    match field(v, name)? {
+        Value::Float(x) => Ok(*x),
+        // Integer literals are accepted for hand-written requests
+        // ("temperature_c": 110); exact for any plausible magnitude.
+        #[allow(clippy::cast_precision_loss)]
+        Value::UInt(u) => Ok(*u as f64),
+        #[allow(clippy::cast_precision_loss)]
+        Value::Int(i) => Ok(*i as f64),
+        _ => Err(format!("field {name:?} must be a number")),
+    }
+}
+
+fn u64_list_field(v: &Value, name: &str) -> Result<Vec<u64>, String> {
+    match field(v, name)? {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::UInt(u) => Ok(*u),
+                _ => Err(format!(
+                    "field {name:?} must contain only non-negative integers"
+                )),
+            })
+            .collect(),
+        _ => Err(format!("field {name:?} must be an array")),
+    }
+}
+
+/// Matches a unit-variant enum value by comparing against each
+/// candidate's own serialization, so parsing accepts exactly what
+/// [`Serialize`] emits.
+fn variant_of<T: Serialize + Copy>(candidates: &[T], v: &Value) -> Option<T> {
+    candidates.iter().copied().find(|c| c.to_value() == *v)
+}
+
+fn benchmark_field(v: &Value) -> Result<Benchmark, String> {
+    let raw = field(v, "benchmark")?;
+    variant_of(&Benchmark::ALL, raw).ok_or_else(|| format!("unknown benchmark {raw:?}"))
+}
+
+fn technique_field(v: &Value) -> Result<TechniqueKind, String> {
+    let raw = field(v, "technique")?;
+    let all = [
+        TechniqueKind::None,
+        TechniqueKind::GatedVss,
+        TechniqueKind::Drowsy,
+        TechniqueKind::Rbb,
+    ];
+    variant_of(&all, raw).ok_or_else(|| format!("unknown technique {raw:?}"))
+}
+
+fn metric_field(v: &Value) -> Result<FigureMetric, String> {
+    let raw = field(v, "metric")?;
+    variant_of(&[FigureMetric::Savings, FigureMetric::PerfLoss], raw)
+        .ok_or_else(|| format!("unknown figure metric {raw:?}"))
+}
+
+fn controller_field(v: &Value) -> Result<Controller, String> {
+    let raw = field(v, "controller")?;
+    match raw {
+        Value::Str(s) if s == "AdaptiveModeControl" => Ok(Controller::AdaptiveModeControl),
+        Value::Object(fields) => match fields.as_slice() {
+            [(tag, body)] if tag == "Feedback" => Ok(Controller::Feedback {
+                setpoint: f64_field(body, "setpoint")?,
+            }),
+            _ => Err(format!("unknown controller {raw:?}")),
+        },
+        _ => Err(format!("unknown controller {raw:?}")),
+    }
+}
+
+impl Study {
+    /// Serves one request against this study's shared run cache.
+    ///
+    /// Identical requests (and requests whose underlying timing runs
+    /// overlap — every comparison shares its baseline, every sweep point
+    /// shares the sweep's baseline) recall or coalesce through
+    /// [`crate::study::RunCache`], so serving is idempotent: the same
+    /// request always returns a bitwise-identical response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] exactly as the underlying entry point does.
+    pub fn serve(&self, request: &StudyRequest) -> Result<StudyResponse, StudyError> {
+        match request {
+            StudyRequest::Compare {
+                benchmark,
+                technique,
+                interval,
+                l2_latency,
+                temperature_c,
+            } => self
+                .compare(
+                    *benchmark,
+                    technique_of(*technique, *interval),
+                    *l2_latency,
+                    *temperature_c,
+                )
+                .map(StudyResponse::Compare),
+            StudyRequest::IntervalSweep {
+                benchmark,
+                technique,
+                intervals,
+                l2_latency,
+                temperature_c,
+            } => self
+                .interval_sweep(
+                    *benchmark,
+                    *technique,
+                    *l2_latency,
+                    *temperature_c,
+                    intervals,
+                )
+                .map(StudyResponse::Sweep),
+            StudyRequest::Adaptive {
+                benchmark,
+                technique,
+                controller,
+                window_insts,
+                l2_latency,
+            } => run_adaptive(
+                *benchmark,
+                *technique,
+                *controller,
+                self.config(),
+                *l2_latency,
+                *window_insts,
+            )
+            .map(StudyResponse::Adaptive),
+            StudyRequest::Figure {
+                metric,
+                l2_latency,
+                temperature_c,
+            } => match metric {
+                FigureMetric::Savings => {
+                    savings_figure(self, "figure-savings", *l2_latency, *temperature_c)
+                }
+                FigureMetric::PerfLoss => {
+                    perf_figure(self, "figure-perf-loss", *l2_latency, *temperature_c)
+                }
+            }
+            .map(StudyResponse::Figure),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    fn quick_study() -> Study {
+        Study::new(StudyConfig {
+            insts: 20_000,
+            ..StudyConfig::default()
+        })
+    }
+
+    fn sample_requests() -> Vec<StudyRequest> {
+        vec![
+            StudyRequest::Compare {
+                benchmark: Benchmark::Gzip,
+                technique: TechniqueKind::Drowsy,
+                interval: 2048,
+                l2_latency: 11,
+                temperature_c: 110.0,
+            },
+            StudyRequest::IntervalSweep {
+                benchmark: Benchmark::Mcf,
+                technique: TechniqueKind::GatedVss,
+                intervals: vec![1024, 8192],
+                l2_latency: 8,
+                temperature_c: 85.0,
+            },
+            StudyRequest::Adaptive {
+                benchmark: Benchmark::Gcc,
+                technique: TechniqueKind::Drowsy,
+                controller: Controller::Feedback { setpoint: 0.01 },
+                window_insts: 5_000,
+                l2_latency: 11,
+            },
+            StudyRequest::Figure {
+                metric: FigureMetric::PerfLoss,
+                l2_latency: 11,
+                temperature_c: 110.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_their_serialization() {
+        for req in sample_requests() {
+            let v = req.to_value();
+            let back = StudyRequest::from_value(&v).expect("round trip parses");
+            assert_eq!(back, req, "value {v:?}");
+        }
+        // And through actual JSON text, which is what the wire carries.
+        for req in sample_requests() {
+            struct Wrap(Value);
+            impl Serialize for Wrap {
+                fn to_value(&self) -> Value {
+                    self.0.clone()
+                }
+            }
+            let text = serde_json::to_string(&Wrap(req.to_value())).expect("serializes");
+            let parsed = serde_json::from_str(&text).expect("valid JSON");
+            assert_eq!(StudyRequest::from_value(&parsed).expect("parses"), req);
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_requests() {
+        for (json, why) in [
+            (r#"{"Compare": {}}"#, "missing fields"),
+            (r#"{"Frobnicate": {}}"#, "unknown kind"),
+            (r#"[1, 2]"#, "not an object"),
+            (
+                r#"{"Compare": {"benchmark": "NoSuchBench", "technique": "Drowsy", "interval": 1, "l2_latency": 11, "temperature_c": 110.0}}"#,
+                "unknown benchmark",
+            ),
+            (
+                r#"{"Compare": {"benchmark": "Gzip", "technique": "Drowsy", "interval": -3, "l2_latency": 11, "temperature_c": 110.0}}"#,
+                "negative interval",
+            ),
+        ] {
+            let v = serde_json::from_str(json).expect("valid JSON");
+            assert!(StudyRequest::from_value(&v).is_err(), "{why}: {json}");
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let reqs = sample_requests();
+        assert_eq!(
+            reqs.iter().map(|r| r.kind()).collect::<Vec<_>>(),
+            vec![
+                RequestKind::Compare,
+                RequestKind::IntervalSweep,
+                RequestKind::Adaptive,
+                RequestKind::Figure,
+            ]
+        );
+        for (i, kind) in RequestKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(RequestKind::IntervalSweep.name(), "interval_sweep");
+    }
+
+    #[test]
+    fn serve_matches_the_direct_entry_points() {
+        let study = quick_study();
+        let direct = study
+            .compare(
+                Benchmark::Gzip,
+                technique_of(TechniqueKind::Drowsy, 2048),
+                11,
+                110.0,
+            )
+            .expect("runs");
+        let served = study
+            .serve(&StudyRequest::Compare {
+                benchmark: Benchmark::Gzip,
+                technique: TechniqueKind::Drowsy,
+                interval: 2048,
+                l2_latency: 11,
+                temperature_c: 110.0,
+            })
+            .expect("serves");
+        assert_eq!(served, StudyResponse::Compare(direct));
+        let counters = study.cache().counters();
+        assert!(counters.hits > 0, "the second call recalls memoized runs");
+    }
+}

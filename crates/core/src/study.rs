@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
@@ -260,8 +260,8 @@ impl StudyCtx {
             turnoff_pct: tech.l1d.mode_cycles.turnoff_ratio() * 100.0,
             induced_misses: tech.l1d.induced_misses,
             slow_hits: tech.l1d.slow_hits,
-            base_ipc: base.core.ipc(),
-            tech_ipc: tech.core.ipc(),
+            base_ipc: base.core.ipc().get(),
+            tech_ipc: tech.core.ipc().get(),
         })
     }
 }
@@ -326,12 +326,29 @@ impl Drop for PendingGuard<'_> {
 /// keys) rarely contends, cheap enough to allocate per study.
 const DEFAULT_SHARDS: usize = 32;
 
+/// A point-in-time snapshot of [`RunCache`] traffic, as counted by
+/// [`RunCache::get_or_run`] (plain [`RunCache::get`] probes are not
+/// counted — they are pre-scans, not run requests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCacheCounters {
+    /// Requests answered from a memoized run without waiting.
+    pub hits: u64,
+    /// Requests that executed the run themselves.
+    pub misses: u64,
+    /// Requests that blocked on another thread's in-flight run and then
+    /// read its result — the duplicate work the cache deduplicated.
+    pub coalesced: u64,
+}
+
 /// A concurrent memo table of timing runs, sharded by key hash so many
 /// worker threads can memoize without a global lock. In-flight keys are
 /// coalesced: a thread requesting a run another thread is already
 /// executing blocks until that run lands, then reads it from the cache.
 pub struct RunCache {
     shards: Vec<Mutex<HashMap<RunKey, Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl fmt::Debug for RunCache {
@@ -354,6 +371,21 @@ impl RunCache {
         let shards = shards.max(1);
         RunCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the hit/miss/coalesce counters. The three values are
+    /// read independently (not under one lock), so a snapshot taken while
+    /// runs are in flight is approximate; it is exact once the cache is
+    /// quiescent.
+    pub fn counters(&self) -> RunCacheCounters {
+        RunCacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -410,19 +442,29 @@ impl RunCache {
         key: RunKey,
         run: impl FnOnce() -> Result<RawRun, StudyError>,
     ) -> Result<RawRun, StudyError> {
+        let mut waited = false;
         loop {
             // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
             let mut shard = self.shard(&key).lock().expect("cache shard lock");
             match shard.get(&key) {
-                Some(Slot::Ready(r)) => return Ok(**r),
+                Some(Slot::Ready(r)) => {
+                    // A request that waited on another thread's run was
+                    // deduplicated work; a first-probe hit is a plain memo
+                    // recall.
+                    let counter = if waited { &self.coalesced } else { &self.hits };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Ok(**r);
+                }
                 Some(Slot::Pending(inflight)) => {
                     let inflight = Arc::clone(inflight);
                     drop(shard);
                     inflight.wait();
+                    waited = true;
                     // Either Ready now, or removed because the runner
                     // failed — loop to read or become the new runner.
                 }
                 None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
                     let inflight = Arc::new(InFlight::default());
                     shard.insert(key, Slot::Pending(Arc::clone(&inflight)));
                     drop(shard);
@@ -650,52 +692,20 @@ impl Study {
             .collect()
     }
 
-    /// Executes every spec into the cache, fanning out across workers.
+    /// Executes every spec into the cache, fanning out across workers via
+    /// [`crate::parallel::map_ordered`] (the workspace's single
+    /// thread-spawning primitive); the results are discarded here and
+    /// recalled from the cache by the pricing pass.
     fn run_batch(&self, threads: usize, specs: &[RunSpec]) -> Result<(), StudyError> {
-        let workers = threads.min(specs.len());
-        if workers <= 1 {
-            for spec in specs {
-                self.cache.get_or_run(spec.key, || {
+        crate::parallel::map_ordered(threads, specs, |spec| {
+            self.cache
+                .get_or_run(spec.key, || {
                     self.ctx
                         .execute(spec.benchmark, &spec.technique, spec.l2_latency)
-                })?;
-            }
-            return Ok(());
-        }
-        let next = AtomicUsize::new(0);
-        let first_error: Mutex<Option<StudyError>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        return;
-                    }
-                    // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
-                    if first_error.lock().expect("error slot lock").is_some() {
-                        return;
-                    }
-                    let spec = &specs[i];
-                    let result = self.cache.get_or_run(spec.key, || {
-                        self.ctx
-                            .execute(spec.benchmark, &spec.technique, spec.l2_latency)
-                    });
-                    if let Err(e) = result {
-                        // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
-                        let mut slot = first_error.lock().expect("error slot lock");
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        return;
-                    }
-                });
-            }
-        });
-        // lint: allow(unwrap): all workers joined; the mutex cannot be shared
-        match first_error.into_inner().expect("error slot lock") {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+                })
+                .map(|_| ())
+        })
+        .map(|_| ())
     }
 
     /// Sweeps decay intervals for one benchmark/technique; returns one
@@ -818,7 +828,7 @@ pub fn execute(
     core.audit()
         .map_err(|report| StudyError::AuditFailed(report.to_string()))?;
     Ok(RawRun {
-        cycles: Cycles::new(stats.cycles),
+        cycles: stats.cycles,
         core: stats,
         l1d: *core.hierarchy().l1d().stats(),
     })
@@ -866,7 +876,7 @@ mod tests {
         assert_eq!(a.core.committed, 60_000);
         assert!(a.cycles > Cycles::ZERO);
         assert!(
-            a.core.ipc() > 0.2 && a.core.ipc() < 4.0,
+            a.core.ipc().get() > 0.2 && a.core.ipc().get() < 4.0,
             "ipc={}",
             a.core.ipc()
         );

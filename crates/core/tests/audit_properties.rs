@@ -34,7 +34,7 @@ fn consistent_raw(cycles: u64) -> RawRun {
     RawRun {
         cycles: units::Cycles::new(cycles),
         core: CoreStats {
-            cycles,
+            cycles: units::Cycles::new(cycles),
             committed: cycles,
             loads: 80,
             stores: 20,

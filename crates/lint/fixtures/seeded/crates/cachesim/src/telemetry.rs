@@ -1,0 +1,12 @@
+//! Seeded fixture for the `server-boundary` rule: a cache-side module
+//! that opens its own socket and spawns its own thread, bypassing both
+//! the studyd job queue and the `core::parallel` fanout primitive.
+
+use std::net::TcpStream;
+
+pub fn stream_counters(addr: &str) {
+    let stream = TcpStream::connect(addr);
+    std::thread::spawn(move || {
+        drop(stream);
+    });
+}

@@ -1,7 +1,7 @@
 //! Repo tidy lint (rust-tidy style: plain-text scanning, no external
 //! dependencies, no network).
 //!
-//! Five rule families, each suppressible only by an explicit, reasoned
+//! Six rule families, each suppressible only by an explicit, reasoned
 //! marker comment — `// lint: allow(<rule>): <reason>` on the offending
 //! line or within [`MARKER_WINDOW`] lines above it:
 //!
@@ -23,6 +23,11 @@
 //!   numbers (cell ratio 32.0, 1024 lines, 512 line bits, 30 tag bits)
 //!   have named constants; repeating the bare literal silently forks the
 //!   configuration when one copy is edited.
+//! * **`server-boundary`** — sockets (`std::net`) and thread spawning
+//!   live in exactly two places: the `studyd` server crate and
+//!   `core::parallel` (the workspace's one fanout primitive). Anywhere
+//!   else, ad-hoc concurrency bypasses the job queue's backpressure and
+//!   the deterministic ordered-map discipline.
 //!
 //! The scanner is deliberately line-based: the codebase is rustfmt-clean,
 //! so declarations and statements land on predictable lines, and a dumb
@@ -60,6 +65,14 @@ pub const TYPED_CONSTANT_FILES: &[&str] = &[
     "crates/leakctl/src/economics.rs",
 ];
 
+/// Where sockets and thread spawning are legitimate: the study server
+/// crate (path prefix) and the workspace's one thread-fanout primitive
+/// (path suffix). Everywhere else, `server-boundary` fires.
+pub const SERVER_BOUNDARY_CRATES: &[&str] = &["crates/studyd/"];
+
+/// Suffix-matched files also allowed to spawn threads.
+pub const SERVER_BOUNDARY_FILES: &[&str] = &["crates/core/src/parallel.rs"];
+
 /// The Table-2 numbers with named constants (`L2_TO_L1_CELL_RATIO`,
 /// `TABLE2_L1D_LINES`, `TABLE2_LINE_BITS`, `TABLE2_TAG_BITS`): a bare
 /// occurrence outside the defining `const` duplicates the configuration.
@@ -78,6 +91,9 @@ pub enum Rule {
     LockOrder,
     /// A bare Table-2 literal shadowing its named constant.
     TypedConstant,
+    /// `std::net` or thread spawning outside the server crate and the
+    /// parallel fanout primitive.
+    ServerBoundary,
 }
 
 impl Rule {
@@ -89,6 +105,7 @@ impl Rule {
             Rule::UnwrapOutsideTests => "unwrap",
             Rule::LockOrder => "lock-order",
             Rule::TypedConstant => "typed-constant",
+            Rule::ServerBoundary => "server-boundary",
         }
     }
 }
@@ -331,6 +348,35 @@ fn check_typed_constant(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut 
     }
 }
 
+/// True if `rel` may touch sockets and spawn threads.
+fn server_boundary_allowed(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    SERVER_BOUNDARY_CRATES
+        .iter()
+        .any(|c| p.starts_with(c) || p.contains(&format!("/{c}")))
+        || path_matches(rel, SERVER_BOUNDARY_FILES)
+}
+
+fn check_server_boundary(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        // `thread::spawn(`, `std::thread::spawn(`, and `scope.spawn(`
+        // all end in one of these two spellings.
+        let spawns = code.contains("::spawn(") || code.contains(".spawn(");
+        if (code.contains("std::net") || spawns) && !has_marker(lines, i, Rule::ServerBoundary) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::ServerBoundary,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 /// Scans one file's content; `rel` decides which rules apply.
 pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     let lines: Vec<&str> = content.lines().collect();
@@ -345,6 +391,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     }
     if path_matches(rel, TYPED_CONSTANT_FILES) {
         check_typed_constant(rel, &lines, &in_test, &mut out);
+    }
+    if !server_boundary_allowed(rel) {
+        check_server_boundary(rel, &lines, &in_test, &mut out);
     }
     check_unwrap(rel, &lines, &in_test, &mut out);
     out
@@ -513,6 +562,46 @@ mod tests {
         let elsewhere = "fn f() -> u64 {\n    1024\n}\n";
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), elsewhere);
         assert!(v.iter().all(|v| v.rule != Rule::TypedConstant), "{v:?}");
+    }
+
+    #[test]
+    fn sockets_and_spawns_fire_outside_the_server_boundary() {
+        let net = "use std::net::TcpListener;\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), net);
+        assert!(v.iter().any(|v| v.rule == Rule::ServerBoundary), "{v:?}");
+
+        let spawn = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let v = scan_content(&rel("crates/core/src/figures.rs"), spawn);
+        assert!(v.iter().any(|v| v.rule == Rule::ServerBoundary), "{v:?}");
+
+        let scoped = "fn f() {\n    scope.spawn(|| {});\n}\n";
+        let v = scan_content(&rel("src/lib.rs"), scoped);
+        assert!(v.iter().any(|v| v.rule == Rule::ServerBoundary), "{v:?}");
+    }
+
+    #[test]
+    fn server_boundary_allows_studyd_parallel_tests_and_markers() {
+        let net = "use std::net::TcpListener;\nfn f() {\n    std::thread::spawn(|| {});\n}\n";
+        for allowed in [
+            "crates/studyd/src/server.rs",
+            "crates/studyd/src/client.rs",
+            "crates/core/src/parallel.rs",
+        ] {
+            let v = scan_content(&rel(allowed), net);
+            assert!(
+                v.iter().all(|v| v.rule != Rule::ServerBoundary),
+                "{allowed}: {v:?}"
+            );
+        }
+
+        let in_test = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::thread::spawn(|| {}).join();\n    }\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), in_test);
+        assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
+
+        let marked =
+            "// lint: allow(server-boundary): one-shot telemetry probe\nuse std::net::UdpSocket;\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), marked);
+        assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
     }
 
     #[test]

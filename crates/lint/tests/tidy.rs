@@ -36,6 +36,7 @@ fn seeded_fixtures_trip_every_rule() {
         Rule::UnwrapOutsideTests,
         Rule::LockOrder,
         Rule::TypedConstant,
+        Rule::ServerBoundary,
     ] {
         assert!(
             fired.contains(&rule),

@@ -1,0 +1,281 @@
+//! Clients: the in-process [`Client`] (same queue, same backpressure, no
+//! socket) and the blocking [`TcpClient`] used by tests and the load
+//! generator.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use serde::Value;
+use simcore::{StudyRequest, StudyResponse};
+
+use crate::protocol::{self, WireReply};
+use crate::queue::PushError;
+use crate::server::{Job, Reply, Shared};
+use crate::stats::StatsReport;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job queue is full; retry after
+    /// [`protocol::RETRY_AFTER_MS`](crate::RETRY_AFTER_MS) ms.
+    Busy {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// Why waiting on a [`Pending`] did not produce a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The engine failed the request (rendered
+    /// [`simcore::StudyError`]).
+    Failed(String),
+    /// The timeout elapsed first. The job may still complete later;
+    /// call [`Pending::wait`] again or [`Pending::cancel`].
+    TimedOut,
+    /// The server dropped the job without answering (shutdown race or a
+    /// seeded lost-reply bug).
+    Disconnected,
+}
+
+/// A submitted, not-yet-answered request.
+pub struct Pending {
+    rx: mpsc::Receiver<Result<StudyResponse, String>>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// See [`WaitError`].
+    pub fn wait(&self, timeout: Duration) -> Result<StudyResponse, WaitError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(message)) => Err(WaitError::Failed(message)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitError::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(WaitError::Disconnected),
+        }
+    }
+
+    /// Marks the job cancelled. A worker that has not yet started it
+    /// will skip it; one already serving it finishes (and the response
+    /// is simply dropped here).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+/// An in-process handle to a running [`crate::Server`]: submissions go
+/// through the same bounded queue and worker pool as TCP requests, so
+/// backpressure and coalescing behave identically.
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Client { shared }
+    }
+
+    /// Submits one request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit(&self, request: StudyRequest) -> Result<Pending, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            kind: request.kind(),
+            request,
+            reply: Reply::InProcess {
+                tx,
+                cancelled: Arc::clone(&cancelled),
+            },
+        };
+        match self.shared.submit(job) {
+            Ok(()) => Ok(Pending { rx, cancelled }),
+            Err(PushError::Full { depth }) => Err(SubmitError::Busy { queue_depth: depth }),
+            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits, retrying on backpressure until `timeout` is
+    /// spent.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::TimedOut`] if the budget runs out (also while
+    /// busy-retrying), otherwise as [`Pending::wait`].
+    pub fn request(
+        &self,
+        request: &StudyRequest,
+        timeout: Duration,
+    ) -> Result<StudyResponse, WaitError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.submit(request.clone()) {
+                Ok(pending) => {
+                    let now = std::time::Instant::now();
+                    let left = deadline.saturating_duration_since(now);
+                    return pending.wait(left);
+                }
+                Err(SubmitError::Busy { .. }) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(WaitError::TimedOut);
+                    }
+                    thread::sleep(Duration::from_millis(protocol::RETRY_AFTER_MS));
+                }
+                Err(SubmitError::ShuttingDown) => return Err(WaitError::Disconnected),
+            }
+        }
+    }
+
+    /// A live observability snapshot.
+    pub fn stats(&self) -> StatsReport {
+        self.shared.report()
+    }
+}
+
+/// Default read timeout for [`TcpClient`] connections. Long enough for a
+/// full figure request on a loaded host, short enough that a lost
+/// response turns into a visible error instead of a hang.
+pub const TCP_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A blocking line-protocol client.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to `addr` with [`TCP_READ_TIMEOUT`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from connecting or configuring the socket.
+    pub fn connect(addr: &str) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(TCP_READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one raw line (LF appended if missing) without reading a
+    /// response — protocol-robustness tests speak malformed dialects
+    /// through this.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the socket.
+    pub fn send_raw_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()
+    }
+
+    /// Half-closes the socket: no more requests, responses still
+    /// readable.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the socket.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.writer.shutdown(Shutdown::Write)
+    }
+
+    /// Reads and parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::UnexpectedEof`] on close,
+    /// [`io::ErrorKind::InvalidData`] on an unparseable line, otherwise
+    /// the socket error (including timeouts).
+    pub fn read_reply(&mut self) -> io::Result<(u64, WireReply)> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        protocol::parse_reply(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `request` under a fresh id and returns that id.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the socket.
+    pub fn send_study(&mut self, request: &StudyRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_raw_line(&protocol::study_line(id, request))?;
+        Ok(id)
+    }
+
+    /// Sends `request` and blocks for its `ok` payload, transparently
+    /// retrying on `busy` after the server-suggested delay.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Other`] wrapping an `err` response or an
+    /// id/shape mismatch, otherwise the socket error.
+    pub fn request_value(&mut self, request: &StudyRequest) -> io::Result<Value> {
+        loop {
+            let id = self.send_study(request)?;
+            let (got_id, reply) = self.read_reply()?;
+            if got_id != id {
+                return Err(io::Error::other(format!(
+                    "response id {got_id} does not match request id {id}"
+                )));
+            }
+            match reply {
+                WireReply::Ok(value) => return Ok(value),
+                WireReply::Busy { retry_after_ms, .. } => {
+                    thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                WireReply::Err(message) => return Err(io::Error::other(message)),
+                WireReply::Stats(_) => {
+                    return Err(io::Error::other("stats response to a study request"))
+                }
+            }
+        }
+    }
+
+    /// Requests a stats report and returns its raw value.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::request_value`].
+    pub fn stats_value(&mut self) -> io::Result<Value> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_raw_line(&protocol::stats_request_line(id))?;
+        let (got_id, reply) = self.read_reply()?;
+        match reply {
+            WireReply::Stats(value) if got_id == id => Ok(value),
+            other => Err(io::Error::other(format!(
+                "expected stats response for id {id}, got {other:?} for id {got_id}"
+            ))),
+        }
+    }
+}

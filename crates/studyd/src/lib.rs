@@ -1,0 +1,55 @@
+//! `studyd` — the study server.
+//!
+//! A dependency-free (std-only, plus the workspace shims) daemon that
+//! accepts study requests — `compare`, `interval_sweep`, `adaptive`,
+//! `figure` — over a line-delimited JSON-over-TCP protocol, plus an
+//! in-process [`Client`] API, and executes them against one shared
+//! [`simcore::Study`]. Because every request funnels into the same
+//! [`simcore::RunCache`], concurrent clients asking overlapping questions
+//! coalesce their timing runs instead of duplicating them, and identical
+//! requests always produce bitwise-identical responses.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! TCP clients ──┐                        ┌── worker ──┐
+//!   (1 thread   ├─> bounded JobQueue ──> ├── worker ──┼─> Study::serve
+//!    per conn)  │    (backpressure:      └── worker ──┘     │
+//! in-process ───┘     busy + retry)                    shared RunCache
+//!   Client                                             (hit/coalesce)
+//! ```
+//!
+//! * [`protocol`] — the wire grammar: one JSON document per LF-terminated
+//!   line, parsed into [`simcore::StudyRequest`] via its own serialization
+//!   shape; oversized and malformed lines are rejected without panicking.
+//! * [`queue`] — a bounded Condvar job queue. Full queue ⇒ the client
+//!   gets a `busy` response naming a retry delay, never silent loss.
+//! * [`server`] — the accept loop, one reader thread per connection, and
+//!   the worker pool (driven through [`simcore::parallel::map_ordered`],
+//!   the workspace's one thread-fanout primitive). Shutdown drains every
+//!   queued job before returning.
+//! * [`client`] — the in-process [`Client`] (no socket, same queue and
+//!   backpressure) and the blocking [`TcpClient`] used by tests and the
+//!   load generator.
+//! * [`stats`] — observability: queue depth, in-flight jobs, run-cache
+//!   hit/miss/coalesce counters, and per-request-kind latency histograms
+//!   with [`units::Seconds`] totals, served inline as a `stats` request.
+//!
+//! With the `audit` feature (default on) every run the server executes is
+//! conservation-checked by the engine's audit layer before it is priced,
+//! exactly as in direct [`simcore::Study`] use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, Pending, SubmitError, TcpClient, WaitError};
+pub use protocol::{Envelope, WireReply, WireRequest, MAX_LINE_BYTES, RETRY_AFTER_MS};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerConfig};
+pub use stats::{HistogramSnapshot, KindStats, LatencyHistogram, ServerStats, StatsReport};

@@ -1,0 +1,182 @@
+//! A bounded multi-producer multi-consumer job queue with explicit
+//! backpressure.
+//!
+//! Producers never block: [`JobQueue::try_push`] either enqueues or
+//! returns [`PushError::Full`] with the observed depth, which the
+//! protocol layer turns into a `busy` response — the client learns to
+//! retry instead of the server buffering unboundedly. Consumers block in
+//! [`JobQueue::pop`] until a job arrives or the queue is closed *and*
+//! drained, which is exactly the graceful-shutdown contract: closing
+//! stops new work but every already-accepted job still runs and replies.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry after a delay.
+    Full {
+        /// Depth observed at rejection time (== capacity).
+        depth: usize,
+    },
+    /// The queue was closed; the server is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `T` is the job type; the queue itself knows nothing
+/// about studies.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+/// A poisoned queue mutex means a consumer panicked mid-`pop`; the queue
+/// state itself (a VecDeque and a flag) is never left torn, so every
+/// other thread can safely keep going.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` (≥ 1) jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of queued (not yet popped) jobs.
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.inner).closed
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = lock(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: inner.items.len(),
+            });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and pops it. Returns `None` once
+    /// the queue is closed *and* empty — consumers drain everything
+    /// accepted before shutdown, then exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .nonempty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked and future pops
+    /// drain the remaining jobs and then return `None`.
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_rejects_with_observed_depth() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push("a").expect("has room");
+        q.try_push("b").expect("has room");
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.try_push(42).expect("has room");
+        assert_eq!(popper.join().expect("no panic"), Some(42));
+
+        let popper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(PushError::Full { depth: 1 }));
+    }
+}

@@ -1,0 +1,471 @@
+//! The server: accept loop, per-connection reader threads, and the
+//! worker pool draining the shared job queue into
+//! [`simcore::Study::serve`].
+//!
+//! ## Threading
+//!
+//! One thread accepts connections (non-blocking, polling the shutdown
+//! flag), one short-lived thread per connection reads request lines, and
+//! a fixed pool of workers — fanned out through
+//! [`simcore::parallel::map_ordered`], the workspace's single
+//! thread-spawning primitive — executes jobs. The [`simcore::Study`]
+//! inside the server runs with one engine thread: parallelism comes from
+//! the pool, so concurrent requests interleave at job granularity while
+//! each individual run stays deterministic.
+//!
+//! ## Cancellation
+//!
+//! Each connection carries a cancellation flag. A read *error* (reset,
+//! protocol-level corruption) or a failed response write sets it, and
+//! workers skip still-queued jobs from that connection. A clean EOF —
+//! including a half-closed socket whose client shut down only its write
+//! side — does **not** cancel: responses to everything already accepted
+//! are still written, so `pipelined-requests; shutdown(WR); read replies`
+//! is a supported client pattern.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops the accept loop, closes the queue (new
+//! submissions are refused as shutting-down), waits for the workers to
+//! drain every accepted job — each one still gets its response — and
+//! returns the final [`StatsReport`].
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use simcore::{RequestKind, Study, StudyConfig, StudyRequest, StudyResponse};
+
+use crate::client::Client;
+use crate::protocol::{self, Envelope, WireRequest, MAX_LINE_BYTES, RETRY_AFTER_MS};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::{ServerStats, StatsReport};
+
+/// How often blocked reads and the accept loop wake to check the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server construction knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks an ephemeral port; read it back with
+    /// [`Server::local_addr`].
+    pub addr: String,
+    /// Worker-pool size (≥ 1).
+    pub workers: usize,
+    /// Job-queue capacity (≥ 1); beyond it, requests get `busy`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: simcore::default_threads(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// See [`queue::lock`](crate::queue): the guarded state is never torn,
+/// so a poisoned writer mutex only means some peer thread panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared per-connection state: the response writer and the cancellation
+/// flag. Jobs hold an `Arc` so responses outlive the reader thread.
+pub(crate) struct Conn {
+    writer: Mutex<TcpStream>,
+    cancelled: AtomicBool,
+}
+
+impl Conn {
+    /// Writes one already-rendered response line; on failure marks the
+    /// connection cancelled so queued siblings are skipped.
+    fn write_line(&self, line: &str) -> bool {
+        let mut writer = lock(&self.writer);
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_ok();
+        drop(writer);
+        if !ok {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// Where a job's response goes.
+pub(crate) enum Reply {
+    /// In-process [`Client`]: a channel plus its cancellation flag.
+    InProcess {
+        tx: mpsc::Sender<Result<StudyResponse, String>>,
+        cancelled: Arc<AtomicBool>,
+    },
+    /// TCP client: the connection and the correlation id to echo.
+    Tcp { conn: Arc<Conn>, id: u64 },
+}
+
+impl Reply {
+    fn is_cancelled(&self) -> bool {
+        match self {
+            Reply::InProcess { cancelled, .. } => cancelled.load(Ordering::Relaxed),
+            Reply::Tcp { conn, .. } => conn.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Delivers the outcome; `false` means the recipient is gone.
+    fn deliver(self, outcome: Result<StudyResponse, String>) -> bool {
+        match self {
+            Reply::InProcess { tx, .. } => tx.send(outcome).is_ok(),
+            Reply::Tcp { conn, id } => {
+                let line = match &outcome {
+                    Ok(response) => protocol::ok_line(id, response),
+                    Err(message) => protocol::err_line(id, message),
+                };
+                conn.write_line(&line)
+            }
+        }
+    }
+}
+
+/// One queued unit of work.
+pub(crate) struct Job {
+    pub(crate) kind: RequestKind,
+    pub(crate) request: StudyRequest,
+    pub(crate) reply: Reply,
+}
+
+/// State shared by every thread of one server.
+pub(crate) struct Shared {
+    pub(crate) study: Study,
+    pub(crate) queue: JobQueue<Job>,
+    pub(crate) stats: ServerStats,
+    pub(crate) shutdown: AtomicBool,
+    /// Seeded lost-reply bug (CI negative smoke): set once the server
+    /// has dropped its first response.
+    #[cfg(feature = "dropped-response-bug")]
+    pub(crate) dropped_one: AtomicBool,
+}
+
+impl Shared {
+    /// A full observability snapshot.
+    pub(crate) fn report(&self) -> StatsReport {
+        self.stats
+            .report(self.queue.depth(), self.study.cache().counters())
+    }
+
+    /// Queues a study job, translating queue refusals into counters.
+    pub(crate) fn submit(&self, job: Job) -> Result<(), PushError> {
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, PushError::Full { .. }) {
+                    self.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A running study server. Dropping it signals shutdown but does not
+/// wait; call [`Server::shutdown`] for the drained-and-joined exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    pool: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] if the listener cannot bind.
+    pub fn start(study_cfg: StudyConfig, cfg: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        // One engine thread per worker: the pool is the parallelism.
+        let study = Study::with_threads(study_cfg, 1);
+        let shared = Arc::new(Shared {
+            study,
+            queue: JobQueue::new(cfg.queue_capacity),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            #[cfg(feature = "dropped-response-bug")]
+            dropped_one: AtomicBool::new(false),
+        });
+        let workers = cfg.workers.max(1);
+        let pool = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_pool(&shared, workers))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// An in-process client sharing this server's queue, backpressure,
+    /// and run cache — no socket involved.
+    pub fn client(&self) -> Client {
+        Client::new(Arc::clone(&self.shared))
+    }
+
+    /// The server's study (e.g. to compare served responses against
+    /// direct engine calls over the very same cache).
+    pub fn study(&self) -> &Study {
+        &self.shared.study
+    }
+
+    /// A live observability snapshot.
+    pub fn stats_report(&self) -> StatsReport {
+        self.shared.report()
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new submissions, drain
+    /// and answer every queued job, join the pool, and return the final
+    /// stats.
+    pub fn shutdown(mut self) -> StatsReport {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        if let Some(handle) = self.pool.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.shared.report()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+    }
+}
+
+/// Fans `workers` loops out through the workspace's one ordered-map
+/// primitive; returns when the queue is closed and drained.
+fn run_pool(shared: &Shared, workers: usize) {
+    let seats: Vec<usize> = (0..workers).collect();
+    let _ = simcore::parallel::map_ordered(workers, &seats, |_seat| -> Result<(), ()> {
+        worker_loop(shared);
+        Ok(())
+    });
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if job.reply.is_cancelled() {
+            shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let outcome = shared.study.serve(&job.request);
+        shared.stats.record_latency(job.kind, start.elapsed());
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match &outcome {
+            Ok(_) => shared.stats.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        #[cfg(feature = "dropped-response-bug")]
+        {
+            // Seeded bug for the CI negative smoke: the first job each
+            // server serves "forgets" to deliver its response. The
+            // delivery test must turn this into a failure.
+            if !shared.dropped_one.swap(true, Ordering::SeqCst) {
+                continue;
+            }
+        }
+        if !job.reply.deliver(outcome.map_err(|e| e.to_string())) {
+            shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// What one bounded line read produced.
+enum ReadOutcome {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// Clean end of stream (possibly after a final unterminated line,
+    /// which is processed first).
+    Eof,
+    /// Read timeout with no complete line yet; poll shutdown and retry.
+    Idle,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// A hard transport error; the connection is dead.
+    Dead,
+}
+
+/// Reads towards the next LF with the connection's read timeout as the
+/// polling clock. Partial data accumulates in `buf` across calls.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> ReadOutcome {
+    match reader.read_until(b'\n', buf) {
+        Ok(0) => {
+            if buf.is_empty() {
+                ReadOutcome::Eof
+            } else {
+                // Final line without a terminator (netcat-style): serve it.
+                ReadOutcome::Line(String::from_utf8_lossy(&std::mem::take(buf)).into_owned())
+            }
+        }
+        Ok(_) => {
+            if buf.len() > MAX_LINE_BYTES {
+                return ReadOutcome::Oversized;
+            }
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                ReadOutcome::Line(String::from_utf8_lossy(&std::mem::take(buf)).into_owned())
+            } else {
+                // read_until only stops short of the delimiter at EOF or
+                // error; treat an incomplete success as more-to-come.
+                ReadOutcome::Idle
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            if buf.len() > MAX_LINE_BYTES {
+                ReadOutcome::Oversized
+            } else {
+                ReadOutcome::Idle
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => ReadOutcome::Idle,
+        Err(_) => ReadOutcome::Dead,
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        cancelled: AtomicBool::new(false),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Stop reading; already-queued jobs still answer through the
+            // writer Arc the workers hold.
+            return;
+        }
+        match read_bounded_line(&mut reader, &mut buf) {
+            ReadOutcome::Idle => continue,
+            ReadOutcome::Eof => return, // clean (half-)close: no cancel
+            ReadOutcome::Dead => {
+                conn.cancelled.store(true, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Oversized => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.write_line(&protocol::err_line(
+                    0,
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+                // Framing is lost; close rather than resynchronize.
+                return;
+            }
+            ReadOutcome::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if !serve_line(shared, &conn, line.trim()) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one complete request line; `false` ends the connection.
+fn serve_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool {
+    match protocol::parse_line(line) {
+        Err(message) => {
+            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            conn.write_line(&protocol::err_line(0, &message))
+        }
+        Ok(Envelope {
+            id,
+            request: WireRequest::Stats,
+        }) => conn.write_line(&protocol::stats_line(id, &shared.report())),
+        Ok(Envelope {
+            id,
+            request: WireRequest::Study(request),
+        }) => {
+            let job = Job {
+                kind: request.kind(),
+                request,
+                reply: Reply::Tcp {
+                    conn: Arc::clone(conn),
+                    id,
+                },
+            };
+            match shared.submit(job) {
+                Ok(()) => true,
+                Err(PushError::Full { depth }) => {
+                    conn.write_line(&protocol::busy_line(id, RETRY_AFTER_MS, depth))
+                }
+                Err(PushError::Closed) => {
+                    conn.write_line(&protocol::err_line(id, "server is shutting down"))
+                }
+            }
+        }
+    }
+}

@@ -143,7 +143,7 @@ impl Core {
         // Close out: bring decay/leakage integrals up to the final cycle.
         // finalize also drains decay writebacks still pending after the
         // last data access; charge them as L2 traffic like any other.
-        self.stats.cycles = self.last_commit;
+        self.stats.cycles = units::Cycles::new(self.last_commit);
         let drained = self.hierarchy.finalize(self.last_commit);
         self.stats.l2_accesses += drained;
         self.stats
@@ -336,7 +336,7 @@ mod tests {
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut independent_alu_trace(20_000), 20_000);
         assert!(
-            stats.ipc() > 3.0,
+            stats.ipc().get() > 3.0,
             "4 ALUs + 4-wide should near width on independent ops, ipc={}",
             stats.ipc()
         );
@@ -347,7 +347,7 @@ mod tests {
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut dependent_alu_trace(20_000), 20_000);
         assert!(
-            stats.ipc() < 1.2,
+            stats.ipc().get() < 1.2,
             "serial chain cannot exceed 1 IPC, ipc={}",
             stats.ipc()
         );
@@ -389,13 +389,13 @@ mod tests {
         // 8 MSHRs bound the memory-level parallelism: cycles land near
         // misses x latency / 8 — far below serial, far above unbounded.
         assert!(
-            stats.cycles < serial_cycles / 6,
+            stats.cycles.get() < serial_cycles / 6,
             "OoO must overlap independent misses: {} vs serial {}",
             stats.cycles,
             serial_cycles
         );
         assert!(
-            stats.cycles > serial_cycles / 16,
+            stats.cycles.get() > serial_cycles / 16,
             "the MSHR cap must bound the overlap: {}",
             stats.cycles
         );
@@ -411,7 +411,7 @@ mod tests {
         );
         let wide_stats = wide.run(&mut VecTrace::new(loads), 4000);
         assert!(
-            wide_stats.cycles < stats.cycles * 3 / 4,
+            wide_stats.cycles.get() < stats.cycles.get() * 3 / 4,
             "more MSHRs, more overlap: {} vs {}",
             wide_stats.cycles,
             stats.cycles
@@ -490,7 +490,10 @@ mod tests {
         }
         let mut core = table2_core(11, None).unwrap();
         let stats = core.run(&mut VecTrace::new(ops), 2000);
-        assert!(stats.cycles >= 50 * 20, "serial divides bound the runtime");
+        assert!(
+            stats.cycles.get() >= 50 * 20,
+            "serial divides bound the runtime"
+        );
     }
 
     #[test]
@@ -549,6 +552,6 @@ mod tests {
         assert_eq!(stats.stores, 1);
         assert_eq!(stats.branches, 1);
         assert_eq!(stats.int_ops, 1);
-        assert!(stats.cycles > 0);
+        assert!(stats.cycles > units::Cycles::ZERO);
     }
 }

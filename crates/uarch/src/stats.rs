@@ -1,6 +1,7 @@
 //! Aggregate statistics of one core run.
 
 use serde::{Deserialize, Serialize};
+use units::{Cycles, Ipc};
 
 /// Counters accumulated by [`crate::Core::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -8,7 +9,7 @@ pub struct CoreStats {
     /// Instructions committed.
     pub committed: u64,
     /// Total execution cycles (commit time of the last instruction).
-    pub cycles: u64,
+    pub cycles: Cycles,
     /// Loads executed.
     pub loads: u64,
     /// Stores executed.
@@ -43,12 +44,8 @@ pub struct CoreStats {
 
 impl CoreStats {
     /// Instructions per cycle.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.committed as f64 / self.cycles as f64
-        }
+    pub fn ipc(&self) -> Ipc {
+        Ipc::of(self.committed, self.cycles)
     }
 
     /// Branch misprediction rate.
@@ -67,16 +64,16 @@ mod tests {
 
     #[test]
     fn ipc_handles_zero_cycles() {
-        assert_eq!(CoreStats::default().ipc(), 0.0);
+        assert_eq!(CoreStats::default().ipc(), Ipc::ZERO);
     }
 
     #[test]
     fn ipc_computes() {
         let s = CoreStats {
             committed: 300,
-            cycles: 100,
+            cycles: Cycles::new(100),
             ..CoreStats::default()
         };
-        assert!((s.ipc() - 3.0).abs() < 1e-12);
+        assert!((s.ipc().get() - 3.0).abs() < 1e-12);
     }
 }

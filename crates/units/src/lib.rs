@@ -374,6 +374,54 @@ impl fmt::Display for Kelvin {
     }
 }
 
+/// Instructions per cycle — the throughput ratio the paper's performance
+/// comparisons are stated in. Dimensionally `instructions / cycle`, kept
+/// distinct from [`PerCycle`] (generic event rates) so a decay-sweep rate
+/// can never be compared against pipeline throughput by accident.
+///
+/// Construction goes through [`Ipc::of`] so the zero-cycle convention
+/// (empty run → 0.0 IPC) lives in exactly one place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct Ipc(f64);
+
+impl Ipc {
+    /// Zero throughput (the convention for a run that retired nothing).
+    pub const ZERO: Ipc = Ipc(0.0);
+
+    /// Throughput of `committed` instructions over `cycles`. Returns
+    /// [`Ipc::ZERO`] when `cycles` is zero.
+    #[inline]
+    pub fn of(committed: u64, cycles: Cycles) -> Ipc {
+        if cycles.0 == 0 {
+            Ipc::ZERO
+        } else {
+            // Exact for any instruction/cycle count this simulator can
+            // reach (< 2^53); documented lossy conversion.
+            #[allow(clippy::cast_precision_loss)]
+            Ipc(committed as f64 / cycles.0 as f64)
+        }
+    }
+
+    /// The raw dimensionless ratio.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Ipc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} inst/cycle", self.0)
+    }
+}
+
 /// An event rate per clock cycle (dimension 1/cycle) — e.g. decay sweeps
 /// per cycle or induced misses per cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -587,6 +635,16 @@ mod tests {
         assert!((t.celsius() - 110.0).abs() < 1e-12);
         assert!((Kelvin::new(384.15) - t - 1.0).abs() < 1e-12);
         assert_eq!(t + 1.0, Kelvin::new(384.15));
+    }
+
+    #[test]
+    fn ipc_is_committed_over_cycles() {
+        let ipc = Ipc::of(300, Cycles::new(100));
+        assert_eq!(ipc.get(), 3.0);
+        assert_eq!(Ipc::of(300, Cycles::ZERO), Ipc::ZERO);
+        assert!(ipc > Ipc::of(100, Cycles::new(100)));
+        assert!(ipc.is_finite());
+        assert_eq!(ipc.to_string(), "3 inst/cycle");
     }
 
     #[test]

@@ -159,7 +159,7 @@ fn core_over_real_trace_hits_plausible_ipc() {
         let mut core = table2_core(11, None).expect("valid");
         let mut trace = SpecTrace::new(b, 5);
         let stats = core.run(&mut trace, 60_000);
-        let ipc = stats.ipc();
+        let ipc = stats.ipc().get();
         assert!(ipc > lo && ipc < hi, "{b}: ipc {ipc} outside [{lo}, {hi}]");
     }
 }
