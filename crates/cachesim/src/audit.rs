@@ -29,6 +29,12 @@
 //! 5. **No phantom decay** — a cache without decay machinery must report
 //!    zero sleeps, wakes, slow hits, induced misses, decay writebacks,
 //!    tag probes, and counter activity.
+//! 6. **Schedule coherence** — the timing wheel's pending events must
+//!    agree with the line slab's derived deadlines: every live line's
+//!    decay event sits at the wrap its counter saturates, and every
+//!    unexpired transition has its expiry scheduled (checked structurally
+//!    by [`crate::Cache::schedule_coherence`], reported here as
+//!    [`AuditViolation::DecayScheduleDrift`]).
 
 use std::error::Error;
 use std::fmt;
@@ -84,6 +90,12 @@ pub enum AuditViolation {
         /// writebacks + tag probes + counter events observed.
         events: u64,
     },
+    /// The timing wheel's schedule disagrees with the line slab's derived
+    /// deadlines (a decay reschedule was dropped or a stale event kept).
+    DecayScheduleDrift {
+        /// Description of the first drift found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -122,6 +134,9 @@ impl fmt::Display for AuditViolation {
                 f,
                 "phantom decay: {events} decay events on a cache without decay machinery"
             ),
+            AuditViolation::DecayScheduleDrift { detail } => {
+                write!(f, "decay schedule drift: {detail}")
+            }
         }
     }
 }
@@ -346,6 +361,16 @@ mod tests {
         s.wakes = s.sleeps + 5;
         let v = check_cache_stats(&s, 1024, None, true);
         assert_eq!(v.len(), 2, "got {v:?}");
+    }
+
+    #[test]
+    fn schedule_drift_formats_its_detail() {
+        let v = AuditViolation::DecayScheduleDrift {
+            detail: "line 7 decay deadline 128 != derived deadline 192".to_string(),
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("decay schedule drift"), "{msg}");
+        assert!(msg.contains("line 7"), "{msg}");
     }
 
     #[test]

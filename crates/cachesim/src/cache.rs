@@ -1,15 +1,48 @@
 //! A set-associative, write-back, write-allocate cache with optional
 //! per-line decay (leakage-control) machinery.
 //!
+//! ## Data-oriented hot path
+//!
+//! Line state lives in a struct-of-arrays slab ([`LineSlab`]): parallel,
+//! contiguous arrays (way-major, so each set is a contiguous stripe) for
+//! tags, data-state bytes, packed dirty bits, power modes, and decay
+//! bookkeeping. All of it is allocated once at construction; the steady
+//! state allocates nothing.
+//!
+//! Decay deadlines are not found by sweeping lines. A hierarchical timing
+//! wheel ([`crate::wheel::TimingWheel`]) schedules exactly the events that
+//! can change a line's state on their own:
+//!
+//! - the quarter-interval wrap at which a line's two-bit counter would
+//!   saturate (`noaccess` policy) — one event per live line, rescheduled in
+//!   O(1) when an access resets the counter;
+//! - the recurring full-interval flush (`simple` policy) — one event total;
+//! - `GoingToSleep`/`Waking { until }` settle expiries — one per line in
+//!   transition.
+//!
+//! [`Cache::advance_to`] ticks the wheel from one due event to the next
+//! instead of iterating lines, so a time jump across an idle stretch costs
+//! O(events due), not O(lines × wraps).
+//!
+//! The per-line two-bit counters themselves are not stored incrementally:
+//! a line records the global wrap count at its last counter reset
+//! (`reset_sweep`) plus a base value, and the counter is *derived* as
+//! `min(base + wraps_since_reset, 3)` whenever observed. That makes the
+//! per-wrap "increment every local counter" of the hierarchical counter
+//! scheme a bulk O(1) accounting step rather than a per-line write.
+//!
 //! ## Timing and accounting model
 //!
-//! The driver calls [`Cache::tick`] once per cycle (O(1): it advances the
-//! global decay counter; per-line work happens only on quarter-interval
-//! sweeps) and [`Cache::access`] per reference. Line power modes are
-//! resolved lazily: each line records when its current mode began, and the
-//! elapsed line-cycles are attributed to the right [`ModeCycles`] bucket
-//! whenever the line is next touched (access, sweep, or finalization). The
-//! integrals are exact — nothing is sampled.
+//! The driver calls [`Cache::tick`] once per cycle (O(1) when no event is
+//! due) and [`Cache::access`] per reference. Line power modes are resolved
+//! lazily: each line records when its current mode began, and the elapsed
+//! line-cycles are attributed to the right [`ModeCycles`] bucket whenever
+//! the line is next touched (access, due event, or finalization). The
+//! integrals are exact — nothing is sampled — and settlement is additive
+//! over mode segments, so event-driven settlement order produces bitwise
+//! the same [`CacheStats`] as a per-wrap full sweep.
+//!
+//! [`ModeCycles`]: crate::stats::ModeCycles
 //!
 //! ## Induced-miss classification
 //!
@@ -29,6 +62,7 @@ use crate::decay::{
     MIN_DECAY_INTERVAL_CYCLES,
 };
 use crate::stats::CacheStats;
+use crate::wheel::TimingWheel;
 
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -112,35 +146,63 @@ impl LineView {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum LineData {
-    /// Never filled (or invalidated).
-    Empty,
-    /// Holds valid data.
-    Valid { dirty: bool },
-    /// Tag remembered but data lost to decay (non-state-preserving).
-    Ghost,
+/// Data-state byte: never filled (or invalidated).
+const STATE_EMPTY: u8 = 0;
+/// Data-state byte: holds valid data (dirtiness lives in the packed bitmap).
+const STATE_VALID: u8 = 1;
+/// Data-state byte: tag remembered but data lost to decay.
+const STATE_GHOST: u8 = 2;
+
+/// Struct-of-arrays line storage: one entry per line in way-major order
+/// (line `set * assoc + way`), so a set's ways are contiguous in every
+/// array. Allocated once at construction; never grows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LineSlab {
+    /// Resident (or ghost) tag.
+    tag: Vec<u64>,
+    /// Data state (`STATE_EMPTY` / `STATE_VALID` / `STATE_GHOST`).
+    state: Vec<u8>,
+    /// Packed dirty bits, one per line (meaningful only for valid lines).
+    dirty: Vec<u64>,
+    /// Raw power mode (resolved lazily; see module docs).
+    mode: Vec<LineMode>,
+    /// Cycle the current mode began (mode-cycle integrals are settled up
+    /// to here).
+    mode_since: Vec<u64>,
+    /// Two-bit counter value at the last reset (non-zero only when a
+    /// regime change materializes stale progress; see
+    /// [`Cache::set_decay_interval`]).
+    base_count: Vec<u8>,
+    /// Global wrap count at the line's last counter reset; the current
+    /// counter is derived as `min(base + wraps - reset_sweep, 3)`.
+    reset_sweep: Vec<u64>,
+    /// Monotone recency stamp (larger = more recently used).
+    lru_stamp: Vec<u64>,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct Line {
-    tag: u64,
-    data: LineData,
-    mode: LineMode,
-    mode_since: u64,
-    local_counter: u8,
-    lru_stamp: u64,
-}
+impl LineSlab {
+    fn new(n: usize) -> Self {
+        LineSlab {
+            tag: vec![0; n],
+            state: vec![STATE_EMPTY; n],
+            dirty: vec![0; n.div_ceil(64)],
+            mode: vec![LineMode::Active; n],
+            mode_since: vec![0; n],
+            base_count: vec![0; n],
+            reset_sweep: vec![0; n],
+            lru_stamp: vec![0; n],
+        }
+    }
 
-impl Line {
-    fn new() -> Self {
-        Line {
-            tag: 0,
-            data: LineData::Empty,
-            mode: LineMode::Active,
-            mode_since: 0,
-            local_counter: 0,
-            lru_stamp: 0,
+    fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn set_dirty(&mut self, i: usize, dirty: bool) {
+        if dirty {
+            self.dirty[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.dirty[i / 64] &= !(1u64 << (i % 64));
         }
     }
 }
@@ -150,12 +212,23 @@ impl Line {
 pub struct Cache {
     cfg: CacheConfig,
     decay: Option<DecayConfig>,
-    lines: Vec<Line>,
+    slab: LineSlab,
     global: GlobalCounter,
     stats: CacheStats,
     stamp: u64,
     clock: u64,
-    ticks_seen: u64,
+    /// Cycle the current counter regime began (construction or the last
+    /// [`Cache::set_decay_interval`]); wrap `k` of the regime falls at
+    /// `regime_start + k * period`.
+    regime_start: u64,
+    /// Event schedule; `Some` iff decay is enabled. Event ids: line `i`'s
+    /// decay deadline is `i` and the `Simple` flush is `num_lines`.
+    /// Transition (`GoingToSleep`/`Waking`) expiries are deliberately not
+    /// scheduled: settlement is additive and every raw-mode read happens
+    /// after a settle, so expired transitions collapse lazily with
+    /// identical observables — an expiry event would only burn wheel
+    /// traffic on every sleep and wake.
+    wheel: Option<TimingWheel>,
     /// The cycle the mode-cycle integrals were last brought fully up to
     /// date at ([`Cache::finalize`]); cleared by any later activity.
     finalized_at: Option<u64>,
@@ -170,17 +243,21 @@ impl Cache {
     pub fn new(cfg: CacheConfig, decay: Option<DecayConfig>) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let period = decay.map(|d| d.quarter_interval()).unwrap_or(u64::MAX);
-        Ok(Cache {
+        let n = cfg.num_lines();
+        let mut cache = Cache {
             cfg,
             decay,
-            lines: vec![Line::new(); cfg.num_lines()],
+            slab: LineSlab::new(n),
             global: GlobalCounter::new(period),
             stats: CacheStats::default(),
             stamp: 0,
             clock: 0,
-            ticks_seen: 0,
+            regime_start: 0,
+            wheel: decay.map(|_| TimingWheel::new(n + 1)),
             finalized_at: None,
-        })
+        };
+        cache.rebuild_schedule();
+        Ok(cache)
     }
 
     /// The cache's configuration.
@@ -199,15 +276,72 @@ impl Cache {
         &self.stats
     }
 
-    /// Attributes elapsed line-cycles of `line` up to `now` and resolves any
-    /// completed transition.
-    fn account(line: &mut Line, stats: &mut CacheStats, now: u64) {
-        let mut since = line.mode_since;
+    /// Event id of line `i`'s decay deadline.
+    fn decay_event_id(i: usize) -> u32 {
+        i as u32
+    }
+
+    /// Event id of the `Simple` policy's recurring full-interval flush.
+    fn flush_event_id(&self) -> u32 {
+        self.cfg.num_lines() as u32
+    }
+
+    /// Absolute cycle of regime wrap number `wrap`.
+    fn wrap_cycle(&self, wrap: u64) -> u64 {
+        self.regime_start
+            .saturating_add(wrap.saturating_mul(self.global.period()))
+    }
+
+    /// Line `i`'s two-bit counter as of the current clock, derived from its
+    /// last reset point (see the module docs).
+    fn local_counter(&self, i: usize) -> u8 {
+        match self.decay.map(|d| d.policy) {
+            Some(DecayPolicy::NoAccess) => {
+                let ticks = self.global.wraps.saturating_sub(self.slab.reset_sweep[i]);
+                (u64::from(self.slab.base_count[i]) + ticks).min(u64::from(LOCAL_COUNTER_MAX)) as u8
+            }
+            _ => self.slab.base_count[i],
+        }
+    }
+
+    /// The wrap cycle at which line `i`'s counter saturates and the line
+    /// decays (given no further access). A line whose base is already
+    /// saturated decays at the next wrap.
+    fn decay_deadline(&self, i: usize) -> u64 {
+        let remaining = u64::from(LOCAL_COUNTER_MAX.saturating_sub(self.slab.base_count[i])).max(1);
+        self.wrap_cycle(self.slab.reset_sweep[i].saturating_add(remaining))
+    }
+
+    /// (Re)schedules line `i`'s decay deadline from its current counter
+    /// state. O(1).
+    fn reschedule_decay(&mut self, i: usize) {
+        let deadline = self.decay_deadline(i);
+        if let Some(wheel) = self.wheel.as_mut() {
+            wheel.schedule(Self::decay_event_id(i), deadline);
+        }
+    }
+
+    /// Line `i`'s mode at `now` with expired transitions collapsed
+    /// (read-only counterpart of settlement).
+    fn resolved_mode_at(&self, i: usize, now: u64) -> LineMode {
+        match self.slab.mode[i] {
+            LineMode::GoingToSleep { until } if now > until => LineMode::Standby,
+            LineMode::Waking { until } if now > until => LineMode::Active,
+            m => m,
+        }
+    }
+
+    /// Attributes elapsed line-cycles up to `now` and resolves any
+    /// completed transition. Settlement is additive over mode segments, so
+    /// calling this at every event or only at the end yields the same
+    /// integrals.
+    fn settle(mode: &mut LineMode, mode_since: &mut u64, stats: &mut CacheStats, now: u64) {
+        let mut since = *mode_since;
         if since >= now {
             return;
         }
         loop {
-            match line.mode {
+            match *mode {
                 LineMode::Active => {
                     stats.mode_cycles.active += Cycles::new(now - since);
                     break;
@@ -222,7 +356,7 @@ impl Cache {
                         break;
                     }
                     stats.mode_cycles.transitioning += Cycles::new(until - since);
-                    line.mode = LineMode::Standby;
+                    *mode = LineMode::Standby;
                     since = until;
                 }
                 LineMode::Waking { until } => {
@@ -231,47 +365,143 @@ impl Cache {
                         break;
                     }
                     stats.mode_cycles.transitioning += Cycles::new(until - since);
-                    line.mode = LineMode::Active;
+                    *mode = LineMode::Active;
                     since = until;
                 }
             }
         }
-        line.mode_since = now;
+        *mode_since = now;
     }
 
-    /// Advances the decay machinery by one cycle (the per-cycle global
-    /// counter tick). Cheap unless the counter wraps, in which case all
-    /// per-line counters are swept. Equivalent to `advance_to(now)` for
-    /// drivers that walk time cycle by cycle.
+    /// [`Cache::settle`] for line `i` of the slab.
+    fn settle_line(&mut self, i: usize, now: u64) {
+        Self::settle(
+            &mut self.slab.mode[i],
+            &mut self.slab.mode_since[i],
+            &mut self.stats,
+            now,
+        );
+    }
+
+    /// Advances the decay machinery by one cycle. O(1) unless a scheduled
+    /// event (a line's decay deadline or the `Simple` flush) falls due this
+    /// cycle — only due events are touched; lines are never swept.
+    /// Equivalent to `advance_to(now)` for drivers that walk time cycle by
+    /// cycle.
     pub fn tick(&mut self, now: u64) {
         self.advance_to(now.max(self.clock.saturating_add(1)));
     }
 
-    /// Processes every global-counter wrap in `(current clock, now]` at its
-    /// exact cycle, then sets the clock to `now`. Lets time-jumping drivers
-    /// (the one-pass out-of-order model) keep decay semantics identical to
-    /// a per-cycle tick loop. Calls with `now` in the past are no-ops.
+    /// Processes every scheduled decay event in `(current clock, now]` at
+    /// its exact cycle — the timing wheel jumps from one due event to the
+    /// next rather than iterating lines — then sets the clock to `now`.
+    /// Lets time-jumping drivers (the one-pass out-of-order model) keep
+    /// decay semantics identical to a per-cycle tick loop. Calls with `now`
+    /// in the past are no-ops.
+    #[inline]
     pub fn advance_to(&mut self, now: u64) {
         if self.decay.is_none() || now <= self.clock {
             return;
         }
+        self.advance_to_slow(now);
+    }
+
+    /// Out-of-line body of [`Cache::advance_to`]; split so the early-out
+    /// above inlines into every access instead of paying a call into this
+    /// (large) function just to return.
+    fn advance_to_slow(&mut self, now: u64) {
         self.finalized_at = None;
-        let period = self.global.period();
-        let elapsed = now - self.clock;
-        let already = self.ticks_seen % period;
-        // First wrap happens after (period - already) further ticks.
-        let mut next_wrap_in = period - already;
-        let mut processed = 0u64;
-        while processed + next_wrap_in <= elapsed {
-            processed += next_wrap_in;
-            let wrap_at = self.clock + processed;
-            self.stats.global_counter_wraps += 1;
-            self.global.wraps += 1;
-            self.sweep(wrap_at);
-            next_wrap_in = period;
+        // Quiet advances (the common case on the access path) skip the pop
+        // loop outright: `next_due_bound` proves nothing fires by `now`.
+        // The wheel's internal clock then lags ours, which is harmless —
+        // deadlines are absolute, and every schedule is in our future.
+        let events_due = self
+            .wheel
+            .as_ref()
+            .is_some_and(|wheel| wheel.next_due_bound() <= now);
+        if events_due {
+            if let Some(mut wheel) = self.wheel.take() {
+                while let Some((t, id)) = wheel.pop_next(now) {
+                    self.dispatch(&mut wheel, id, t);
+                }
+                self.wheel = Some(wheel);
+            }
         }
-        self.ticks_seen += elapsed;
+        // Bulk counter accounting: each wrap increments every line's
+        // two-bit counter under `noaccess` (the counters themselves are
+        // derived on demand, so only the totals are touched here). The
+        // next-wrap comparison keeps the u64 division off the common
+        // wrap-free advance.
+        if now >= self.wrap_cycle(self.global.wraps.saturating_add(1)) {
+            let wraps_now = (now - self.regime_start) / self.global.period();
+            let newly = wraps_now.saturating_sub(self.global.wraps);
+            self.global.wraps = wraps_now;
+            self.stats.global_counter_wraps += newly;
+            if matches!(self.decay.map(|d| d.policy), Some(DecayPolicy::NoAccess)) {
+                self.stats.local_counter_ticks += newly * self.cfg.num_lines() as u64;
+            }
+        }
         self.clock = now;
+    }
+
+    /// Routes one due wheel event to its handler.
+    fn dispatch(&mut self, wheel: &mut TimingWheel, id: u32, t: u64) {
+        let idx = id as usize;
+        if idx < self.cfg.num_lines() {
+            self.on_decay_deadline(wheel, idx, t);
+        } else {
+            self.on_flush(wheel, t);
+        }
+    }
+
+    /// Line `i`'s two-bit counter saturated at wrap cycle `t`: deactivate
+    /// it if it is (by then) fully active.
+    fn on_decay_deadline(&mut self, wheel: &mut TimingWheel, i: usize, t: u64) {
+        self.settle_line(i, t);
+        match self.slab.mode[i] {
+            LineMode::Active => self.deactivate(i, t),
+            LineMode::Waking { .. } => {
+                // Saturated but mid-wake: retry at the next wrap, exactly
+                // as a per-wrap sweep would (a saturated counter keeps
+                // asking until the line is deactivatable or touched).
+                let retry = t.saturating_add(self.global.period());
+                wheel.schedule(Self::decay_event_id(i), retry);
+            }
+            _ => {}
+        }
+    }
+
+    /// The `Simple` policy's full-interval flush at wrap cycle `t`:
+    /// deactivate every fully active line, then schedule the next flush one
+    /// interval later.
+    fn on_flush(&mut self, wheel: &mut TimingWheel, t: u64) {
+        for i in 0..self.cfg.num_lines() {
+            self.settle_line(i, t);
+            if matches!(self.slab.mode[i], LineMode::Active) {
+                self.deactivate(i, t);
+            }
+        }
+        let next = t.saturating_add(self.global.period().saturating_mul(4));
+        wheel.schedule(self.flush_event_id(), next);
+    }
+
+    /// Puts line `i` into standby, handling dirty data per the technique.
+    /// The settle expiry is not scheduled anywhere: lazy settlement
+    /// resolves it at the line's next touch (or `finalize`).
+    fn deactivate(&mut self, i: usize, now: u64) {
+        // lint: allow(unwrap): deactivation is only scheduled when decay is configured
+        let decay = self.decay.expect("deactivation requires decay enabled");
+        if decay.behavior == StandbyBehavior::Losing && self.slab.state[i] == STATE_VALID {
+            if self.slab.is_dirty(i) {
+                self.stats.decay_writebacks += 1;
+            }
+            self.slab.state[i] = STATE_GHOST;
+            self.slab.set_dirty(i, false);
+        }
+        let until = now + u64::from(decay.sleep_settle_cycles);
+        self.slab.mode[i] = LineMode::GoingToSleep { until };
+        self.slab.mode_since[i] = now;
+        self.stats.sleeps += 1;
     }
 
     /// The cache's internal clock (latest cycle seen).
@@ -280,7 +510,7 @@ impl Cache {
     }
 
     /// Phase of the hierarchical counter within the full decay interval:
-    /// how many quarter-interval sweeps have fired since the counter was
+    /// how many quarter-interval wraps have fired since the counter was
     /// (re)started, modulo 4. The `Simple` policy's full-interval flush
     /// fires when this wraps to 0.
     ///
@@ -299,63 +529,68 @@ impl Cache {
     /// without decay.
     ///
     /// Every line's idle history restarts with the new interval: the
-    /// per-line two-bit counters are reset along with the global counter.
-    /// Leaving them stale would let a line carry saturation progress earned
-    /// under a short interval into a longer one, decaying it after a
-    /// fraction of the interval the controller just asked for.
+    /// per-line two-bit counters are reset along with the global counter,
+    /// and every live line's decay deadline is rescheduled against the new
+    /// wrap grid. Leaving them stale would let a line carry saturation
+    /// progress earned under a short interval into a longer one, decaying
+    /// it after a fraction of the interval the controller just asked for.
     pub fn set_decay_interval(&mut self, interval_cycles: u64) {
+        if self.decay.is_none() {
+            return;
+        }
+        // `pre-fix-stale-counter` (CI mutation smoke only) carries each
+        // line's saturation progress into the new regime so the model
+        // checker can demonstrate the original bug; the fixed behavior
+        // restarts every counter.
+        #[cfg(feature = "pre-fix-stale-counter")]
+        for i in 0..self.cfg.num_lines() {
+            let stale = self.local_counter(i);
+            self.slab.base_count[i] = stale;
+        }
+        #[cfg(not(feature = "pre-fix-stale-counter"))]
+        for base in &mut self.slab.base_count {
+            *base = 0;
+        }
+        for reset in &mut self.slab.reset_sweep {
+            *reset = 0;
+        }
         if let Some(decay) = self.decay.as_mut() {
             decay.interval_cycles = interval_cycles.max(MIN_DECAY_INTERVAL_CYCLES);
-            let period = decay.quarter_interval();
-            self.global = GlobalCounter::new(period);
-            self.ticks_seen = 0;
-            // `pre-fix-stale-counter` (CI mutation smoke only) reverts this
-            // reset so the model checker can demonstrate the original bug.
-            #[cfg(not(feature = "pre-fix-stale-counter"))]
-            for line in &mut self.lines {
-                line.local_counter = 0;
-            }
+            self.global = GlobalCounter::new(decay.quarter_interval());
         }
+        self.regime_start = self.clock;
+        self.rebuild_schedule();
     }
 
-    /// The quarter-interval sweep: increment local counters, deactivate
-    /// saturated (or, for the `simple` policy on full intervals, all) lines.
-    fn sweep(&mut self, now: u64) {
-        // lint: allow(unwrap): sweep is only scheduled when decay is configured
-        let decay = self.decay.expect("sweep only runs with decay enabled");
-        let full_interval = self.global.wraps.is_multiple_of(4);
-        for i in 0..self.lines.len() {
-            let line = &mut self.lines[i];
-            Self::account(line, &mut self.stats, now);
-            let should_sleep = match decay.policy {
-                DecayPolicy::NoAccess => {
-                    line.local_counter = (line.local_counter + 1).min(LOCAL_COUNTER_MAX);
-                    self.stats.local_counter_ticks += 1;
-                    line.local_counter >= LOCAL_COUNTER_MAX
-                }
-                DecayPolicy::Simple => full_interval,
-            };
-            if should_sleep && matches!(line.mode, LineMode::Active) {
-                Self::deactivate(line, &mut self.stats, &decay, now);
-            }
-        }
-    }
-
-    /// Puts one line into standby, handling dirty data per the technique.
-    fn deactivate(line: &mut Line, stats: &mut CacheStats, decay: &DecayConfig, now: u64) {
-        if decay.behavior == StandbyBehavior::Losing {
-            if let LineData::Valid { dirty } = line.data {
-                if dirty {
-                    stats.decay_writebacks += 1;
-                }
-                line.data = LineData::Ghost;
-            }
-        }
-        line.mode = LineMode::GoingToSleep {
-            until: now + decay.sleep_settle_cycles as u64,
+    /// Rebuilds the wheel's decay/flush schedule from scratch for the
+    /// current regime (construction and interval switches; steady-state
+    /// maintenance is all O(1) incremental).
+    fn rebuild_schedule(&mut self) {
+        let Some(decay) = self.decay else {
+            return;
         };
-        line.mode_since = now;
-        stats.sleeps += 1;
+        match decay.policy {
+            DecayPolicy::NoAccess => {
+                for i in 0..self.cfg.num_lines() {
+                    let live = matches!(
+                        self.resolved_mode_at(i, self.clock),
+                        LineMode::Active | LineMode::Waking { .. }
+                    );
+                    if live {
+                        self.reschedule_decay(i);
+                    } else if let Some(wheel) = self.wheel.as_mut() {
+                        wheel.cancel(Self::decay_event_id(i));
+                    }
+                }
+            }
+            DecayPolicy::Simple => {
+                let next_flush = self.wrap_cycle(4);
+                let id = self.flush_event_id();
+                if let Some(wheel) = self.wheel.as_mut() {
+                    wheel.schedule(id, next_flush);
+                }
+            }
+        }
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -382,25 +617,31 @@ impl Cache {
         let (tag, set) = self.cfg.split(addr);
         let range = self.set_range(set);
 
-        // Resolve modes of the whole set up to `now` first.
-        for i in range.clone() {
-            let line = &mut self.lines[i];
-            Self::account(line, &mut self.stats, now);
-        }
+        // No whole-set settlement here: settlement is additive, so only
+        // the line whose mode actually changes (the hit way or the refill
+        // victim) needs settling, and read-only mode queries resolve
+        // expired transitions without touching the integrals.
 
-        // Look for a matching way (live data or ghost).
+        // Look for a matching way (live data or ghost). Zipped slice
+        // iteration keeps the scan free of per-element bounds checks.
         let mut hit_way: Option<usize> = None;
         let mut ghost_way: Option<usize> = None;
-        for i in range.clone() {
-            let line = &self.lines[i];
-            match line.data {
-                LineData::Valid { .. } if line.tag == tag => hit_way = Some(i),
-                LineData::Ghost if line.tag == tag => ghost_way = Some(i),
-                _ => {}
+        let tags = &self.slab.tag[range.clone()];
+        let states = &self.slab.state[range.clone()];
+        for (off, (&t, &st)) in tags.iter().zip(states).enumerate() {
+            if t == tag {
+                match st {
+                    STATE_VALID => hit_way = Some(range.start + off),
+                    STATE_GHOST => ghost_way = Some(range.start + off),
+                    _ => {}
+                }
             }
         }
 
         if let Some(i) = hit_way {
+            if self.decay.is_none() {
+                return self.plain_hit(i, kind, stamp);
+            }
             return self.hit(i, kind, now, stamp);
         }
 
@@ -417,7 +658,7 @@ impl Cache {
             if d.tags_decay && d.behavior == StandbyBehavior::Preserving {
                 let standby_ways = range
                     .clone()
-                    .filter(|&i| !self.lines[i].mode.is_fully_active())
+                    .filter(|&i| !self.resolved_mode_at(i, now).is_fully_active())
                     .count() as u32;
                 if standby_ways > 0 {
                     extra += d.wake_settle_cycles;
@@ -434,14 +675,13 @@ impl Cache {
             MissKind::True
         };
         let victim = ghost_way.unwrap_or_else(|| self.choose_victim(set));
-        let line = &mut self.lines[victim];
 
         let mut writeback = false;
         let mut cold = false;
-        match line.data {
-            LineData::Valid { dirty } => writeback = dirty,
-            LineData::Empty => cold = true,
-            LineData::Ghost => {}
+        match self.slab.state[victim] {
+            STATE_VALID => writeback = self.slab.is_dirty(victim),
+            STATE_EMPTY => cold = true,
+            _ => {}
         }
 
         // Refill: the wake (3 cycles) overlaps the next-level fetch, so no
@@ -451,16 +691,28 @@ impl Cache {
         // A `Waking` victim was already charged its wake transition by the
         // access that started it waking; counting it again here would break
         // the sleeps >= wakes pairing and overcharge transition energy.
-        let now = now.max(line.mode_since);
-        let woke = matches!(line.mode, LineMode::Standby | LineMode::GoingToSleep { .. });
-        line.tag = tag;
-        line.data = LineData::Valid {
-            dirty: kind == AccessKind::Write,
-        };
-        line.mode = LineMode::Active;
-        line.mode_since = now;
-        line.local_counter = 0;
-        line.lru_stamp = stamp;
+        // The refill overwrites the victim's `mode_since` below: bring its
+        // integral current first (and collapse any expired transition), or
+        // the elapsed segment would be dropped from the mode-cycle totals.
+        self.settle_line(victim, now);
+        let now = now.max(self.slab.mode_since[victim]);
+        let woke = matches!(
+            self.slab.mode[victim],
+            LineMode::Standby | LineMode::GoingToSleep { .. }
+        );
+        self.slab.tag[victim] = tag;
+        self.slab.state[victim] = STATE_VALID;
+        self.slab.set_dirty(victim, kind == AccessKind::Write);
+        self.slab.mode[victim] = LineMode::Active;
+        self.slab.mode_since[victim] = now;
+        self.slab.base_count[victim] = 0;
+        self.slab.reset_sweep[victim] = self.global.wraps;
+        self.slab.lru_stamp[victim] = stamp;
+        // O(1) schedule maintenance: the refilled line's idle clock
+        // restarts from this touch.
+        if matches!(decay.map(|d| d.policy), Some(DecayPolicy::NoAccess)) {
+            self.reschedule_decay(victim);
+        }
         if woke {
             self.stats.wakes += 1;
         }
@@ -491,13 +743,42 @@ impl Cache {
         }
     }
 
+    /// Handles a hit on a cache without leakage control: modes never leave
+    /// `Active`, counters are never consulted, and there is no wheel — a
+    /// hit is just LRU and dirty-bit maintenance.
+    #[inline]
+    fn plain_hit(&mut self, i: usize, kind: AccessKind, stamp: u64) -> AccessResult {
+        if kind == AccessKind::Write {
+            self.slab.set_dirty(i, true);
+        }
+        self.slab.lru_stamp[i] = stamp;
+        // Mirror the decayed path's seeded accounting bug (CI mutation
+        // smoke): the hit count is dropped under that feature.
+        #[cfg(not(feature = "seeded-accounting-bug"))]
+        {
+            self.stats.hits += 1;
+        }
+        AccessResult {
+            hit: true,
+            extra_latency: 0,
+            miss: None,
+            writeback: false,
+            tag_probes: 0,
+            woke_line: false,
+        }
+    }
+
     /// Handles a hit on way `i`, including slow hits on standby lines.
     fn hit(&mut self, i: usize, kind: AccessKind, now: u64, stamp: u64) -> AccessResult {
         let decay = self.decay;
-        let line = &mut self.lines[i];
+        // Settle just the hit way: only this line's mode can change here,
+        // and settlement is additive so skipping untouched lines loses
+        // nothing.
+        self.settle_line(i, now);
         // See the refill path: never rewind past already-accounted cycles.
-        let now = now.max(line.mode_since);
-        let (extra, woke, probed_tag) = match line.mode {
+        let now = now.max(self.slab.mode_since[i]);
+        let mode = self.slab.mode[i];
+        let (extra, woke, probed_tag) = match mode {
             // Fast hit: nothing to wake, nothing to wait for.
             LineMode::Active => (0u32, false, false),
             // Delayed hit: another access arrived while the line was still
@@ -518,17 +799,42 @@ impl Cache {
                 }
             }
         };
-        if woke || matches!(line.mode, LineMode::Waking { .. }) {
-            line.mode = LineMode::Waking {
-                until: now + extra as u64,
-            };
-            line.mode_since = now;
+        if woke || matches!(mode, LineMode::Waking { .. }) {
+            let until = now + u64::from(extra);
+            self.slab.mode[i] = LineMode::Waking { until };
+            self.slab.mode_since[i] = now;
         }
         if kind == AccessKind::Write {
-            line.data = LineData::Valid { dirty: true };
+            self.slab.set_dirty(i, true);
         }
-        line.local_counter = 0;
-        line.lru_stamp = stamp;
+        // A line that was already live and already touched during the
+        // current wrap derives the same deadline it has scheduled now
+        // (schedule coherence: live line, counter 0), so rescheduling would
+        // cancel-and-relink the identical entry. Skipping that churn keeps
+        // repeated hot-line hits off the wheel entirely. A woken line is
+        // excluded: sleeping lines carry no decay event, so the wake must
+        // schedule one regardless of its counter state.
+        let fresh =
+            !woke && self.slab.base_count[i] == 0 && self.slab.reset_sweep[i] == self.global.wraps;
+        self.slab.base_count[i] = 0;
+        self.slab.reset_sweep[i] = self.global.wraps;
+        self.slab.lru_stamp[i] = stamp;
+        if !fresh && matches!(decay.map(|d| d.policy), Some(DecayPolicy::NoAccess)) {
+            // `wheel-bug` (CI mutation smoke only): drop the reschedule
+            // when a deadline is already pending, so a touched line still
+            // decays at its stale deadline. The differential suite and the
+            // schedule-coherence audit both exist to catch exactly this.
+            #[cfg(feature = "wheel-bug")]
+            let keep_stale = self
+                .wheel
+                .as_ref()
+                .is_some_and(|w| w.is_scheduled(Self::decay_event_id(i)));
+            #[cfg(not(feature = "wheel-bug"))]
+            let keep_stale = false;
+            if !keep_stale {
+                self.reschedule_decay(i);
+            }
+        }
         if woke {
             self.stats.wakes += 1;
             self.stats.slow_hits += 1;
@@ -564,13 +870,12 @@ impl Cache {
         let mut best = range.start;
         let mut best_key = (2u8, u64::MAX);
         for i in range {
-            let line = &self.lines[i];
-            let class = match line.data {
-                LineData::Empty => 0u8,
-                LineData::Ghost => 1,
-                LineData::Valid { .. } => 2,
+            let class = match self.slab.state[i] {
+                STATE_EMPTY => 0u8,
+                STATE_GHOST => 1,
+                _ => 2,
             };
-            let key = (class, line.lru_stamp);
+            let key = (class, self.slab.lru_stamp[i]);
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -582,29 +887,31 @@ impl Cache {
     /// Non-mutating lookup: returns whether `addr` currently hits live data.
     pub fn probe(&self, addr: u64) -> bool {
         let (tag, set) = self.cfg.split(addr);
-        self.set_range(set).any(|i| {
-            let line = &self.lines[i];
-            line.tag == tag && matches!(line.data, LineData::Valid { .. })
-        })
+        self.set_range(set)
+            .any(|i| self.slab.tag[i] == tag && self.slab.state[i] == STATE_VALID)
     }
 
     /// Read-only view of line `index`'s internal state (way-major order:
     /// line `set * assoc + way`), for the model checker and white-box
     /// tests. Panics if `index` is out of range.
     pub fn line_view(&self, index: usize) -> LineView {
-        let line = &self.lines[index];
         LineView {
-            tag: line.tag,
-            data: match line.data {
-                LineData::Empty => LineDataView::Empty,
-                LineData::Valid { dirty: false } => LineDataView::Clean,
-                LineData::Valid { dirty: true } => LineDataView::Dirty,
-                LineData::Ghost => LineDataView::Ghost,
+            tag: self.slab.tag[index],
+            data: match self.slab.state[index] {
+                STATE_VALID => {
+                    if self.slab.is_dirty(index) {
+                        LineDataView::Dirty
+                    } else {
+                        LineDataView::Clean
+                    }
+                }
+                STATE_GHOST => LineDataView::Ghost,
+                _ => LineDataView::Empty,
             },
-            mode: line.mode,
-            mode_since: line.mode_since,
-            local_counter: line.local_counter,
-            lru_stamp: line.lru_stamp,
+            mode: self.slab.mode[index],
+            mode_since: self.slab.mode_since[index],
+            local_counter: self.local_counter(index),
+            lru_stamp: self.slab.lru_stamp[index],
         }
     }
 
@@ -612,9 +919,8 @@ impl Cache {
     /// (resolves transitions read-only; intended for tests and probes, not
     /// the hot path).
     pub fn standby_line_count(&self, now: u64) -> usize {
-        self.lines
-            .iter()
-            .filter(|l| match l.mode {
+        (0..self.cfg.num_lines())
+            .filter(|&i| match self.slab.mode[i] {
                 LineMode::Standby => true,
                 LineMode::GoingToSleep { until } => now >= until,
                 _ => false,
@@ -622,12 +928,83 @@ impl Cache {
             .count()
     }
 
+    /// Checks that the wheel's schedule agrees with the slab's derived
+    /// deadlines: every live line under `noaccess` has its decay event at
+    /// exactly the wrap its counter saturates, and the `Simple` flush sits
+    /// on the next full-interval wrap. (Transition expiries are resolved
+    /// lazily and carry no events — see the `wheel` field.) This is the
+    /// audit-side net for dropped or stale reschedules (the `wheel-bug`
+    /// mutation smoke).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first drift found.
+    pub fn schedule_coherence(&self) -> Result<(), String> {
+        let (Some(decay), Some(wheel)) = (self.decay.as_ref(), self.wheel.as_ref()) else {
+            return Ok(());
+        };
+        let period = self.global.period();
+        match decay.policy {
+            DecayPolicy::NoAccess => {
+                for i in 0..self.cfg.num_lines() {
+                    let live = matches!(
+                        self.resolved_mode_at(i, self.clock),
+                        LineMode::Active | LineMode::Waking { .. }
+                    );
+                    match (live, wheel.deadline_of(Self::decay_event_id(i))) {
+                        (true, None) => {
+                            return Err(format!("live line {i} has no decay deadline"));
+                        }
+                        (true, Some(d)) if self.local_counter(i) < LOCAL_COUNTER_MAX => {
+                            let expect = self.decay_deadline(i);
+                            if d != expect {
+                                return Err(format!(
+                                    "line {i} decay deadline {d} != derived deadline {expect}"
+                                ));
+                            }
+                        }
+                        (true, Some(d)) => {
+                            // Saturated mid-wake lines retry wrap by wrap;
+                            // any future wrap-aligned deadline is coherent.
+                            let aligned = d == u64::MAX
+                                || (d > self.clock
+                                    && d.saturating_sub(self.regime_start).is_multiple_of(period));
+                            if !aligned {
+                                return Err(format!(
+                                    "saturated line {i} retry deadline {d} is off the wrap grid \
+                                     (clock {}, regime start {}, period {period})",
+                                    self.clock, self.regime_start
+                                ));
+                            }
+                        }
+                        (false, Some(d)) => {
+                            return Err(format!(
+                                "sleeping line {i} still holds a decay deadline at {d}"
+                            ));
+                        }
+                        (false, None) => {}
+                    }
+                }
+            }
+            DecayPolicy::Simple => {
+                let expect = self.wrap_cycle(4 * (self.global.wraps / 4 + 1));
+                match wheel.deadline_of(self.flush_event_id()) {
+                    Some(d) if d == expect => {}
+                    Some(d) => {
+                        return Err(format!("flush deadline {d} != next full interval {expect}"));
+                    }
+                    None => return Err("no flush event scheduled".to_string()),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Brings the mode-cycle integrals up to `now` for every line. Call at
     /// simulation end (or before re-pricing leakage mid-run).
     pub fn snapshot(&mut self, now: u64) {
-        for i in 0..self.lines.len() {
-            let line = &mut self.lines[i];
-            Self::account(line, &mut self.stats, now);
+        for i in 0..self.cfg.num_lines() {
+            self.settle_line(i, now);
         }
     }
 
@@ -647,7 +1024,8 @@ impl Cache {
     }
 
     /// Audits this cache's statistics against every per-cache conservation
-    /// law (see [`crate::audit`]).
+    /// law (see [`crate::audit`]), plus the wheel/slab schedule-coherence
+    /// invariant.
     ///
     /// # Errors
     ///
@@ -665,6 +1043,12 @@ impl Cache {
                 self.decay.is_some(),
             ),
         );
+        if let Err(detail) = self.schedule_coherence() {
+            report.absorb(
+                "cache",
+                vec![crate::audit::AuditViolation::DecayScheduleDrift { detail }],
+            );
+        }
         report.into_result()
     }
 }
@@ -976,7 +1360,7 @@ mod tests {
         // after a single quarter of the *new* interval.
         let mut c = Cache::new(CacheConfig::l1_64k_2way(), Some(gated_cfg(1024))).unwrap();
         c.access(0x1000, AccessKind::Read, 0);
-        // Two quarter-sweeps (256, 512): local counter reaches 2 of 3.
+        // Two quarter-wraps (256, 512): local counter reaches 2 of 3.
         let now = run_idle(&mut c, 0, 600);
         c.set_decay_interval(1_000_000); // quarter interval: 250_000
                                          // One quarter of the new interval passes — far less than the full

@@ -8,6 +8,14 @@
 //! Any access to a line resets its two-bit counter. This is the `noaccess`
 //! policy of the drowsy paper; the `simple` policy instead flushes *all*
 //! lines to standby every interval regardless of history.
+//!
+//! That per-wrap increment is the *hardware model*; the simulator realizes
+//! it event-driven. [`crate::Cache`] derives each two-bit counter from the
+//! wrap count on demand and schedules every line's saturation cycle on a
+//! timing wheel ([`crate::TimingWheel`]), so no code here — or anywhere on
+//! the hot path — walks all lines at a wrap. The retained
+//! [`crate::ReferenceCache`] keeps the literal sweep as the executable
+//! specification.
 
 use serde::{Deserialize, Serialize};
 use units::{Cycles, PerCycle};
@@ -164,9 +172,15 @@ impl GlobalCounter {
 pub const LOCAL_COUNTER_MAX: u8 = 3;
 
 /// Shortest decay interval the machinery accepts. The hierarchical counter
-/// scheme needs at least one cycle per quarter-interval sweep, so intervals
-/// below four cycles would alias several sweeps onto one cycle;
+/// scheme needs at least one cycle per quarter-interval wrap, so intervals
+/// below four cycles would alias several wraps onto one cycle;
 /// [`crate::Cache::set_decay_interval`] clamps to this floor.
+///
+/// The timing wheel that realizes decay deadlines ticks at single-cycle
+/// granularity, so it imposes no floor of its own: this constant bounds the
+/// *counter arithmetic* (a wrap period of at least one cycle), not the
+/// scheduler. All wheel deadlines land on exact cycles regardless of the
+/// interval chosen.
 pub const MIN_DECAY_INTERVAL_CYCLES: u64 = 4;
 
 #[cfg(test)]

@@ -153,8 +153,8 @@ impl Hierarchy {
             out.l2_accesses += l2a;
             out.mem_accesses += mema;
         }
-        // Decay-forced writebacks happen inside sweeps; drain the count here
-        // so callers can charge their L2 energy.
+        // Decay-forced writebacks happen inside decay-deadline events;
+        // drain the count here so callers can charge their L2 energy.
         let total = self.l1d.stats().decay_writebacks;
         if total > self.decay_writebacks_seen {
             out.l2_accesses += (total - self.decay_writebacks_seen) as u32;
@@ -230,6 +230,12 @@ impl Hierarchy {
                     cache.decay_config().is_some(),
                 ),
             );
+            if let Err(detail) = cache.schedule_coherence() {
+                report.absorb(
+                    name,
+                    vec![crate::audit::AuditViolation::DecayScheduleDrift { detail }],
+                );
+            }
         }
         report.absorb(
             "hierarchy",
@@ -323,7 +329,7 @@ mod tests {
         // was the only drain point. finalize must hand over the remainder.
         let mut h = Hierarchy::new(HierarchyConfig::table2(11, Some(gated(512)))).unwrap();
         h.data_access(0x1000, AccessKind::Write, 0);
-        let drained = h.finalize(2000); // decay sweep + writeback happen here
+        let drained = h.finalize(2000); // decay event + writeback happen here
         assert_eq!(h.l1d().stats().decay_writebacks, 1);
         assert_eq!(drained, 1, "the trailing writeback must be handed over");
         assert_eq!(h.decay_writebacks_drained(), 1);

@@ -42,11 +42,15 @@ pub mod config;
 pub mod decay;
 pub mod hierarchy;
 pub mod modelcheck;
+pub mod reference;
 pub mod reuse;
 pub mod stats;
+pub mod wheel;
 
 pub use cache::{AccessKind, AccessResult, Cache, LineDataView, LineView, MissKind};
 pub use config::{CacheConfig, ConfigError};
 pub use decay::{DecayConfig, DecayPolicy, LineMode, StandbyBehavior, MIN_DECAY_INTERVAL_CYCLES};
 pub use hierarchy::{DataAccessOutcome, Hierarchy, HierarchyConfig};
+pub use reference::ReferenceCache;
 pub use stats::{CacheStats, ModeCycles};
+pub use wheel::TimingWheel;

@@ -2,8 +2,9 @@
 //!
 //! The decay machinery in [`crate::cache`] is a concurrent product of small
 //! per-line state machines (Active / GoingToSleep / Standby / Waking × a
-//! two-bit idle counter × data state) driven by the hierarchical counter
-//! sweep. Its unit tests probe *chosen* scenarios; this module instead
+//! two-bit idle counter × data state) driven by the hierarchical counter's
+//! quarter-interval wraps. Its unit tests probe *chosen* scenarios; this
+//! module instead
 //! enumerates **every reachable state** of a small cache under a complete
 //! event alphabet and asserts the structural invariants on each transition:
 //!
@@ -21,6 +22,11 @@
 //!    building with `--features pre-fix-stale-counter`).
 //! 5. **Behavior separation** — preserving standby never induces a miss;
 //!    losing standby never produces a slow hit.
+//! 6. **Schedule coherence** — after every transition the timing wheel's
+//!    pending events agree with the line slab's derived deadlines
+//!    ([`crate::Cache::schedule_coherence`]): no live line is missing its
+//!    decay event, none sits at a stale cycle, and every unexpired
+//!    transition has its expiry scheduled.
 //!
 //! The exploration is a breadth-first search over *canonical* states, so a
 //! reported violation comes with a **minimal event trace** from the reset
@@ -62,7 +68,7 @@ pub const SWITCH_INTERVALS: [u64; 3] = [CHECK_INTERVAL_CYCLES, 512, 1024];
 /// One step of the event alphabet the checker drives the cache with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Event {
-    /// Advance time by one quarter interval (one global-counter sweep; all
+    /// Advance time by one quarter interval (one global-counter wrap; all
     /// pending transitions settle).
     IdleQuarter,
     /// Read tag `0..num_tags` at the current cycle.
@@ -307,7 +313,7 @@ fn check_invariants(cache: &Cache, obs: &Observation, decay: &DecayConfig) -> Op
 
     // (4a) The two-bit counter stays in range and is reset by any access
     // that refilled or touched the line this cycle (hit/refill paths zero
-    // it; sweeps may since have advanced it, but never beyond saturation).
+    // it; wraps may since have advanced it, but never beyond saturation).
     for (i, v) in views.iter().enumerate() {
         if v.local_counter > LOCAL_COUNTER_MAX {
             return Some(format!(
@@ -315,6 +321,13 @@ fn check_invariants(cache: &Cache, obs: &Observation, decay: &DecayConfig) -> Op
                 v.local_counter
             ));
         }
+    }
+
+    // (6) Schedule coherence: the wheel's pending events must match the
+    // slab's derived deadlines from every reachable state (this is the
+    // check that catches the `wheel-bug` dropped-reschedule mutation).
+    if let Err(drift) = cache.schedule_coherence() {
+        return Some(format!("decay schedule drift: {drift}"));
     }
 
     // (4b) Interval-change probe: from *any* reachable state, changing the
@@ -592,7 +605,7 @@ mod tests {
         };
         let mut cache = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
         let quarter = decay.quarter_interval();
-        cache.advance_to(3 * quarter); // three sweeps: phase 3
+        cache.advance_to(3 * quarter); // three wraps: phase 3
         assert_eq!(cache.wrap_phase(), 3);
         assert_eq!(cache.stats().global_counter_wraps % 4, 3);
         cache.set_decay_interval(2 * decay.interval_cycles);

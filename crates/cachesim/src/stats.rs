@@ -11,9 +11,10 @@
 use serde::{Deserialize, Serialize};
 use units::{Cycles, PerCycle};
 
-/// Cycle-weighted occupancy of each line mode, accumulated by
-/// [`crate::Cache::tick`]. `standby` cycles are the gross leakage-saving
-/// opportunity; `active + transitioning` leak at the full rate.
+/// Cycle-weighted occupancy of each line mode, settled lazily per line as
+/// events touch it and brought fully current by [`crate::Cache::finalize`].
+/// `standby` cycles are the gross leakage-saving opportunity;
+/// `active + transitioning` leak at the full rate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModeCycles {
     /// Line-cycles spent fully active.

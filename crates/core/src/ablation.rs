@@ -5,7 +5,7 @@
 use cachesim::{DecayPolicy, Hierarchy, HierarchyConfig};
 use leakctl::{Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
-use specgen::{Benchmark, SpecTrace};
+use specgen::Benchmark;
 use uarch::{Core, CoreConfig};
 
 use crate::config::StudyConfig;
@@ -135,7 +135,7 @@ pub fn execute_with_core(
         technique.decay_config(),
     ))?;
     let mut core = Core::new(core_cfg, hierarchy);
-    let mut trace = SpecTrace::new(benchmark, cfg.seed);
+    let mut trace = specgen::replay_trace(benchmark, cfg.seed, cfg.insts);
     let stats = core.run(&mut trace, cfg.insts);
     Ok(RawRun {
         cycles: stats.cycles,

@@ -11,7 +11,7 @@
 use cachesim::{Hierarchy, HierarchyConfig};
 use leakctl::{IntervalObservation, Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
-use specgen::{Benchmark, SpecTrace};
+use specgen::Benchmark;
 use uarch::{Core, CoreConfig};
 
 use crate::config::StudyConfig;
@@ -71,7 +71,7 @@ pub fn run_adaptive(
         technique.decay_config(),
     ))?;
     let mut core = Core::new(CoreConfig::table2(), hierarchy);
-    let mut trace = SpecTrace::new(benchmark, cfg.seed);
+    let mut trace = specgen::replay_trace(benchmark, cfg.seed, cfg.insts);
 
     let mut amc = leakctl::AdaptiveModeControl::new(initial, 1024, 65536);
     let mut fc = match controller {

@@ -12,7 +12,7 @@ use cachesim::reuse::ReuseProfiler;
 use hotleakage::Environment;
 use leakctl::{Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
-use specgen::{Benchmark, SpecTrace};
+use specgen::Benchmark;
 use uarch::TraceSource;
 use units::{Joules, Seconds};
 use wattch::{Event, PowerModel};
@@ -52,7 +52,7 @@ pub struct WorkloadProfile {
 /// rescale absolute values, and [`KneePredictor::predict`] rescales the
 /// time axis by the measured baseline CPI).
 pub fn profile_workload(benchmark: Benchmark, insts: u64, seed: u64) -> WorkloadProfile {
-    let mut trace = SpecTrace::new(benchmark, seed);
+    let mut trace = specgen::replay_trace(benchmark, seed, insts);
     let mut profiler = ReuseProfiler::new();
     let mut now = 0u64;
     for _ in 0..insts {
@@ -253,10 +253,11 @@ impl KneePredictor {
             };
         let disturb_cost = rt.cost_joules + stall_j_per_cycle * exposed_cycles;
         // Hierarchical-counter energy: the global counter wraps every
-        // quarter interval and sweeps every line's two-bit counter, so
-        // short intervals pay a per-cycle tax proportional to 4/d — the
-        // term that keeps the very shortest menu entries from always
-        // winning.
+        // quarter interval and every line's two-bit counter takes a tick
+        // at each wrap (the simulator accounts these in bulk rather than
+        // walking lines), so short intervals pay a per-cycle tax
+        // proportional to 4/d — the term that keeps the very shortest
+        // menu entries from always winning.
         let tick_j = self.model.energy(Event::CounterTick);
         let horizon_cycles = profile.horizon as f64 * cpi;
 

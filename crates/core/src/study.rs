@@ -34,7 +34,7 @@ use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
 use hotleakage::ModelError;
 use leakctl::{Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
-use specgen::{Benchmark, SpecTrace};
+use specgen::Benchmark;
 use uarch::{Core, CoreConfig, CoreStats};
 use units::Cycles;
 
@@ -822,7 +822,9 @@ pub fn execute(
         technique.decay_config(),
     ))?;
     let mut core = Core::new(CoreConfig::table2(), hierarchy);
-    let mut trace = SpecTrace::new(benchmark, cfg.seed);
+    // Replay the memoized stream: every technique/interval point of one
+    // benchmark consumes the identical trace, so generate it once.
+    let mut trace = specgen::replay_trace(benchmark, cfg.seed, cfg.insts);
     let stats = core.run(&mut trace, cfg.insts);
     #[cfg(feature = "audit")]
     core.audit()

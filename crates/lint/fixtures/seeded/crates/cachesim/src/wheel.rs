@@ -1,0 +1,14 @@
+//! Seeded fixture for the `no-alloc-in-sweep` rule: a timing-wheel
+//! cascade that collects the slot's events into a fresh `Vec` on every
+//! advance — exactly the steady-state allocation the preallocated
+//! intrusive lists exist to avoid.
+
+pub fn cascade(heads: &[u32], slot: usize) -> Vec<u32> {
+    let mut moved = Vec::new();
+    let mut id = heads[slot];
+    while id != u32::MAX {
+        moved.push(id);
+        id = id.wrapping_sub(1);
+    }
+    moved
+}

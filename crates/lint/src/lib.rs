@@ -28,6 +28,12 @@
 //!   `core::parallel` (the workspace's one fanout primitive). Anywhere
 //!   else, ad-hoc concurrency bypasses the job queue's backpressure and
 //!   the deterministic ordered-map discipline.
+//! * **`no-alloc-in-sweep`** — the decay timing wheel
+//!   (`cachesim::wheel`) promises zero steady-state allocation: every
+//!   schedule/cancel/advance runs on preallocated parallel arrays, so any
+//!   allocating construct there (`vec!`, `Vec::new`, `.collect()`,
+//!   `Box::new`, `format!`, …) is either one-time construction (marked as
+//!   such) or a hot-path regression.
 //!
 //! The scanner is deliberately line-based: the codebase is rustfmt-clean,
 //! so declarations and statements land on predictable lines, and a dumb
@@ -73,6 +79,26 @@ pub const SERVER_BOUNDARY_CRATES: &[&str] = &["crates/studyd/"];
 /// Suffix-matched files also allowed to spawn threads.
 pub const SERVER_BOUNDARY_FILES: &[&str] = &["crates/core/src/parallel.rs"];
 
+/// Files on the decay hot path that promise zero steady-state allocation.
+pub const NO_ALLOC_FILES: &[&str] = &["crates/cachesim/src/wheel.rs"];
+
+/// Allocating constructs forbidden in [`NO_ALLOC_FILES`] without a marker.
+pub const ALLOC_TOKENS: &[&str] = &[
+    "vec![",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "Box::new(",
+    ".collect(",
+    ".to_vec(",
+    ".to_owned(",
+    ".to_string(",
+    "String::new(",
+    "String::from(",
+    "format!(",
+    "HashMap::new(",
+    "BTreeMap::new(",
+];
+
 /// The Table-2 numbers with named constants (`L2_TO_L1_CELL_RATIO`,
 /// `TABLE2_L1D_LINES`, `TABLE2_LINE_BITS`, `TABLE2_TAG_BITS`): a bare
 /// occurrence outside the defining `const` duplicates the configuration.
@@ -94,6 +120,8 @@ pub enum Rule {
     /// `std::net` or thread spawning outside the server crate and the
     /// parallel fanout primitive.
     ServerBoundary,
+    /// An allocating construct on the zero-allocation decay hot path.
+    NoAllocInSweep,
 }
 
 impl Rule {
@@ -106,6 +134,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::TypedConstant => "typed-constant",
             Rule::ServerBoundary => "server-boundary",
+            Rule::NoAllocInSweep => "no-alloc-in-sweep",
         }
     }
 }
@@ -377,6 +406,25 @@ fn check_server_boundary(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut
     }
 }
 
+fn check_no_alloc(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        if ALLOC_TOKENS.iter().any(|t| code.contains(t))
+            && !has_marker(lines, i, Rule::NoAllocInSweep)
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::NoAllocInSweep,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 /// Scans one file's content; `rel` decides which rules apply.
 pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     let lines: Vec<&str> = content.lines().collect();
@@ -394,6 +442,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     }
     if !server_boundary_allowed(rel) {
         check_server_boundary(rel, &lines, &in_test, &mut out);
+    }
+    if path_matches(rel, NO_ALLOC_FILES) {
+        check_no_alloc(rel, &lines, &in_test, &mut out);
     }
     check_unwrap(rel, &lines, &in_test, &mut out);
     out
@@ -602,6 +653,35 @@ mod tests {
             "// lint: allow(server-boundary): one-shot telemetry probe\nuse std::net::UdpSocket;\n";
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), marked);
         assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_on_the_wheel_hot_path_fires() {
+        let src = "fn cascade(&mut self) {\n    let moved: Vec<u32> = self.ids.to_vec();\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/wheel.rs"), src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoAllocInSweep), "{v:?}");
+
+        let collect = "fn drain(&mut self) {\n    let due: Vec<u32> = self.iter().collect();\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/wheel.rs"), collect);
+        assert!(v.iter().any(|v| v.rule == Rule::NoAllocInSweep), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_marker_and_test_code_suppress_on_the_hot_path() {
+        let marked = "fn new(n: usize) -> Self {\n    // lint: allow(no-alloc-in-sweep): one-time construction\n    let next = vec![0u32; n];\n    Self { next }\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/wheel.rs"), marked);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAllocInSweep), "{v:?}");
+
+        let in_test = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let fired = vec![1, 2];\n    }\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/wheel.rs"), in_test);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAllocInSweep), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_is_fine_off_the_hot_path() {
+        let src = "fn f() -> Vec<u32> {\n    vec![1, 2]\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::NoAllocInSweep), "{v:?}");
     }
 
     #[test]

@@ -42,8 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod generator;
 pub mod profile;
 
+pub use arena::{replay_trace, ReplayTrace};
 pub use generator::SpecTrace;
 pub use profile::{Benchmark, BenchmarkProfile};
