@@ -244,6 +244,7 @@ fn main() {
     };
     let json =
         serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("serialise: {e}")));
+    // lint: allow(fs-boundary): bench artifact emission — a one-shot JSON report, not run persistence
     std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
     eprintln!("wrote {out}");
 }

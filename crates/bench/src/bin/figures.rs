@@ -115,6 +115,7 @@ fn main() {
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&json_figures)
             .unwrap_or_else(|e| die(&format!("serialising results: {e}")));
+        // lint: allow(fs-boundary): bench artifact emission — a one-shot JSON report, not run persistence
         std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("wrote {} figure series to {path}", json_figures.len());
     }

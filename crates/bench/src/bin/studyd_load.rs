@@ -196,6 +196,7 @@ fn main() {
     };
     let json =
         serde_json::to_string_pretty(&load).unwrap_or_else(|e| die(&format!("serialise: {e}")));
+    // lint: allow(fs-boundary): bench artifact emission — a one-shot JSON report, not run persistence
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
     eprintln!(
         "studyd_load: {clients} clients x {requests_per_client} requests in {:.3}s \

@@ -55,12 +55,14 @@ pub mod parallel;
 pub mod pricing;
 pub mod report;
 pub mod service;
+pub mod storebytes;
 pub mod study;
 pub mod thermal_loop;
 
 pub use config::{StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
 pub use figures::{FigureSeries, Table3};
 pub use pricing::{CacheArrays, Priced};
+pub use runstore::{RunStore, StoreCounters};
 pub use service::{FigureMetric, RequestKind, StudyRequest, StudyResponse};
 pub use study::{
     default_threads, CompareRequest, RawRun, RunCache, RunCacheCounters, RunKey, RunResult, Study,

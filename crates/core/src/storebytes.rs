@@ -1,0 +1,394 @@
+//! Canonical byte codec between the engine's types and the persistent
+//! [`runstore`] tier: [`RunKey`] and [`RawRun`] to/from little-endian
+//! bytes, plus the simulator-config hash that scopes every record.
+//!
+//! The store is content-addressed by *bytes*, so this codec is the
+//! stability contract: the encodings below (and [`CODEC_VERSION`], which
+//! is folded into the config hash) must only change together. Every
+//! encoder destructures its struct exhaustively — adding a field to
+//! [`RawRun`], its component stats, or [`crate::config::StudyConfig`]
+//! is a compile error here until the codec (and the version) are
+//! updated, so the store can never silently mix layouts.
+//!
+//! Enum variants are mapped through explicit match arms (not `Debug`
+//! names or discriminants), so reordering a variant in its home crate
+//! cannot silently re-address existing records.
+
+use cachesim::{CacheStats, DecayPolicy, ModeCycles};
+use hotleakage::TechNode;
+use leakctl::TechniqueKind;
+use runstore::fnv1a64;
+use specgen::Benchmark;
+use uarch::CoreStats;
+use units::Cycles;
+
+use crate::config::StudyConfig;
+use crate::study::{RawRun, RunKey};
+
+/// Version of the byte encodings in this module. Folded into
+/// [`config_hash`], so bumping it re-addresses every record: old-layout
+/// payloads read as misses instead of decoding as garbage.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Encoded size of one [`RunKey`], bytes.
+pub const KEY_BYTES: usize = 16;
+
+/// Encoded size of one [`RawRun`], bytes: 35 little-endian `u64` words
+/// (1 top-level cycle count, 17 core counters, 17 L1D counters).
+pub const RUN_BYTES: usize = 35 * 8;
+
+fn benchmark_code(b: Benchmark) -> u8 {
+    match b {
+        Benchmark::Gcc => 0,
+        Benchmark::Gzip => 1,
+        Benchmark::Parser => 2,
+        Benchmark::Vortex => 3,
+        Benchmark::Gap => 4,
+        Benchmark::Perl => 5,
+        Benchmark::Twolf => 6,
+        Benchmark::Bzip2 => 7,
+        Benchmark::Vpr => 8,
+        Benchmark::Mcf => 9,
+        Benchmark::Crafty => 10,
+    }
+}
+
+fn benchmark_of(code: u8) -> Option<Benchmark> {
+    Some(match code {
+        0 => Benchmark::Gcc,
+        1 => Benchmark::Gzip,
+        2 => Benchmark::Parser,
+        3 => Benchmark::Vortex,
+        4 => Benchmark::Gap,
+        5 => Benchmark::Perl,
+        6 => Benchmark::Twolf,
+        7 => Benchmark::Bzip2,
+        8 => Benchmark::Vpr,
+        9 => Benchmark::Mcf,
+        10 => Benchmark::Crafty,
+        _ => return None,
+    })
+}
+
+fn technique_code(t: TechniqueKind) -> u8 {
+    match t {
+        TechniqueKind::None => 0,
+        TechniqueKind::GatedVss => 1,
+        TechniqueKind::Drowsy => 2,
+        TechniqueKind::Rbb => 3,
+    }
+}
+
+fn technique_of(code: u8) -> Option<TechniqueKind> {
+    Some(match code {
+        0 => TechniqueKind::None,
+        1 => TechniqueKind::GatedVss,
+        2 => TechniqueKind::Drowsy,
+        3 => TechniqueKind::Rbb,
+        _ => return None,
+    })
+}
+
+fn policy_code(p: DecayPolicy) -> u8 {
+    match p {
+        DecayPolicy::NoAccess => 0,
+        DecayPolicy::Simple => 1,
+    }
+}
+
+fn policy_of(code: u8) -> Option<DecayPolicy> {
+    Some(match code {
+        0 => DecayPolicy::NoAccess,
+        1 => DecayPolicy::Simple,
+        _ => return None,
+    })
+}
+
+fn node_code(n: TechNode) -> u8 {
+    match n {
+        TechNode::N180 => 0,
+        TechNode::N130 => 1,
+        TechNode::N100 => 2,
+        TechNode::N70 => 3,
+    }
+}
+
+/// Encodes `key` into its canonical [`KEY_BYTES`]-byte form.
+pub fn encode_key(key: &RunKey) -> Vec<u8> {
+    let RunKey {
+        benchmark,
+        l2_latency,
+        technique,
+        interval,
+        tags_decay,
+        policy,
+    } = *key;
+    let mut out = Vec::with_capacity(KEY_BYTES);
+    out.push(benchmark_code(benchmark));
+    out.push(technique_code(technique));
+    out.push(policy_code(policy));
+    out.push(u8::from(tags_decay));
+    out.extend_from_slice(&l2_latency.to_le_bytes());
+    out.extend_from_slice(&interval.to_le_bytes());
+    out
+}
+
+/// Decodes a [`RunKey`] from its canonical form; `None` on any size or
+/// variant-code mismatch.
+pub fn decode_key(bytes: &[u8]) -> Option<RunKey> {
+    if bytes.len() != KEY_BYTES {
+        return None;
+    }
+    let tags_decay = match bytes[3] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some(RunKey {
+        benchmark: benchmark_of(bytes[0])?,
+        technique: technique_of(bytes[1])?,
+        policy: policy_of(bytes[2])?,
+        tags_decay,
+        l2_latency: u32::from_le_bytes(bytes[4..8].try_into().ok()?),
+        interval: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+    })
+}
+
+/// Encodes `run` into its canonical [`RUN_BYTES`]-byte form: every
+/// counter as a little-endian `u64`, in declaration order. All fields
+/// are integers, so the round-trip is exactly bitwise.
+pub fn encode_run(run: &RawRun) -> Vec<u8> {
+    let RawRun { cycles, core, l1d } = *run;
+    let CoreStats {
+        committed,
+        cycles: core_cycles,
+        loads,
+        stores,
+        branches,
+        mispredicts,
+        int_ops,
+        fp_ops,
+        rf_reads,
+        rf_writes,
+        l1i_accesses,
+        l2_accesses,
+        mem_accesses,
+        l1d_misses,
+        induced_misses: core_induced,
+        tag_probes: core_tag_probes,
+        line_wakes,
+    } = core;
+    let CacheStats {
+        reads,
+        writes,
+        hits,
+        slow_hits,
+        induced_misses,
+        true_misses,
+        writebacks,
+        decay_writebacks,
+        sleeps,
+        wakes,
+        wake_stall_cycles,
+        tag_probes,
+        local_counter_ticks,
+        global_counter_wraps,
+        mode_cycles,
+    } = l1d;
+    let ModeCycles {
+        active,
+        standby,
+        transitioning,
+    } = mode_cycles;
+    let words: [u64; RUN_BYTES / 8] = [
+        cycles.get(),
+        committed,
+        core_cycles.get(),
+        loads,
+        stores,
+        branches,
+        mispredicts,
+        int_ops,
+        fp_ops,
+        rf_reads,
+        rf_writes,
+        l1i_accesses,
+        l2_accesses,
+        mem_accesses,
+        l1d_misses,
+        core_induced,
+        core_tag_probes,
+        line_wakes,
+        reads,
+        writes,
+        hits,
+        slow_hits,
+        induced_misses,
+        true_misses,
+        writebacks,
+        decay_writebacks,
+        sleeps,
+        wakes,
+        wake_stall_cycles.get(),
+        tag_probes,
+        local_counter_ticks,
+        global_counter_wraps,
+        active.get(),
+        standby.get(),
+        transitioning.get(),
+    ];
+    let mut out = Vec::with_capacity(RUN_BYTES);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`RawRun`] from its canonical form; `None` on any size
+/// mismatch.
+pub fn decode_run(bytes: &[u8]) -> Option<RawRun> {
+    if bytes.len() != RUN_BYTES {
+        return None;
+    }
+    let mut words = [0u64; RUN_BYTES / 8];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().ok()?);
+    }
+    Some(RawRun {
+        cycles: Cycles::new(words[0]),
+        core: CoreStats {
+            committed: words[1],
+            cycles: Cycles::new(words[2]),
+            loads: words[3],
+            stores: words[4],
+            branches: words[5],
+            mispredicts: words[6],
+            int_ops: words[7],
+            fp_ops: words[8],
+            rf_reads: words[9],
+            rf_writes: words[10],
+            l1i_accesses: words[11],
+            l2_accesses: words[12],
+            mem_accesses: words[13],
+            l1d_misses: words[14],
+            induced_misses: words[15],
+            tag_probes: words[16],
+            line_wakes: words[17],
+        },
+        l1d: CacheStats {
+            reads: words[18],
+            writes: words[19],
+            hits: words[20],
+            slow_hits: words[21],
+            induced_misses: words[22],
+            true_misses: words[23],
+            writebacks: words[24],
+            decay_writebacks: words[25],
+            sleeps: words[26],
+            wakes: words[27],
+            wake_stall_cycles: Cycles::new(words[28]),
+            tag_probes: words[29],
+            local_counter_ticks: words[30],
+            global_counter_wraps: words[31],
+            mode_cycles: ModeCycles {
+                active: Cycles::new(words[32]),
+                standby: Cycles::new(words[33]),
+                transitioning: Cycles::new(words[34]),
+            },
+        },
+    })
+}
+
+/// Hash of every simulator knob that changes what a timing run computes,
+/// plus [`CODEC_VERSION`]. Records are addressed by key hash *and* this
+/// hash, so runs from a different configuration (or codec layout) can
+/// never be recalled into this study.
+pub fn config_hash(cfg: &StudyConfig) -> u64 {
+    let StudyConfig {
+        node,
+        vdd,
+        insts,
+        seed,
+        variation,
+    } = *cfg;
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    buf.push(node_code(node));
+    buf.extend_from_slice(&vdd.to_bits().to_le_bytes());
+    buf.extend_from_slice(&insts.to_le_bytes());
+    buf.extend_from_slice(&seed.to_le_bytes());
+    buf.push(u8::from(variation));
+    fnv1a64(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl::Technique;
+
+    #[test]
+    fn key_round_trips() {
+        for benchmark in Benchmark::ALL {
+            for technique in [
+                Technique::none(),
+                Technique::drowsy(4096),
+                Technique::gated_vss(65536),
+            ] {
+                let key = RunKey::of(benchmark, &technique, 11);
+                let bytes = encode_key(&key);
+                assert_eq!(bytes.len(), KEY_BYTES);
+                assert_eq!(decode_key(&bytes), Some(key));
+            }
+        }
+    }
+
+    #[test]
+    fn run_round_trips_bitwise() {
+        let mut run = RawRun {
+            cycles: Cycles::new(u64::MAX),
+            core: CoreStats::default(),
+            l1d: CacheStats::default(),
+        };
+        run.core.committed = 0x0123_4567_89ab_cdef;
+        run.l1d.mode_cycles.standby = Cycles::new(42);
+        let bytes = encode_run(&run);
+        assert_eq!(bytes.len(), RUN_BYTES);
+        assert_eq!(decode_run(&bytes), Some(run));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_sizes_and_codes() {
+        assert_eq!(decode_key(&[0u8; KEY_BYTES - 1]), None);
+        assert_eq!(decode_run(&[0u8; RUN_BYTES + 8]), None);
+        let mut bytes = encode_key(&RunKey::of(Benchmark::Gcc, &Technique::none(), 11));
+        bytes[0] = 200; // no such benchmark
+        assert_eq!(decode_key(&bytes), None);
+    }
+
+    #[test]
+    fn config_hash_separates_every_knob() {
+        let base = StudyConfig::new();
+        let h = config_hash(&base);
+        for other in [
+            StudyConfig { vdd: 1.0, ..base },
+            StudyConfig {
+                insts: base.insts + 1,
+                ..base
+            },
+            StudyConfig {
+                seed: base.seed + 1,
+                ..base
+            },
+            StudyConfig {
+                variation: !base.variation,
+                ..base
+            },
+            StudyConfig {
+                node: TechNode::N100,
+                ..base
+            },
+        ] {
+            assert_ne!(config_hash(&other), h, "{other:?}");
+        }
+    }
+}

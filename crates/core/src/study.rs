@@ -33,6 +33,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
 use hotleakage::ModelError;
 use leakctl::{Technique, TechniqueKind};
+use runstore::{RecordId, RunStore, StoreCounters};
 use serde::{Deserialize, Serialize};
 use specgen::Benchmark;
 use uarch::{Core, CoreConfig, CoreStats};
@@ -340,12 +341,57 @@ pub struct RunCacheCounters {
     pub coalesced: u64,
 }
 
+/// The persistent disk tier under the in-memory cache: a shared
+/// [`RunStore`] plus the config hash scoping this study's records.
+/// Consulted only on memory misses; fills are write-behind.
+struct StoreTier {
+    store: Arc<RunStore>,
+    config_hash: u64,
+}
+
+impl StoreTier {
+    fn id_of(&self, key_bytes: &[u8]) -> RecordId {
+        RecordId::of(key_bytes, self.config_hash)
+    }
+
+    /// Recalls `key` from disk: read-back-verified by the store, then
+    /// decoded here. A payload that passed the store's checksum but does
+    /// not decode (codec skew) is invalidated and treated as a miss —
+    /// damaged bytes never reach the pricing.
+    fn recall(&self, key: &RunKey) -> Option<RawRun> {
+        let key_bytes = crate::storebytes::encode_key(key);
+        let id = self.id_of(&key_bytes);
+        let payload = self.store.recall(id, &key_bytes)?;
+        match crate::storebytes::decode_run(&payload) {
+            Some(run) => Some(run),
+            None => {
+                self.store.invalidate(id);
+                None
+            }
+        }
+    }
+
+    /// Queues a freshly computed run for write-behind persistence.
+    fn spill(&self, key: &RunKey, run: &RawRun) {
+        let key_bytes = crate::storebytes::encode_key(key);
+        let id = self.id_of(&key_bytes);
+        self.store
+            .append(id, key_bytes, crate::storebytes::encode_run(run));
+    }
+}
+
 /// A concurrent memo table of timing runs, sharded by key hash so many
 /// worker threads can memoize without a global lock. In-flight keys are
 /// coalesced: a thread requesting a run another thread is already
 /// executing blocks until that run lands, then reads it from the cache.
+///
+/// Optionally backed by a persistent [`RunStore`] tier (memory → disk →
+/// compute): memory misses consult the store before simulating, and
+/// fresh results are spilled to it write-behind, so a later process (or
+/// a restarted server) recalls them instead of recomputing.
 pub struct RunCache {
     shards: Vec<Mutex<HashMap<RunKey, Slot>>>,
+    store: Option<StoreTier>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
@@ -371,9 +417,29 @@ impl RunCache {
         let shards = shards.max(1);
         RunCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a persistent store as the tier below memory; records are
+    /// scoped to `config_hash` (see [`crate::storebytes::config_hash`]).
+    pub fn attach_store(&mut self, store: Arc<RunStore>, config_hash: u64) {
+        self.store = Some(StoreTier { store, config_hash });
+    }
+
+    /// Disk-tier traffic counters, if a store is attached.
+    pub fn store_counters(&self) -> Option<StoreCounters> {
+        self.store.as_ref().map(|tier| tier.store.counters())
+    }
+
+    /// Blocks until every write-behind spill is durable (no-op without a
+    /// store). Call before expecting another process to see the records.
+    pub fn flush_store(&self) {
+        if let Some(tier) = &self.store {
+            tier.store.flush();
         }
     }
 
@@ -474,7 +540,19 @@ impl RunCache {
                         inflight: Arc::clone(&inflight),
                         armed: true,
                     };
-                    let result = run();
+                    // The tier order below memory: a verified disk recall
+                    // satisfies the miss; otherwise compute and spill the
+                    // fresh run to the store write-behind.
+                    let result = match self.store.as_ref().and_then(|t| t.recall(&key)) {
+                        Some(recalled) => Ok(recalled),
+                        None => {
+                            let computed = run();
+                            if let (Some(tier), Ok(r)) = (self.store.as_ref(), &computed) {
+                                tier.spill(&key, r);
+                            }
+                            computed
+                        }
+                    };
                     guard.armed = false;
                     drop(guard);
                     // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
@@ -579,6 +657,28 @@ impl Study {
     /// The run cache.
     pub fn cache(&self) -> &RunCache {
         &self.cache
+    }
+
+    /// Attaches a persistent [`RunStore`] as the tier below the memory
+    /// cache (memory → disk → compute). Records are scoped to this
+    /// study's configuration via [`crate::storebytes::config_hash`], so
+    /// a store shared across studies can never serve a run computed
+    /// under different simulator knobs.
+    pub fn attach_store(&mut self, store: Arc<RunStore>) {
+        let hash = crate::storebytes::config_hash(self.ctx.config());
+        self.cache.attach_store(store, hash);
+    }
+
+    /// Disk-tier traffic counters, if a store is attached.
+    pub fn store_counters(&self) -> Option<StoreCounters> {
+        self.cache.store_counters()
+    }
+
+    /// Blocks until every write-behind spill is durable (no-op without a
+    /// store); call before another process is expected to reuse the
+    /// store's directory.
+    pub fn flush_store(&self) {
+        self.cache.flush_store();
     }
 
     /// The worker count batch calls use.

@@ -1,0 +1,198 @@
+//! The persistent disk tier under the run cache, end to end: codec
+//! round-trips (property-tested), warm-store reuse across `Study`
+//! instances with zero simulator executions, config-hash scoping, and
+//! corruption fall-through to recompute.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use leakctl::Technique;
+use proptest::prelude::*;
+use runstore::{RunStore, RECORD_HEADER_BYTES, SEGMENT_MAGIC};
+use simcore::storebytes::{self, KEY_BYTES, RUN_BYTES};
+use simcore::{RunKey, Study, StudyConfig};
+use specgen::Benchmark;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("simcore-store-test-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small-but-real configuration so tier tests run whole simulations
+/// quickly.
+fn small_cfg() -> StudyConfig {
+    StudyConfig {
+        insts: 30_000,
+        ..StudyConfig::new()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every 280-byte string decodes to a run that encodes back to the
+    /// same bytes, and re-decodes to the same run: the codec is a
+    /// bitwise bijection over the record space (every field is an
+    /// integer, so there are no non-canonical payloads).
+    #[test]
+    fn run_codec_round_trips_bitwise(seed in 0u64..u64::MAX) {
+        let mut bytes = Vec::with_capacity(RUN_BYTES);
+        let mut x = seed;
+        while bytes.len() < RUN_BYTES {
+            // splitmix64: cheap deterministic expansion of the seed.
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            bytes.extend_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        let run = storebytes::decode_run(&bytes).expect("any 280 bytes decode");
+        prop_assert_eq!(storebytes::encode_run(&run), bytes.clone());
+        prop_assert_eq!(storebytes::decode_run(&storebytes::encode_run(&run)), Some(run));
+    }
+
+    /// Every representable key round-trips bitwise through its canonical
+    /// encoding.
+    #[test]
+    fn key_codec_round_trips(
+        bench in 0usize..11,
+        tech_code in 0u8..4,
+        policy_code in 0u8..2,
+        tags in 0u8..2,
+        l2 in 1u32..64,
+        interval in 1u64..1_000_000,
+    ) {
+        let mut template = storebytes::encode_key(&RunKey::of(
+            Benchmark::ALL[bench],
+            &Technique::none(),
+            l2,
+        ));
+        template[1] = tech_code;
+        template[2] = policy_code;
+        template[3] = tags;
+        template[8..16].copy_from_slice(&interval.to_le_bytes());
+        let key = storebytes::decode_key(&template).expect("valid codes decode");
+        let bytes = storebytes::encode_key(&key);
+        prop_assert_eq!(bytes.len(), KEY_BYTES);
+        prop_assert_eq!(&bytes, &template);
+        prop_assert_eq!(storebytes::decode_key(&bytes), Some(key));
+    }
+}
+
+/// A second `Study` (modelling a restarted process) on a warm store
+/// serves repeats from disk with zero simulator executions, bitwise
+/// equal to cold compute.
+#[test]
+fn warm_store_reuses_runs_across_studies_bitwise() {
+    let dir = scratch("warm-reuse");
+    let cfg = small_cfg();
+    let technique = Technique::drowsy(4096);
+
+    let mut cold = Study::with_threads(cfg, 1);
+    cold.attach_store(Arc::new(RunStore::open(&dir).expect("open store")));
+    let cold_run = cold
+        .raw_run(Benchmark::Gzip, &technique, 11)
+        .expect("cold run");
+    let cold_counters = cold.store_counters().expect("store attached");
+    assert_eq!(cold_counters.hits, 0);
+    assert_eq!(cold_counters.appends, 1, "fresh run spills to the store");
+    cold.flush_store();
+    drop(cold);
+
+    // A plain sequential study is the correctness bar.
+    let sequential = Study::with_threads(cfg, 1);
+    let expected = sequential
+        .raw_run(Benchmark::Gzip, &technique, 11)
+        .expect("sequential run");
+    assert_eq!(cold_run, expected);
+
+    // The "restarted server": new Study, new RunStore handle, same dir.
+    let mut warm = Study::with_threads(cfg, 1);
+    warm.attach_store(Arc::new(RunStore::open(&dir).expect("reopen store")));
+    let warm_run = warm
+        .raw_run(Benchmark::Gzip, &technique, 11)
+        .expect("warm run");
+    assert_eq!(warm_run, expected, "disk recall is bitwise-equal");
+    let c = warm.store_counters().expect("store attached");
+    assert_eq!(c.hits, 1, "served from the disk tier");
+    assert_eq!(
+        c.appends, 0,
+        "zero simulator executions: nothing new was spilled"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Records are scoped by config hash: a study with different simulator
+/// knobs misses on another study's records and computes its own.
+#[test]
+fn store_never_crosses_config_hashes() {
+    let dir = scratch("config-scope");
+    let technique = Technique::drowsy(4096);
+    let mut a = Study::with_threads(small_cfg(), 1);
+    a.attach_store(Arc::new(RunStore::open(&dir).expect("open")));
+    a.raw_run(Benchmark::Mcf, &technique, 11).expect("run a");
+    a.flush_store();
+    drop(a);
+
+    let other_cfg = StudyConfig {
+        seed: small_cfg().seed + 1,
+        ..small_cfg()
+    };
+    let mut b = Study::with_threads(other_cfg, 1);
+    b.attach_store(Arc::new(RunStore::open(&dir).expect("reopen")));
+    b.raw_run(Benchmark::Mcf, &technique, 11).expect("run b");
+    let c = b.store_counters().expect("store attached");
+    assert_eq!(c.hits, 0, "a different config must not hit");
+    assert_eq!(c.appends, 1, "it computes and stores its own record");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Bit rot after open: the read-back verification turns the damaged
+/// record into a miss, the run is recomputed with results identical to
+/// the undamaged original, and the fresh spill repairs the store.
+#[test]
+fn corrupted_record_recomputes_identically() {
+    let dir = scratch("corrupt-recompute");
+    let cfg = small_cfg();
+    let technique = Technique::gated_vss(4096);
+
+    let mut cold = Study::with_threads(cfg, 1);
+    cold.attach_store(Arc::new(RunStore::open(&dir).expect("open")));
+    let original = cold
+        .raw_run(Benchmark::Twolf, &technique, 11)
+        .expect("cold run");
+    cold.flush_store();
+    drop(cold);
+
+    // Open on the intact file (indexing the record), then flip one byte
+    // inside the stored payload — damage only per-recall verification
+    // can catch.
+    let mut warm = Study::with_threads(cfg, 1);
+    warm.attach_store(Arc::new(RunStore::open(&dir).expect("reopen")));
+    let seg = fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "runs"))
+        .expect("one segment");
+    let mut bytes = fs::read(&seg).expect("read segment");
+    let payload_at = SEGMENT_MAGIC.len() + RECORD_HEADER_BYTES + KEY_BYTES + RUN_BYTES / 2;
+    bytes[payload_at] ^= 0x10;
+    fs::write(&seg, &bytes).expect("write damaged segment");
+
+    let recomputed = warm
+        .raw_run(Benchmark::Twolf, &technique, 11)
+        .expect("recomputed run");
+    assert_eq!(
+        recomputed, original,
+        "fall-through recompute must be bitwise-identical"
+    );
+    let c = warm.store_counters().expect("store attached");
+    assert_eq!(c.verify_failures, 1, "the damage was detected, not served");
+    assert_eq!(c.hits, 0);
+    assert_eq!(c.appends, 1, "the recompute repairs the store");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,11 @@
+//! Seeded fixture for the `fs-boundary` rule: a bench binary that writes
+//! results straight to disk with `std::fs`, bypassing the run store's
+//! checksummed, read-back-verified persistence path and carrying no
+//! marker explaining why.
+
+use std::fs;
+
+pub fn dump_results(json: &str) {
+    let _ = fs::create_dir_all("results");
+    let _ = std::fs::write("results/dump.json", json);
+}

@@ -79,6 +79,14 @@ pub const SERVER_BOUNDARY_CRATES: &[&str] = &["crates/studyd/"];
 /// Suffix-matched files also allowed to spawn threads.
 pub const SERVER_BOUNDARY_FILES: &[&str] = &["crates/core/src/parallel.rs"];
 
+/// Where direct filesystem access is legitimate: the persistent run
+/// store crate (path prefix). Everywhere else `fs-boundary` fires —
+/// durability invariants (checksums, torn-tail recovery, read-back
+/// verification) live in `runstore`, and ad-hoc `std::fs` calls bypass
+/// them. Bench binaries that emit JSON artifacts carry explicit
+/// markers.
+pub const FS_BOUNDARY_CRATES: &[&str] = &["crates/runstore/"];
+
 /// Files on the decay hot path that promise zero steady-state allocation.
 pub const NO_ALLOC_FILES: &[&str] = &["crates/cachesim/src/wheel.rs"];
 
@@ -120,6 +128,8 @@ pub enum Rule {
     /// `std::net` or thread spawning outside the server crate and the
     /// parallel fanout primitive.
     ServerBoundary,
+    /// `std::fs` outside the persistent run-store crate.
+    FsBoundary,
     /// An allocating construct on the zero-allocation decay hot path.
     NoAllocInSweep,
 }
@@ -134,6 +144,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::TypedConstant => "typed-constant",
             Rule::ServerBoundary => "server-boundary",
+            Rule::FsBoundary => "fs-boundary",
             Rule::NoAllocInSweep => "no-alloc-in-sweep",
         }
     }
@@ -406,6 +417,33 @@ fn check_server_boundary(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut
     }
 }
 
+/// True if `rel` may touch the filesystem directly.
+fn fs_boundary_allowed(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    FS_BOUNDARY_CRATES
+        .iter()
+        .any(|c| p.starts_with(c) || p.contains(&format!("/{c}")))
+}
+
+fn check_fs_boundary(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        // `std::fs::...` call sites and `use std::fs...` imports both
+        // carry this spelling.
+        if code.contains("std::fs") && !has_marker(lines, i, Rule::FsBoundary) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::FsBoundary,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 fn check_no_alloc(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Violation>) {
     for (i, line) in lines.iter().enumerate() {
         if in_test[i] || is_comment(line) {
@@ -442,6 +480,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     }
     if !server_boundary_allowed(rel) {
         check_server_boundary(rel, &lines, &in_test, &mut out);
+    }
+    if !fs_boundary_allowed(rel) {
+        check_fs_boundary(rel, &lines, &in_test, &mut out);
     }
     if path_matches(rel, NO_ALLOC_FILES) {
         check_no_alloc(rel, &lines, &in_test, &mut out);
@@ -653,6 +694,32 @@ mod tests {
             "// lint: allow(server-boundary): one-shot telemetry probe\nuse std::net::UdpSocket;\n";
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), marked);
         assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
+    }
+
+    #[test]
+    fn fs_access_fires_outside_the_store_boundary() {
+        let import = "use std::fs;\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), import);
+        assert!(v.iter().any(|v| v.rule == Rule::FsBoundary), "{v:?}");
+
+        let write = "fn f() {\n    let _ = std::fs::write(\"out.json\", \"{}\");\n}\n";
+        let v = scan_content(&rel("crates/bench/src/bin/figures.rs"), write);
+        assert!(v.iter().any(|v| v.rule == Rule::FsBoundary), "{v:?}");
+    }
+
+    #[test]
+    fn fs_boundary_allows_runstore_tests_and_markers() {
+        let src = "use std::fs;\nfn f() {\n    let _ = std::fs::read(\"seg\");\n}\n";
+        let v = scan_content(&rel("crates/runstore/src/lib.rs"), src);
+        assert!(v.iter().all(|v| v.rule != Rule::FsBoundary), "{v:?}");
+
+        let in_test = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::fs::read(\"x\");\n    }\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), in_test);
+        assert!(v.iter().all(|v| v.rule != Rule::FsBoundary), "{v:?}");
+
+        let marked = "// lint: allow(fs-boundary): bench artifact emission\nfn f() {\n    let _ = std::fs::write(\"BENCH.json\", \"{}\");\n}\n";
+        let v = scan_content(&rel("crates/bench/src/bin/figures.rs"), marked);
+        assert!(v.iter().all(|v| v.rule != Rule::FsBoundary), "{v:?}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn seeded_fixtures_trip_every_rule() {
         Rule::LockOrder,
         Rule::TypedConstant,
         Rule::ServerBoundary,
+        Rule::FsBoundary,
         Rule::NoAllocInSweep,
     ] {
         assert!(

@@ -1,0 +1,147 @@
+//! Decorrelated-jitter retry backoff for busy-rejected requests.
+//!
+//! A fleet of clients rejected by one full queue must not re-arrive in
+//! lockstep: fixed retry delays synchronize the herd, so every retry
+//! wave slams the server at once and most of it is rejected again. Each
+//! retry instead sleeps a *random* delay drawn from a window that grows
+//! with consecutive rejections (the classic "decorrelated jitter"
+//! schedule): the next delay is uniform in `[base, prev * 3]`, clamped
+//! to the cap the server suggested with its `busy` reply. Randomness
+//! spreads one wave; growth spreads sustained overload.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+
+/// Default lower bound of the delay window, milliseconds. Small enough
+/// that a briefly-full queue costs little latency; the window quickly
+/// stretches to the server's suggested delay under sustained rejection.
+pub const BASE_DELAY_MS: u64 = 5;
+
+/// A decorrelated-jitter backoff schedule. One instance per retry loop;
+/// state is the previous delay plus a cheap xorshift PRNG.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    prev_ms: u64,
+    state: u64,
+}
+
+impl Backoff {
+    /// A schedule with [`BASE_DELAY_MS`] and an entropy-derived seed, so
+    /// concurrent clients draw distinct delay sequences.
+    pub fn new() -> Self {
+        // std's RandomState is seeded from OS entropy once per process
+        // and perturbed per instance — enough to decorrelate clients
+        // without any rand dependency.
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(0x6a09_e667_f3bc_c909);
+        Self::with_seed(BASE_DELAY_MS, hasher.finish())
+    }
+
+    /// A fully deterministic schedule for tests: explicit lower bound
+    /// and seed.
+    pub fn with_seed(base_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            prev_ms: base_ms.max(1),
+            // xorshift needs a nonzero state.
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The next delay, milliseconds: uniform in `[base, prev * 3]`,
+    /// clamped to `cap_ms` (the server-suggested retry-after). The draw
+    /// becomes the new `prev`, so consecutive rejections stretch the
+    /// window toward the cap while a single rejection stays cheap.
+    pub fn next_delay(&mut self, cap_ms: u64) -> u64 {
+        let cap = cap_ms.max(self.base_ms);
+        let hi = self.prev_ms.saturating_mul(3).clamp(self.base_ms, cap);
+        let span = hi - self.base_ms;
+        let delay = if span == 0 {
+            self.base_ms
+        } else {
+            self.base_ms + self.next_u64() % (span + 1)
+        };
+        self.prev_ms = delay;
+        delay
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let mut b = Backoff::with_seed(5, 42);
+        let mut prev = 5u64;
+        for _ in 0..1000 {
+            let d = b.next_delay(50);
+            assert!((5..=50).contains(&d), "delay {d} outside [5, 50]");
+            assert!(
+                d <= prev.saturating_mul(3).max(5),
+                "delay {d} exceeds decorrelated bound 3 * {prev}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_differs_across_seeds() {
+        let take = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::with_seed(5, seed);
+            (0..32).map(|_| b.next_delay(50)).collect()
+        };
+        assert_eq!(take(7), take(7), "same seed, same schedule");
+        assert_ne!(take(7), take(8), "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn window_grows_under_sustained_rejection() {
+        // With the cap far away, the expected draw grows until the
+        // window saturates: over many draws the schedule must actually
+        // reach well beyond the base (i.e. it is a backoff, not a
+        // constant), and must saturate at the cap.
+        let mut b = Backoff::with_seed(5, 99);
+        let draws: Vec<u64> = (0..200).map(|_| b.next_delay(1_000)).collect();
+        let max = draws.iter().copied().max().unwrap_or(0);
+        assert!(max > 100, "schedule never grew: max draw {max}");
+        assert!(draws.iter().all(|&d| d <= 1_000));
+    }
+
+    #[test]
+    fn cap_bounds_even_the_first_delay() {
+        let mut b = Backoff::with_seed(20, 3);
+        for _ in 0..50 {
+            assert!(b.next_delay(10) <= 20, "cap below base clamps to base");
+        }
+        let mut b = Backoff::with_seed(5, 3);
+        for _ in 0..50 {
+            assert!(b.next_delay(5) == 5, "cap == base pins the delay");
+        }
+    }
+
+    #[test]
+    fn entropy_seeded_instances_differ() {
+        let mut a = Backoff::new();
+        let mut b = Backoff::new();
+        let sa: Vec<u64> = (0..64).map(|_| a.next_delay(1_000_000)).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.next_delay(1_000_000)).collect();
+        assert_ne!(sa, sb, "two fresh clients drew identical schedules");
+    }
+}

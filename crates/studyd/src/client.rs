@@ -2,6 +2,7 @@
 //! socket) and the blocking [`TcpClient`] used by tests and the load
 //! generator.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -12,6 +13,7 @@ use std::time::Duration;
 use serde::Value;
 use simcore::{StudyRequest, StudyResponse};
 
+use crate::backoff::Backoff;
 use crate::protocol::{self, WireReply};
 use crate::queue::PushError;
 use crate::server::{Job, Reply, Shared};
@@ -109,7 +111,10 @@ impl Client {
     }
 
     /// Submits and waits, retrying on backpressure until `timeout` is
-    /// spent.
+    /// spent. Busy retries sleep a decorrelated-jitter delay (see
+    /// [`Backoff`]) capped at [`protocol::RETRY_AFTER_MS`], and every
+    /// sleep is clamped to the remaining budget — the call never runs
+    /// past `timeout` by more than scheduler noise.
     ///
     /// # Errors
     ///
@@ -121,6 +126,7 @@ impl Client {
         timeout: Duration,
     ) -> Result<StudyResponse, WaitError> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Backoff::new();
         loop {
             match self.submit(request.clone()) {
                 Ok(pending) => {
@@ -129,10 +135,18 @@ impl Client {
                     return pending.wait(left);
                 }
                 Err(SubmitError::Busy { .. }) => {
-                    if std::time::Instant::now() >= deadline {
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
                         return Err(WaitError::TimedOut);
                     }
-                    thread::sleep(Duration::from_millis(protocol::RETRY_AFTER_MS));
+                    // Clamp to the remaining budget: a caller 10 ms from
+                    // its deadline must not sleep a full retry interval.
+                    let delay = Duration::from_millis(backoff.next_delay(protocol::RETRY_AFTER_MS));
+                    thread::sleep(delay.min(remaining));
+                    if std::time::Instant::now() >= deadline {
+                        // The budget is gone; don't enqueue doomed work.
+                        return Err(WaitError::TimedOut);
+                    }
                 }
                 Err(SubmitError::ShuttingDown) => return Err(WaitError::Disconnected),
             }
@@ -233,13 +247,15 @@ impl TcpClient {
     }
 
     /// Sends `request` and blocks for its `ok` payload, transparently
-    /// retrying on `busy` after the server-suggested delay.
+    /// retrying on `busy` after a decorrelated-jitter delay capped at
+    /// the server-suggested retry-after.
     ///
     /// # Errors
     ///
     /// [`io::ErrorKind::Other`] wrapping an `err` response or an
     /// id/shape mismatch, otherwise the socket error.
     pub fn request_value(&mut self, request: &StudyRequest) -> io::Result<Value> {
+        let mut backoff = Backoff::new();
         loop {
             let id = self.send_study(request)?;
             let (got_id, reply) = self.read_reply()?;
@@ -251,7 +267,7 @@ impl TcpClient {
             match reply {
                 WireReply::Ok(value) => return Ok(value),
                 WireReply::Busy { retry_after_ms, .. } => {
-                    thread::sleep(Duration::from_millis(retry_after_ms));
+                    thread::sleep(Duration::from_millis(backoff.next_delay(retry_after_ms)));
                 }
                 WireReply::Err(message) => return Err(io::Error::other(message)),
                 WireReply::Stats(_) => {
@@ -259,6 +275,61 @@ impl TcpClient {
                 }
             }
         }
+    }
+
+    /// Sends every request before reading a single reply, then matches
+    /// replies back to outstanding ids — the connection's queueing and
+    /// service latencies overlap across the whole batch instead of
+    /// accumulating one round-trip per request. Replies may arrive in
+    /// any order (workers finish out of order); results are returned in
+    /// `requests` order. `busy` rejections are retried under a fresh id
+    /// after a decorrelated-jitter delay capped at the server-suggested
+    /// retry-after.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Other`] wrapping an `err` response, a reply id
+    /// matching no outstanding request, or a `stats` reply; otherwise
+    /// the socket error. On error the connection state is unspecified
+    /// (late replies may still be in flight) — reconnect rather than
+    /// reuse.
+    pub fn request_pipelined(&mut self, requests: &[StudyRequest]) -> io::Result<Vec<Value>> {
+        let mut results: Vec<Option<Value>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        // id -> index into `requests` for every reply not yet received.
+        let mut outstanding: HashMap<u64, usize> = HashMap::with_capacity(requests.len());
+        for (index, request) in requests.iter().enumerate() {
+            let id = self.send_study(request)?;
+            outstanding.insert(id, index);
+        }
+        let mut backoff = Backoff::new();
+        while !outstanding.is_empty() {
+            let (got_id, reply) = self.read_reply()?;
+            let Some(index) = outstanding.remove(&got_id) else {
+                return Err(io::Error::other(format!(
+                    "response id {got_id} matches no outstanding request"
+                )));
+            };
+            match reply {
+                WireReply::Ok(value) => results[index] = Some(value),
+                WireReply::Busy { retry_after_ms, .. } => {
+                    thread::sleep(Duration::from_millis(backoff.next_delay(retry_after_ms)));
+                    let id = self.send_study(&requests[index])?;
+                    outstanding.insert(id, index);
+                }
+                WireReply::Err(message) => return Err(io::Error::other(message)),
+                WireReply::Stats(_) => {
+                    return Err(io::Error::other("stats response to a study request"))
+                }
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.ok_or_else(|| io::Error::other(format!("request {index} never answered")))
+            })
+            .collect()
     }
 
     /// Requests a stats report and returns its raw value.

@@ -30,10 +30,22 @@
 //!   queued job before returning.
 //! * [`client`] — the in-process [`Client`] (no socket, same queue and
 //!   backpressure) and the blocking [`TcpClient`] used by tests and the
-//!   load generator.
+//!   load generator. [`TcpClient::request_pipelined`] issues many request
+//!   ids before reading replies and matches replies back to outstanding
+//!   ids, overlapping queueing latency across a sweep.
+//! * [`backoff`] — decorrelated-jitter retry delays for busy-rejected
+//!   submissions, so a fleet of rejected clients spreads out instead of
+//!   re-arriving in lockstep.
 //! * [`stats`] — observability: queue depth, in-flight jobs, run-cache
-//!   hit/miss/coalesce counters, and per-request-kind latency histograms
-//!   with [`units::Seconds`] totals, served inline as a `stats` request.
+//!   hit/miss/coalesce counters, disk-store tier counters (when a
+//!   persistent store is attached), and per-request-kind latency
+//!   histograms with [`units::Seconds`] totals, served inline as a
+//!   `stats` request.
+//!
+//! With [`ServerConfig::store_path`] set, the server's study attaches a
+//! persistent [`simcore::RunStore`] tier below its in-memory cache:
+//! timing runs survive restarts, and a warm store serves repeat sweeps
+//! with zero simulator executions.
 //!
 //! With the `audit` feature (default on) every run the server executes is
 //! conservation-checked by the engine's audit layer before it is priced,
@@ -42,14 +54,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
 
+pub use backoff::Backoff;
 pub use client::{Client, Pending, SubmitError, TcpClient, WaitError};
 pub use protocol::{Envelope, WireReply, WireRequest, MAX_LINE_BYTES, RETRY_AFTER_MS};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig};
-pub use stats::{HistogramSnapshot, KindStats, LatencyHistogram, ServerStats, StatsReport};
+pub use stats::{
+    HistogramSnapshot, KindStats, LatencyHistogram, ServerStats, StatsReport, StoreReport,
+};

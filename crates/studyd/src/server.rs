@@ -59,6 +59,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Job-queue capacity (≥ 1); beyond it, requests get `busy`.
     pub queue_capacity: usize,
+    /// Directory of the persistent run store, if any. When set, the
+    /// server's study attaches a [`simcore::RunStore`] tier below its
+    /// in-memory cache: timing runs persist across restarts, and a warm
+    /// store serves repeat requests with zero simulator executions.
+    pub store_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +72,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: simcore::default_threads(),
             queue_capacity: 64,
+            store_path: None,
         }
     }
 }
@@ -157,8 +163,11 @@ pub(crate) struct Shared {
 impl Shared {
     /// A full observability snapshot.
     pub(crate) fn report(&self) -> StatsReport {
-        self.stats
-            .report(self.queue.depth(), self.study.cache().counters())
+        self.stats.report(
+            self.queue.depth(),
+            self.study.cache().counters(),
+            self.study.store_counters(),
+        )
     }
 
     /// Queues a study job, translating queue refusals into counters.
@@ -198,7 +207,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         // One engine thread per worker: the pool is the parallelism.
-        let study = Study::with_threads(study_cfg, 1);
+        let mut study = Study::with_threads(study_cfg, 1);
+        if let Some(path) = &cfg.store_path {
+            study.attach_store(Arc::new(simcore::RunStore::open(path)?));
+        }
         let shared = Arc::new(Shared {
             study,
             queue: JobQueue::new(cfg.queue_capacity),
@@ -258,6 +270,10 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        // Make every write-behind spill durable before reporting: a
+        // process restarted on the same store path must see every run
+        // this server computed.
+        self.shared.study.flush_store();
         self.shared.report()
     }
 }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use serde::Serialize;
-use simcore::{RequestKind, RunCacheCounters};
+use simcore::{RequestKind, RunCacheCounters, StoreCounters};
 use units::Seconds;
 
 /// Number of power-of-two-microsecond latency buckets. Bucket `i` counts
@@ -107,10 +107,16 @@ impl ServerStats {
         self.latency[kind.index()].record(elapsed);
     }
 
-    /// Snapshots everything into a serializable report. `queue_depth`
-    /// and `cache` come from the queue and run-cache, which the stats
-    /// object deliberately does not own.
-    pub fn report(&self, queue_depth: usize, cache: RunCacheCounters) -> StatsReport {
+    /// Snapshots everything into a serializable report. `queue_depth`,
+    /// `cache`, and `store` come from the queue, the run-cache, and the
+    /// optional disk tier, which the stats object deliberately does not
+    /// own (`store` is `None` when no persistent store is attached).
+    pub fn report(
+        &self,
+        queue_depth: usize,
+        cache: RunCacheCounters,
+        store: Option<StoreCounters>,
+    ) -> StatsReport {
         StatsReport {
             queue_depth: queue_depth as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -122,6 +128,7 @@ impl ServerStats {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             audit_enabled: cfg!(feature = "audit"),
             cache,
+            store: store.map(StoreReport::from),
             kinds: RequestKind::ALL
                 .iter()
                 .map(|kind| KindStats {
@@ -165,8 +172,54 @@ pub struct StatsReport {
     pub audit_enabled: bool,
     /// Run-cache hit/miss/coalesce counters (shared across requests).
     pub cache: RunCacheCounters,
+    /// Disk-store tier counters; `None` when the server runs without a
+    /// persistent store.
+    pub store: Option<StoreReport>,
     /// Per-kind latency summaries, in [`RequestKind::ALL`] order.
     pub kinds: Vec<KindStats>,
+}
+
+/// Disk-store tier counters inside a [`StatsReport`] — the serializable
+/// mirror of [`simcore::StoreCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StoreReport {
+    /// Recalls served from disk after read-back verification.
+    pub hits: u64,
+    /// Recalls that found no valid record (computed instead).
+    pub misses: u64,
+    /// Recalls whose read-back verification failed (turned into misses).
+    pub verify_failures: u64,
+    /// Fresh runs queued for write-behind persistence.
+    pub appends: u64,
+    /// Torn tail records skipped while scanning segments on open.
+    pub torn_records: u64,
+    /// Records currently addressable in the store index.
+    pub records: u64,
+    /// Segment files known to the store.
+    pub segments: u64,
+}
+
+impl From<StoreCounters> for StoreReport {
+    fn from(c: StoreCounters) -> Self {
+        let StoreCounters {
+            hits,
+            misses,
+            verify_failures,
+            appends,
+            torn_records,
+            records,
+            segments,
+        } = c;
+        StoreReport {
+            hits,
+            misses,
+            verify_failures,
+            appends,
+            torn_records,
+            records,
+            segments,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +249,7 @@ mod tests {
     fn report_carries_every_kind_in_order() {
         let stats = ServerStats::new();
         stats.record_latency(RequestKind::Figure, Duration::from_millis(5));
-        let report = stats.report(3, RunCacheCounters::default());
+        let report = stats.report(3, RunCacheCounters::default(), None);
         assert_eq!(report.queue_depth, 3);
         assert_eq!(
             report
@@ -211,5 +264,22 @@ mod tests {
         // The report is plain data: it serializes through the shim.
         let text = serde_json::to_string(&report).expect("serializes");
         assert!(text.contains("\"queue_depth\":3"), "{text}");
+        assert!(text.contains("\"store\":null"), "{text}");
+    }
+
+    #[test]
+    fn report_carries_store_counters_when_a_store_is_attached() {
+        let stats = ServerStats::new();
+        let store = StoreCounters {
+            hits: 2,
+            appends: 1,
+            verify_failures: 0,
+            ..StoreCounters::default()
+        };
+        let report = stats.report(0, RunCacheCounters::default(), Some(store));
+        let snap = report.store.expect("store report present");
+        assert_eq!((snap.hits, snap.appends, snap.verify_failures), (2, 1, 0));
+        let text = serde_json::to_string(&report).expect("serializes");
+        assert!(text.contains("\"verify_failures\":0"), "{text}");
     }
 }

@@ -8,13 +8,13 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use leakctl::TechniqueKind;
 use serde::Serialize;
 use simcore::{Study, StudyConfig, StudyRequest};
 use specgen::Benchmark;
-use studyd::{Server, ServerConfig, SubmitError, TcpClient, WireReply};
+use studyd::{Server, ServerConfig, SubmitError, TcpClient, WaitError, WireReply};
 
 /// A deadline long enough for any test-sized request on a loaded 1-CPU
 /// host, short enough that a lost response fails the suite instead of
@@ -380,6 +380,106 @@ fn stats_are_served_inline_and_carry_cache_counters() {
     assert!(report.kinds[0].latency.count == 2);
     assert!(report.kinds[0].latency.total_seconds.get() > 0.0);
     server.shutdown();
+}
+
+#[test]
+fn busy_retry_never_sleeps_past_the_deadline() {
+    let server = start_server(1, 1);
+    let client = server.client();
+
+    // Occupy the worker and fill the single queue slot so the short
+    // request below meets sustained backpressure.
+    let heavy = client.submit(heavy_request()).expect("queue has room");
+    let filler = loop {
+        match client.submit(heavy_request()) {
+            Ok(pending) => break pending,
+            Err(SubmitError::Busy { .. }) => thread::sleep(Duration::from_millis(1)),
+            Err(SubmitError::ShuttingDown) => panic!("server is running"),
+        }
+    };
+
+    // Regression: the busy-retry loop used to sleep a full
+    // RETRY_AFTER_MS (50 ms) regardless of how little budget remained,
+    // so a 5 ms deadline returned ~50 ms late. The sleep is now clamped
+    // to the remaining budget.
+    let timeout = Duration::from_millis(5);
+    let start = Instant::now();
+    let result = client.request(&compare_request(512), timeout);
+    let elapsed = start.elapsed();
+    assert_eq!(result, Err(WaitError::TimedOut));
+    assert!(
+        elapsed < Duration::from_millis(40),
+        "request slept past its {timeout:?} deadline: {elapsed:?}"
+    );
+
+    heavy.wait(WAIT).expect("heavy job finishes");
+    filler.wait(WAIT).expect("filler finishes");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_sweep_matches_sequential_and_resolves_every_id() {
+    // One worker and a 2-slot queue: a pipelined batch of 8 overflows
+    // the queue, so the client's busy-retry/resend-under-fresh-id path
+    // is exercised, not just the happy path.
+    let server = start_server(1, 2);
+    let addr = server.local_addr().to_string();
+    let requests: Vec<StudyRequest> = (0..8).map(|i| compare_request(1024 + 512 * i)).collect();
+
+    let mut pipelined_client = TcpClient::connect(&addr).expect("connects");
+    let pipelined = pipelined_client
+        .request_pipelined(&requests)
+        .expect("every id resolves");
+    assert_eq!(pipelined.len(), requests.len());
+
+    let mut sequential_client = TcpClient::connect(&addr).expect("connects");
+    for (request, from_pipeline) in requests.iter().zip(&pipelined) {
+        let sequential = sequential_client.request_value(request).expect("serves");
+        assert_eq!(&sequential, from_pipeline, "order or payload mismatch");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.completed, 2 * requests.len() as u64, "{report:?}");
+}
+
+#[test]
+fn warm_store_restart_serves_repeats_with_zero_executions() {
+    let dir = std::env::temp_dir().join(format!("studyd-warm-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        store_path: Some(dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    };
+    let request = compare_request(2048);
+
+    let cold_server = Server::start(test_study_config(), &config).expect("cold server starts");
+    let mut client = TcpClient::connect(&cold_server.local_addr().to_string()).expect("connects");
+    let cold = client.request_value(&request).expect("cold serve");
+    let cold_report = cold_server.shutdown();
+    let cold_store = cold_report.store.expect("store tier attached");
+    assert!(cold_store.appends > 0, "cold runs persist: {cold_store:?}");
+    assert_eq!(cold_store.hits, 0, "{cold_store:?}");
+
+    // A fresh process image: new server, same directory. Every timing
+    // run behind the repeated request must come off disk — with a store
+    // attached each *computed* run appends, so appends == 0 proves zero
+    // simulator executions.
+    let warm_server = Server::start(test_study_config(), &config).expect("warm server starts");
+    let mut client = TcpClient::connect(&warm_server.local_addr().to_string()).expect("connects");
+    let warm = client.request_value(&request).expect("warm serve");
+    assert_eq!(warm, cold, "restart must reproduce the response bitwise");
+    let warm_report = warm_server.shutdown();
+    let warm_store = warm_report.store.expect("store tier attached");
+    assert_eq!(
+        warm_store.appends, 0,
+        "warm store must serve repeats without executing: {warm_store:?}"
+    );
+    assert!(warm_store.hits > 0, "{warm_store:?}");
+    assert_eq!(warm_store.verify_failures, 0, "{warm_store:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
