@@ -27,8 +27,16 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+// Under `model-check` the sync primitives come from the interleave
+// checker; they delegate to std outside a checker run, so the swap is
+// behaviorally inert (the default build does not compile it at all).
+#[cfg(feature = "model-check")]
+use interleave::sync::{atomic::AtomicU64, Condvar, Mutex};
+#[cfg(not(feature = "model-check"))]
+use std::sync::{atomic::AtomicU64, Condvar, Mutex};
 
 use cachesim::{CacheStats, DecayPolicy, Hierarchy, HierarchyConfig};
 use hotleakage::ModelError;
@@ -270,6 +278,8 @@ impl StudyCtx {
 /// A shard entry: a finished run, or a marker other threads wait on.
 /// The `Ready` run is boxed so a shard full of memos does not pay the
 /// 280-byte `RawRun` footprint per pending marker too.
+// With the seeded race the Pending variant is matched but never built.
+#[cfg_attr(feature = "coalesce-race-bug", allow(dead_code))]
 enum Slot {
     Ready(Box<RawRun>),
     Pending(Arc<InFlight>),
@@ -511,6 +521,7 @@ impl RunCache {
         let mut waited = false;
         loop {
             // lint: allow(unwrap): a poisoned lock means a worker panicked; propagate
+            #[cfg_attr(feature = "coalesce-race-bug", allow(unused_mut))]
             let mut shard = self.shard(&key).lock().expect("cache shard lock");
             match shard.get(&key) {
                 Some(Slot::Ready(r)) => {
@@ -532,6 +543,12 @@ impl RunCache {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     let inflight = Arc::new(InFlight::default());
+                    // Publishing the Pending slot before releasing the
+                    // shard is what makes concurrent same-key requests
+                    // coalesce; the seeded race below omits it so every
+                    // contender computes (caught by the interleave
+                    // checker's coalescing model in CI).
+                    #[cfg(not(feature = "coalesce-race-bug"))]
                     shard.insert(key, Slot::Pending(Arc::clone(&inflight)));
                     drop(shard);
                     let mut guard = PendingGuard {

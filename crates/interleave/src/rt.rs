@@ -1,0 +1,951 @@
+//! The deterministic scheduler behind the instrumented primitives.
+//!
+//! One iteration = one complete run of the model closure under one thread
+//! schedule. All model threads are real OS threads, but exactly one is
+//! runnable at a time: before every instrumented operation a thread declares
+//! the operation ([`Op`]) and parks until the scheduler grants it. The
+//! scheduler explores the tree of grant decisions depth-first, pruning
+//! provably-equivalent interleavings with sleep sets and bounding the number
+//! of involuntary context switches (preemptions) per schedule.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel for "this op slot references no object".
+pub(crate) const NO_OBJ: u32 = u32::MAX;
+
+/// Count of executions currently running anywhere in the process. When zero,
+/// the primitives take a lock-free fast path straight to `std::sync`.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Distinguishes executions so primitives can cache their object id per
+/// iteration (generation 0 is reserved for "never allocated").
+static NEXT_GEN: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Per-OS-thread binding to the execution it participates in.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The calling thread's model context, if it is part of a live execution.
+pub(crate) fn current() -> Option<Ctx> {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Payload used to unwind model threads during iteration teardown. The
+/// unwind is caught by the spawn wrapper (or the checker, for the main
+/// thread) and never escapes an execution.
+pub(crate) struct AbortPayload;
+
+/// Unwinds the current thread out of a dead iteration.
+pub(crate) fn abort_panic() -> ! {
+    panic::resume_unwind(Box::new(AbortPayload))
+}
+
+/// What kind of instrumented operation a thread wants to perform next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    /// First op of a spawned thread; runs no user code, just orders startup.
+    Start,
+    Lock,
+    Unlock,
+    RdLock,
+    RdUnlock,
+    /// Atomically release `obj2` (a mutex) and park on `obj` (a condvar).
+    CvWait,
+    CvNotifyOne,
+    CvNotifyAll,
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    /// Wait for thread object `obj` to finish.
+    Join,
+    Yield,
+}
+
+/// A declared operation: kind plus up to two object operands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Op {
+    pub(crate) kind: OpKind,
+    pub(crate) obj: u32,
+    pub(crate) obj2: u32,
+}
+
+impl Op {
+    pub(crate) fn new(kind: OpKind, obj: u32) -> Self {
+        Op {
+            kind,
+            obj,
+            obj2: NO_OBJ,
+        }
+    }
+}
+
+/// Kinds of model objects, used only for human-readable trace names.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ObjKind {
+    Mutex,
+    RwLock,
+    Condvar,
+    Atomic,
+    Thread,
+}
+
+impl ObjKind {
+    fn tag(self) -> &'static str {
+        match self {
+            ObjKind::Mutex => "mutex",
+            ObjKind::RwLock => "rw",
+            ObjKind::Condvar => "cv",
+            ObjKind::Atomic => "atomic",
+            ObjKind::Thread => "thread",
+        }
+    }
+}
+
+/// Scheduling state of one model thread.
+enum Run {
+    /// Executing non-instrumented code (or holding the grant).
+    Running,
+    /// Declared `Op` and waiting for the scheduler to grant it.
+    Ready(Op),
+    /// Parked on condvar `cv`, having released `mutex`; woken in `seq` order.
+    ParkedCv {
+        cv: u32,
+        mutex: u32,
+        seq: u64,
+    },
+    Finished,
+}
+
+struct ThreadSlot {
+    run: Run,
+    /// Return value of the thread closure, consumed by `join`.
+    result: Option<Box<dyn Any + Send>>,
+    /// Thread object id (join target).
+    obj: u32,
+}
+
+/// One decision point in the DFS schedule tree.
+struct Node {
+    /// Threads eligible at this point (enabled, preemption-filtered, awake).
+    candidates: Vec<usize>,
+    /// Index into `candidates` of the branch currently being explored.
+    idx: usize,
+    /// Sleep set at entry: threads whose pending op need not be tried here
+    /// because an equivalent schedule already covered it.
+    sleep: Vec<usize>,
+}
+
+enum Status {
+    Running,
+    Complete,
+    /// A sleep set emptied the candidate list: subtree already covered.
+    Pruned,
+    Failed,
+}
+
+struct Inner {
+    status: Status,
+    /// Thread currently granted (index into `threads`).
+    active: usize,
+    threads: Vec<ThreadSlot>,
+    /// mutex/rwlock object -> writing thread.
+    writers: HashMap<u32, usize>,
+    /// rwlock object -> reader count.
+    readers: HashMap<u32, usize>,
+    /// Object table: id -> (kind, per-kind ordinal).
+    objs: Vec<(ObjKind, u32)>,
+    /// Per-kind counters for ordinal display names.
+    kind_counts: [u32; 5],
+    /// Monotonic counter ordering condvar waiters (FIFO wakeup).
+    seq: u64,
+    depth: usize,
+    preemptions: usize,
+    /// Sleep set in force at the *next* decision point.
+    sleep_now: Vec<usize>,
+    /// DFS tree path; prefix is replayed, suffix is appended fresh.
+    nodes: Vec<Node>,
+    /// Replay override: step -> thread id (used by `replay`).
+    forced: Option<Vec<usize>>,
+    trace: Vec<String>,
+    choices: Vec<usize>,
+    failure: Option<String>,
+    /// OS handles of spawned model threads, joined at iteration end.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared state of one schedule iteration.
+pub(crate) struct Execution {
+    /// Unique per iteration; lets primitives invalidate cached object ids.
+    pub(crate) gen: u64,
+    preemption_bound: usize,
+    max_depth: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(
+        preemption_bound: usize,
+        max_depth: usize,
+        nodes: Vec<Node>,
+        forced: Option<Vec<usize>>,
+    ) -> Self {
+        let main = ThreadSlot {
+            run: Run::Running,
+            result: None,
+            obj: 0,
+        };
+        let inner = Inner {
+            status: Status::Running,
+            active: 0,
+            threads: vec![main],
+            writers: HashMap::new(),
+            readers: HashMap::new(),
+            objs: vec![(ObjKind::Thread, 0)],
+            kind_counts: [0, 0, 0, 0, 1],
+            seq: 0,
+            depth: 0,
+            preemptions: 0,
+            sleep_now: Vec::new(),
+            nodes,
+            forced,
+            trace: Vec::new(),
+            choices: Vec::new(),
+            failure: None,
+            os_handles: Vec::new(),
+        };
+        Execution {
+            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed) as u64,
+            preemption_bound,
+            max_depth,
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        unpoison(self.inner.lock())
+    }
+
+    /// Allocates a fresh object id. Allocation happens under the scheduler's
+    /// serialization, so ids are deterministic across replays.
+    pub(crate) fn alloc_obj(&self, kind: ObjKind) -> u32 {
+        let mut inner = self.lock_inner();
+        alloc_obj_locked(&mut inner, kind)
+    }
+
+    /// Declares `op`, lets the scheduler pick who runs next, and blocks until
+    /// this thread is granted. Returns false when the iteration is tearing
+    /// down and the op was not (and will never be) granted.
+    pub(crate) fn perform(&self, me: usize, op: Op) -> bool {
+        let mut inner = self.lock_inner();
+        if !matches!(inner.status, Status::Running) {
+            return false;
+        }
+        inner.threads[me].run = Run::Ready(op);
+        if !self.decide(&mut inner) {
+            drop(inner);
+            self.cv.notify_all();
+            abort_panic();
+        }
+        self.cv.notify_all();
+        self.block_until_granted(me, inner);
+        true
+    }
+
+    /// Waits for the scheduler to grant this thread's declared op, then
+    /// applies its effect. `CvWait` is left unapplied: the condvar path runs
+    /// its own release protocol via [`Execution::cv_park`].
+    fn block_until_granted(&self, me: usize, mut inner: MutexGuard<'_, Inner>) {
+        loop {
+            if !matches!(inner.status, Status::Running) {
+                drop(inner);
+                abort_panic();
+            }
+            if inner.active == me {
+                if let Run::Ready(op) = inner.threads[me].run {
+                    if op.kind != OpKind::CvWait {
+                        apply(&mut inner, me, op);
+                        inner.threads[me].run = Run::Running;
+                    }
+                    return;
+                }
+            }
+            inner = unpoison(self.cv.wait(inner));
+        }
+    }
+
+    /// Second half of a granted `CvWait`: virtually release the mutex and
+    /// park. The caller then drops the real guard (safe: no other thread is
+    /// running until [`Execution::cv_block`] schedules one).
+    pub(crate) fn cv_park(&self, me: usize, cv: u32, mutex: u32) {
+        let mut inner = self.lock_inner();
+        if !matches!(inner.status, Status::Running) {
+            return;
+        }
+        inner.writers.remove(&mutex);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.threads[me].run = Run::ParkedCv { cv, mutex, seq };
+    }
+
+    /// Third half of a granted `CvWait`: hand the schedule to someone else
+    /// and block until a notify re-readies this thread (as a `Lock` of the
+    /// released mutex) and the scheduler grants the reacquisition.
+    pub(crate) fn cv_block(&self, me: usize) {
+        let mut inner = self.lock_inner();
+        if !matches!(inner.status, Status::Running) {
+            drop(inner);
+            abort_panic();
+        }
+        if !self.decide(&mut inner) {
+            drop(inner);
+            self.cv.notify_all();
+            abort_panic();
+        }
+        self.cv.notify_all();
+        self.block_until_granted(me, inner);
+    }
+
+    /// Registers a spawned model thread. It starts parked on a `Start` op so
+    /// that no user code runs before the scheduler orders it — keeping object
+    /// allocation deterministic.
+    pub(crate) fn register_thread(&self) -> (usize, u32) {
+        let mut inner = self.lock_inner();
+        let obj = alloc_obj_locked(&mut inner, ObjKind::Thread);
+        let tid = inner.threads.len();
+        inner.threads.push(ThreadSlot {
+            run: Run::Ready(Op::new(OpKind::Start, NO_OBJ)),
+            result: None,
+            obj,
+        });
+        (tid, obj)
+    }
+
+    /// Blocks a freshly spawned thread until its `Start` op is granted.
+    pub(crate) fn wait_started(&self, me: usize) {
+        let inner = self.lock_inner();
+        self.block_until_granted(me, inner);
+    }
+
+    pub(crate) fn add_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_inner().os_handles.push(handle);
+    }
+
+    /// Records a thread's completion and schedules a successor.
+    pub(crate) fn finish_thread(
+        &self,
+        me: usize,
+        outcome: std::thread::Result<Box<dyn Any + Send>>,
+    ) {
+        let mut inner = self.lock_inner();
+        if matches!(inner.status, Status::Running) {
+            match outcome {
+                Ok(value) => {
+                    inner.threads[me].result = Some(value);
+                    inner.threads[me].run = Run::Finished;
+                    inner.trace.push(format!("t{me} exit"));
+                    let _ = self.decide(&mut inner);
+                }
+                Err(payload) => {
+                    inner.threads[me].run = Run::Finished;
+                    let msg = panic_message(payload.as_ref());
+                    record_failure(&mut inner, format!("thread t{me} panicked: {msg}"));
+                }
+            }
+        } else {
+            if let Ok(value) = outcome {
+                inner.threads[me].result = Some(value);
+            }
+            inner.threads[me].run = Run::Finished;
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn take_result(&self, tid: usize) -> Option<Box<dyn Any + Send>> {
+        self.lock_inner().threads[tid].result.take()
+    }
+
+    fn wait_iteration_end(&self) {
+        let mut inner = self.lock_inner();
+        while matches!(inner.status, Status::Running) {
+            inner = unpoison(self.cv.wait(inner));
+        }
+    }
+
+    fn take_os_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock_inner().os_handles)
+    }
+
+    /// Picks the next thread to run. Returns false when the iteration ended
+    /// instead: complete, pruned by sleep sets, failed, or depth-limited.
+    fn decide(&self, inner: &mut Inner) -> bool {
+        let enabled: Vec<usize> = (0..inner.threads.len())
+            .filter(|&t| match inner.threads[t].run {
+                Run::Ready(op) => op_enabled(inner, op),
+                _ => false,
+            })
+            .collect();
+        if enabled.is_empty() {
+            if inner.threads.iter().all(|t| matches!(t.run, Run::Finished)) {
+                inner.status = Status::Complete;
+            } else {
+                let detail = blocked_summary(inner);
+                record_failure(
+                    inner,
+                    format!("deadlock: no thread can make progress ({detail})"),
+                );
+            }
+            return false;
+        }
+        if inner.depth >= self.max_depth {
+            record_failure(
+                inner,
+                format!(
+                    "schedule exceeded {} steps: livelock or an unbounded loop in the model",
+                    self.max_depth
+                ),
+            );
+            return false;
+        }
+        let prev = inner.active;
+        let prev_runnable = enabled.contains(&prev);
+        let candidates: Vec<usize> = if prev_runnable && inner.preemptions >= self.preemption_bound
+        {
+            vec![prev]
+        } else {
+            enabled.clone()
+        };
+        let chosen = if let Some(forced) = &inner.forced {
+            match forced.get(inner.depth) {
+                Some(&t) if enabled.contains(&t) => t,
+                _ => candidates[0],
+            }
+        } else if inner.depth < inner.nodes.len() {
+            // Replaying the DFS prefix that leads to the next unexplored branch.
+            let node = &inner.nodes[inner.depth];
+            let t = node.candidates[node.idx];
+            if !enabled.contains(&t) {
+                record_failure(
+                    inner,
+                    format!(
+                        "nondeterministic model: replay step {} expected t{t} to be runnable",
+                        inner.depth
+                    ),
+                );
+                return false;
+            }
+            t
+        } else {
+            let fresh: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|t| !inner.sleep_now.contains(t))
+                .collect();
+            if fresh.is_empty() {
+                // Every candidate sleeps: an equivalent schedule was already
+                // explored from an earlier sibling branch.
+                inner.status = Status::Pruned;
+                return false;
+            }
+            let first = fresh[0];
+            inner.nodes.push(Node {
+                candidates: fresh,
+                idx: 0,
+                sleep: inner.sleep_now.clone(),
+            });
+            first
+        };
+        let chosen_op = match inner.threads[chosen].run {
+            Run::Ready(op) => op,
+            _ => {
+                record_failure(inner, format!("scheduler chose non-ready thread t{chosen}"));
+                return false;
+            }
+        };
+        // A sleeping thread wakes only when an op that conflicts with its
+        // pending op executes; until then its subtree stays covered.
+        let base: Vec<usize> = if inner.forced.is_some() {
+            Vec::new()
+        } else {
+            inner.nodes[inner.depth].sleep.clone()
+        };
+        inner.sleep_now = base
+            .into_iter()
+            .filter(|&t| t != chosen)
+            .filter(|&t| match inner.threads[t].run {
+                Run::Ready(op) => !conflicts(op, chosen_op),
+                _ => false,
+            })
+            .collect();
+        if chosen != prev && prev_runnable {
+            inner.preemptions += 1;
+        }
+        inner.choices.push(chosen);
+        let line = render_step(inner, chosen, chosen_op);
+        inner.trace.push(line);
+        inner.depth += 1;
+        inner.active = chosen;
+        true
+    }
+}
+
+fn alloc_obj_locked(inner: &mut Inner, kind: ObjKind) -> u32 {
+    let slot = match kind {
+        ObjKind::Mutex => 0,
+        ObjKind::RwLock => 1,
+        ObjKind::Condvar => 2,
+        ObjKind::Atomic => 3,
+        ObjKind::Thread => 4,
+    };
+    let ord = inner.kind_counts[slot];
+    inner.kind_counts[slot] += 1;
+    let id = inner.objs.len() as u32;
+    inner.objs.push((kind, ord));
+    id
+}
+
+fn record_failure(inner: &mut Inner, reason: String) {
+    inner.status = Status::Failed;
+    if inner.failure.is_none() {
+        inner.failure = Some(reason);
+    }
+}
+
+/// Whether `op` can execute right now (locks available, join target done).
+fn op_enabled(inner: &Inner, op: Op) -> bool {
+    match op.kind {
+        OpKind::Lock => {
+            !inner.writers.contains_key(&op.obj)
+                && inner.readers.get(&op.obj).copied().unwrap_or(0) == 0
+        }
+        OpKind::RdLock => !inner.writers.contains_key(&op.obj),
+        OpKind::Join => inner
+            .threads
+            .iter()
+            .find(|t| t.obj == op.obj)
+            .is_some_and(|t| matches!(t.run, Run::Finished)),
+        _ => true,
+    }
+}
+
+/// Applies the state effect of a granted op (lock tables, condvar wakeups).
+fn apply(inner: &mut Inner, me: usize, op: Op) {
+    match op.kind {
+        OpKind::Lock => {
+            inner.writers.insert(op.obj, me);
+        }
+        OpKind::Unlock => {
+            inner.writers.remove(&op.obj);
+        }
+        OpKind::RdLock => {
+            *inner.readers.entry(op.obj).or_insert(0) += 1;
+        }
+        OpKind::RdUnlock => {
+            if let Some(n) = inner.readers.get_mut(&op.obj) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        OpKind::CvNotifyOne => wake_waiters(inner, op.obj, false),
+        OpKind::CvNotifyAll => wake_waiters(inner, op.obj, true),
+        _ => {}
+    }
+}
+
+/// Readies condvar waiters as pending reacquisitions of their mutex, in
+/// park order (FIFO, matching the fairness most platforms provide).
+fn wake_waiters(inner: &mut Inner, cv_obj: u32, all: bool) {
+    let mut waiters: Vec<(u64, usize, u32)> = inner
+        .threads
+        .iter()
+        .enumerate()
+        .filter_map(|(t, s)| match s.run {
+            Run::ParkedCv { cv, mutex, seq } if cv == cv_obj => Some((seq, t, mutex)),
+            _ => None,
+        })
+        .collect();
+    waiters.sort_unstable();
+    let n = if all {
+        waiters.len()
+    } else {
+        waiters.len().min(1)
+    };
+    for &(_, t, mutex) in waiters.iter().take(n) {
+        inner.threads[t].run = Run::Ready(Op::new(OpKind::Lock, mutex));
+    }
+}
+
+/// Dependency relation for sleep sets. Two ops conflict when reordering them
+/// can change behavior: they touch a common object and at least one writes.
+fn conflicts(a: Op, b: Op) -> bool {
+    if a.kind == OpKind::Yield || b.kind == OpKind::Yield {
+        return false;
+    }
+    let wide = |k: OpKind| matches!(k, OpKind::Start | OpKind::Join);
+    if wide(a.kind) || wide(b.kind) {
+        return true;
+    }
+    let objs = |o: Op| [o.obj, o.obj2];
+    let shared = objs(a).iter().any(|&x| x != NO_OBJ && objs(b).contains(&x));
+    if !shared {
+        return false;
+    }
+    let read_only = |k: OpKind| matches!(k, OpKind::AtomicLoad);
+    !(read_only(a.kind) && read_only(b.kind))
+}
+
+fn obj_name(inner: &Inner, obj: u32) -> String {
+    match inner.objs.get(obj as usize) {
+        Some(&(kind, ord)) => format!("{}#{ord}", kind.tag()),
+        None => "?".to_string(),
+    }
+}
+
+fn render_step(inner: &Inner, tid: usize, op: Op) -> String {
+    let body = match op.kind {
+        OpKind::Start => "start".to_string(),
+        OpKind::Lock => format!("lock({})", obj_name(inner, op.obj)),
+        OpKind::Unlock => format!("unlock({})", obj_name(inner, op.obj)),
+        OpKind::RdLock => format!("read_lock({})", obj_name(inner, op.obj)),
+        OpKind::RdUnlock => format!("read_unlock({})", obj_name(inner, op.obj)),
+        OpKind::CvWait => format!(
+            "wait({}, releases {})",
+            obj_name(inner, op.obj),
+            obj_name(inner, op.obj2)
+        ),
+        OpKind::CvNotifyOne => format!("notify_one({})", obj_name(inner, op.obj)),
+        OpKind::CvNotifyAll => format!("notify_all({})", obj_name(inner, op.obj)),
+        OpKind::AtomicLoad => format!("load({})", obj_name(inner, op.obj)),
+        OpKind::AtomicStore => format!("store({})", obj_name(inner, op.obj)),
+        OpKind::AtomicRmw => format!("rmw({})", obj_name(inner, op.obj)),
+        OpKind::Join => format!("join({})", obj_name(inner, op.obj)),
+        OpKind::Yield => "yield".to_string(),
+    };
+    format!("t{tid} {body}")
+}
+
+fn blocked_summary(inner: &Inner) -> String {
+    let mut parts = Vec::new();
+    for (t, slot) in inner.threads.iter().enumerate() {
+        match &slot.run {
+            Run::Ready(op) => parts.push(format!("t{t} blocked on {}", render_step(inner, t, *op))),
+            Run::ParkedCv { cv, .. } => {
+                parts.push(format!("t{t} parked on {}", obj_name(inner, *cv)))
+            }
+            _ => {}
+        }
+    }
+    if parts.is_empty() {
+        "no live threads".to_string()
+    } else {
+        parts.join("; ")
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A schedule that violated a model assertion (or deadlocked), with enough
+/// detail to reproduce it exactly via [`replay`].
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Model name this counterexample belongs to.
+    pub model: String,
+    /// Why the schedule failed (assertion text, deadlock summary, ...).
+    pub reason: String,
+    /// One line per scheduler decision, in execution order.
+    pub trace: Vec<String>,
+    /// Thread chosen at each decision point; feed to [`replay`].
+    pub choices: Vec<usize>,
+    /// Distinct schedules explored before this one was found.
+    pub schedules_before: usize,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model '{}': counterexample after {} explored schedules",
+            self.model, self.schedules_before
+        )?;
+        writeln!(f, "  reason: {}", self.reason)?;
+        writeln!(f, "  minimal replayable schedule trace:")?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "    {:>3}. {line}", i + 1)?;
+        }
+        write!(
+            f,
+            "  replay with interleave::replay(&{:?}, model)",
+            self.choices
+        )
+    }
+}
+
+/// Summary of a completed exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct complete schedules executed to the end.
+    pub schedules: usize,
+    /// Schedules cut short by sleep-set pruning (equivalent to an explored one).
+    pub pruned: usize,
+    /// True when the whole (preemption-bounded) tree was explored within the
+    /// iteration budget.
+    pub complete: bool,
+    /// Longest schedule seen, in scheduler decisions.
+    pub max_depth_seen: usize,
+}
+
+enum IterEnd {
+    Complete,
+    Pruned,
+    Failed(String),
+}
+
+struct IterOutcome {
+    end: IterEnd,
+    nodes: Vec<Node>,
+    depth: usize,
+    trace: Vec<String>,
+    choices: Vec<usize>,
+}
+
+/// Explores all schedules of a closed concurrent model.
+///
+/// ```
+/// use interleave::{Checker, sync::Mutex, thread};
+/// use std::sync::Arc;
+///
+/// let report = Checker::new("counter").check(|| {
+///     let m = Arc::new(Mutex::new(0u32));
+///     let m2 = Arc::clone(&m);
+///     let t = thread::spawn(move || *m2.lock().unwrap_or_else(|e| e.into_inner()) += 1);
+///     *m.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+///     t.join().ok();
+///     assert_eq!(*m.lock().unwrap_or_else(|e| e.into_inner()), 2);
+/// });
+/// assert!(report.complete);
+/// ```
+pub struct Checker {
+    name: String,
+    preemption_bound: usize,
+    max_depth: usize,
+    max_iterations: usize,
+}
+
+impl Checker {
+    /// A checker with default budgets: preemption bound 2, depth cap 5000,
+    /// iteration cap 500000.
+    pub fn new(name: impl Into<String>) -> Self {
+        Checker {
+            name: name.into(),
+            preemption_bound: 2,
+            max_depth: 5_000,
+            max_iterations: 500_000,
+        }
+    }
+
+    /// Caps involuntary context switches per schedule. Most real bugs
+    /// manifest within 2 preemptions; raising this grows the tree fast.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps scheduler decisions per schedule (livelock guard).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Caps total schedules (explored + pruned) per exploration.
+    pub fn max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Explores the model exhaustively. Panics with a printed counterexample
+    /// (reason + minimal replayable schedule trace) on the first failing
+    /// schedule; returns the exploration report otherwise.
+    pub fn check<F: Fn() + Send + Sync>(&self, model: F) -> Report {
+        match self.try_check(model) {
+            Ok(report) => report,
+            Err(cex) => panic!("interleave found a counterexample\n{cex}"),
+        }
+    }
+
+    /// Like [`Checker::check`], but returns the counterexample instead of
+    /// panicking. On failure the counterexample is re-searched at the lowest
+    /// preemption bound that still exhibits it, so the trace is minimal.
+    pub fn try_check<F: Fn() + Send + Sync>(&self, model: F) -> Result<Report, Counterexample> {
+        match self.explore(&model, self.preemption_bound) {
+            Ok(report) => Ok(report),
+            Err(cex) => {
+                for bound in 0..self.preemption_bound {
+                    self.explore(&model, bound)?;
+                }
+                Err(cex)
+            }
+        }
+    }
+
+    fn explore<F: Fn()>(&self, model: &F, bound: usize) -> Result<Report, Counterexample> {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut schedules = 0usize;
+        let mut pruned = 0usize;
+        let mut max_depth_seen = 0usize;
+        loop {
+            if schedules + pruned >= self.max_iterations {
+                return Ok(Report {
+                    schedules,
+                    pruned,
+                    complete: false,
+                    max_depth_seen,
+                });
+            }
+            let outcome = self.run_iteration(model, bound, nodes, None);
+            max_depth_seen = max_depth_seen.max(outcome.depth);
+            match outcome.end {
+                IterEnd::Complete => schedules += 1,
+                IterEnd::Pruned => pruned += 1,
+                IterEnd::Failed(reason) => {
+                    return Err(Counterexample {
+                        model: self.name.clone(),
+                        reason,
+                        trace: outcome.trace,
+                        choices: outcome.choices,
+                        schedules_before: schedules,
+                    });
+                }
+            }
+            nodes = outcome.nodes;
+            if !backtrack(&mut nodes) {
+                return Ok(Report {
+                    schedules,
+                    pruned,
+                    complete: true,
+                    max_depth_seen,
+                });
+            }
+        }
+    }
+
+    fn run_iteration<F: Fn()>(
+        &self,
+        model: &F,
+        bound: usize,
+        nodes: Vec<Node>,
+        forced: Option<Vec<usize>>,
+    ) -> IterOutcome {
+        let exec = Arc::new(Execution::new(bound, self.max_depth, nodes, forced));
+        ACTIVE.fetch_add(1, Ordering::SeqCst);
+        set_ctx(Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid: 0,
+        }));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(model));
+        exec.finish_thread(0, outcome.map(|()| Box::new(()) as Box<dyn Any + Send>));
+        exec.wait_iteration_end();
+        // Spawned threads may still be draining their teardown unwinds (and
+        // may spawn more threads while doing so): join until quiescent.
+        loop {
+            let handles = exec.take_os_handles();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        set_ctx(None);
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+        let mut inner = exec.lock_inner();
+        let end = match inner.status {
+            Status::Complete => IterEnd::Complete,
+            Status::Pruned => IterEnd::Pruned,
+            Status::Failed | Status::Running => IterEnd::Failed(
+                inner
+                    .failure
+                    .take()
+                    .unwrap_or_else(|| "iteration failed without a recorded reason".to_string()),
+            ),
+        };
+        IterOutcome {
+            end,
+            nodes: std::mem::take(&mut inner.nodes),
+            depth: inner.depth,
+            trace: std::mem::take(&mut inner.trace),
+            choices: std::mem::take(&mut inner.choices),
+        }
+    }
+}
+
+/// Advances the DFS cursor to the next unexplored branch. Returns false when
+/// the whole tree is exhausted. Exploring a branch moves its thread into the
+/// sleep set of its later siblings (sleep-set pruning).
+fn backtrack(nodes: &mut Vec<Node>) -> bool {
+    while let Some(node) = nodes.last_mut() {
+        let done = node.candidates[node.idx];
+        if !node.sleep.contains(&done) {
+            node.sleep.push(done);
+        }
+        node.idx += 1;
+        while node.idx < node.candidates.len() && node.sleep.contains(&node.candidates[node.idx]) {
+            node.idx += 1;
+        }
+        if node.idx < node.candidates.len() {
+            return true;
+        }
+        nodes.pop();
+    }
+    false
+}
+
+/// Re-executes `model` under one exact schedule captured in a
+/// [`Counterexample`]'s `choices`, re-panicking with the rendered failure.
+/// Completing cleanly means the schedule no longer fails (e.g. after a fix).
+pub fn replay<F: Fn() + Send + Sync>(choices: &[usize], model: F) {
+    let checker = Checker::new("replay");
+    let outcome = checker.run_iteration(&model, usize::MAX, Vec::new(), Some(choices.to_vec()));
+    if let IterEnd::Failed(reason) = outcome.end {
+        let cex = Counterexample {
+            model: "replay".to_string(),
+            reason,
+            trace: outcome.trace,
+            choices: outcome.choices,
+            schedules_before: 0,
+        };
+        panic!("interleave replay reproduced the failure\n{cex}");
+    }
+}

@@ -1,0 +1,699 @@
+//! Drop-in instrumented replacements for `std::sync` primitives.
+//!
+//! Outside a checker run (no live execution in the process, or a thread that
+//! is not part of one) every type delegates straight to its `std::sync`
+//! counterpart, preserving semantics exactly — including poisoning. Inside a
+//! checker run, each operation first becomes a scheduler decision point, so
+//! the DFS explores every ordering of lock acquisitions, condvar wakeups and
+//! atomic accesses.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, LockResult, PoisonError, TryLockError};
+
+use crate::rt::{self, Ctx, Execution, ObjKind, Op, OpKind, NO_OBJ};
+
+/// Lazily-allocated per-execution object identity for one primitive.
+///
+/// Ids are handed out under the scheduler's serialization while exactly one
+/// thread runs, so the allocation order — and therefore every id — is
+/// deterministic across replays of the same schedule prefix.
+struct ObjCell {
+    gen: std::sync::atomic::AtomicU64,
+    id: std::sync::atomic::AtomicU64,
+}
+
+use std::sync::atomic::Ordering as StdOrdering;
+
+impl ObjCell {
+    const fn new() -> Self {
+        ObjCell {
+            gen: std::sync::atomic::AtomicU64::new(0),
+            id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn id(&self, ctx: &Ctx, kind: ObjKind) -> u32 {
+        if self.gen.load(StdOrdering::Relaxed) == ctx.exec.gen {
+            return self.id.load(StdOrdering::Relaxed) as u32;
+        }
+        let id = ctx.exec.alloc_obj(kind);
+        self.id.store(u64::from(id), StdOrdering::Relaxed);
+        self.gen.store(ctx.exec.gen, StdOrdering::Relaxed);
+        id
+    }
+}
+
+/// Virtual ownership of a lock inside an execution; released on guard drop.
+struct Virt {
+    exec: Arc<Execution>,
+    tid: usize,
+    obj: u32,
+}
+
+impl Virt {
+    fn release(self, kind: OpKind) {
+        let _ = self.exec.perform(self.tid, Op::new(kind, self.obj));
+    }
+}
+
+fn sanitize<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sanitize_try<G>(r: Result<G, TryLockError<G>>) -> Option<G> {
+    match r {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// A mutual-exclusion lock; `std::sync::Mutex` outside checker runs, a
+/// scheduler decision point inside them.
+pub struct Mutex<T> {
+    obj: ObjCell,
+    real: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            obj: ObjCell::new(),
+            real: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (virtually, under the checker) until it
+    /// is free. Poison semantics match `std` on the fallback path; model
+    /// executions sanitize poison (a panicked model thread already failed
+    /// the whole iteration).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.real.lock() {
+                Ok(g) => Ok(self.guard(g, None)),
+                Err(p) => Err(PoisonError::new(self.guard(p.into_inner(), None))),
+            },
+            Some(ctx) => {
+                let obj = self.obj.id(&ctx, ObjKind::Mutex);
+                if ctx.exec.perform(ctx.tid, Op::new(OpKind::Lock, obj)) {
+                    let real = match sanitize_try(self.real.try_lock()) {
+                        Some(g) => g,
+                        None => panic!("interleave: mutex held for real after a virtual grant"),
+                    };
+                    let virt = Virt {
+                        exec: ctx.exec,
+                        tid: ctx.tid,
+                        obj,
+                    };
+                    Ok(self.guard(real, Some(virt)))
+                } else {
+                    // Iteration teardown: take the real lock so unwinding
+                    // destructors still see consistent data.
+                    Ok(self.guard(sanitize(self.real.lock()), None))
+                }
+            }
+        }
+    }
+
+    fn guard<'a>(
+        &'a self,
+        real: std::sync::MutexGuard<'a, T>,
+        virt: Option<Virt>,
+    ) -> MutexGuard<'a, T> {
+        MutexGuard {
+            real: Some(real),
+            virt,
+            lock: &self.real,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value. Passes std poison
+    /// semantics through unchanged.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.real.into_inner()
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.real.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.real.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the virtual lock before the real one.
+pub struct MutexGuard<'a, T> {
+    real: Option<std::sync::MutexGuard<'a, T>>,
+    virt: Option<Virt>,
+    /// Back-reference used by `Condvar::wait` to reacquire after a wakeup.
+    lock: &'a std::sync::Mutex<T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn real_ref(&self) -> &std::sync::MutexGuard<'a, T> {
+        match &self.real {
+            Some(g) => g,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+
+    fn real_mut(&mut self) -> &mut std::sync::MutexGuard<'a, T> {
+        match &mut self.real {
+            Some(g) => g,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+
+    /// Disassembles without running `Drop` (the condvar path re-sequences
+    /// the virtual and real releases itself).
+    fn into_parts(
+        mut self,
+    ) -> (
+        Option<std::sync::MutexGuard<'a, T>>,
+        Option<Virt>,
+        &'a std::sync::Mutex<T>,
+    ) {
+        let real = self.real.take();
+        let virt = self.virt.take();
+        let lock = self.lock;
+        std::mem::forget(self);
+        (real, virt, lock)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real_ref()
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real_mut()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Virtual release first: once the scheduler has processed the
+        // unlock, dropping the real guard is invisible to peers (they only
+        // acquire after their own virtual grant).
+        if let Some(virt) = self.virt.take() {
+            virt.release(OpKind::Unlock);
+        }
+        self.real = None;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.real_ref().fmt(f)
+    }
+}
+
+/// A condition variable; `std::sync::Condvar` outside checker runs. Inside
+/// them, waits park the virtual thread (atomically releasing the mutex) and
+/// notifies ready parked threads in FIFO order — lost wakeups therefore
+/// surface as deadlock counterexamples.
+pub struct Condvar {
+    obj: ObjCell,
+    real: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            obj: ObjCell::new(),
+            real: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified, then reacquires.
+    /// Under the checker this is exact (no spurious wakeups); the fallback
+    /// path is `std` verbatim.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::current() {
+            None => {
+                let (real, _, lock) = guard.into_parts();
+                let real = match real {
+                    Some(g) => g,
+                    None => unreachable!("guard accessed after release"),
+                };
+                match self.real.wait(real) {
+                    Ok(g) => Ok(MutexGuard {
+                        real: Some(g),
+                        virt: None,
+                        lock,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        real: Some(p.into_inner()),
+                        virt: None,
+                        lock,
+                    })),
+                }
+            }
+            Some(ctx) => {
+                let (real, virt, lock) = guard.into_parts();
+                let virt = match virt {
+                    // A passthrough guard waiting during teardown would spin
+                    // on its predicate forever; unwind this thread instead.
+                    None => {
+                        drop(real);
+                        rt::abort_panic();
+                    }
+                    Some(v) => v,
+                };
+                let cv = self.obj.id(&ctx, ObjKind::Condvar);
+                let op = Op {
+                    kind: OpKind::CvWait,
+                    obj: cv,
+                    obj2: virt.obj,
+                };
+                if !ctx.exec.perform(ctx.tid, op) {
+                    drop(real);
+                    rt::abort_panic();
+                }
+                // Granted: release virtually and park. Dropping the real
+                // guard here is safe — no other thread runs until cv_block
+                // hands the schedule over.
+                ctx.exec.cv_park(ctx.tid, cv, virt.obj);
+                drop(real);
+                ctx.exec.cv_block(ctx.tid);
+                // Back: a notify re-readied us as a Lock of the mutex and
+                // the scheduler granted it, so the real lock must be free.
+                let real = match sanitize_try(lock.try_lock()) {
+                    Some(g) => g,
+                    None => panic!("interleave: mutex held for real after condvar reacquire"),
+                };
+                Ok(MutexGuard {
+                    real: Some(real),
+                    virt: Some(virt),
+                    lock,
+                })
+            }
+        }
+    }
+
+    /// Wakes one waiter (the longest-parked one, under the checker).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.real.notify_one(),
+            Some(ctx) => {
+                let obj = self.obj.id(&ctx, ObjKind::Condvar);
+                let _ = ctx.exec.perform(ctx.tid, Op::new(OpKind::CvNotifyOne, obj));
+            }
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.real.notify_all(),
+            Some(ctx) => {
+                let obj = self.obj.id(&ctx, ObjKind::Condvar);
+                let _ = ctx.exec.perform(ctx.tid, Op::new(OpKind::CvNotifyAll, obj));
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}
+
+/// A reader-writer lock; `std::sync::RwLock` outside checker runs. Readers
+/// share (`RdLock`), writers exclude everyone (`Lock` on the same object).
+pub struct RwLock<T> {
+    obj: ObjCell,
+    real: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            obj: ObjCell::new(),
+            real: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match rt::current() {
+            None => match self.real.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    real: Some(g),
+                    virt: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    real: Some(p.into_inner()),
+                    virt: None,
+                })),
+            },
+            Some(ctx) => {
+                let obj = self.obj.id(&ctx, ObjKind::RwLock);
+                if ctx.exec.perform(ctx.tid, Op::new(OpKind::RdLock, obj)) {
+                    let real = match sanitize_try(self.real.try_read()) {
+                        Some(g) => g,
+                        None => panic!("interleave: rwlock write-held after a virtual read grant"),
+                    };
+                    Ok(RwLockReadGuard {
+                        real: Some(real),
+                        virt: Some(Virt {
+                            exec: ctx.exec,
+                            tid: ctx.tid,
+                            obj,
+                        }),
+                    })
+                } else {
+                    Ok(RwLockReadGuard {
+                        real: Some(sanitize(self.real.read())),
+                        virt: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match rt::current() {
+            None => match self.real.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    real: Some(g),
+                    virt: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    real: Some(p.into_inner()),
+                    virt: None,
+                })),
+            },
+            Some(ctx) => {
+                let obj = self.obj.id(&ctx, ObjKind::RwLock);
+                if ctx.exec.perform(ctx.tid, Op::new(OpKind::Lock, obj)) {
+                    let real = match sanitize_try(self.real.try_write()) {
+                        Some(g) => g,
+                        None => panic!("interleave: rwlock held after a virtual write grant"),
+                    };
+                    Ok(RwLockWriteGuard {
+                        real: Some(real),
+                        virt: Some(Virt {
+                            exec: ctx.exec,
+                            tid: ctx.tid,
+                            obj,
+                        }),
+                    })
+                } else {
+                    Ok(RwLockWriteGuard {
+                        real: Some(sanitize(self.real.write())),
+                        virt: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Consumes the lock, returning the inner value (std poison semantics).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.real.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.real.fmt(f)
+    }
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    real: Option<std::sync::RwLockReadGuard<'a, T>>,
+    virt: Option<Virt>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.real {
+            Some(g) => g,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(virt) = self.virt.take() {
+            virt.release(OpKind::RdUnlock);
+        }
+        self.real = None;
+    }
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    real: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    virt: Option<Virt>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.real {
+            Some(g) => g,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.real {
+            Some(g) => g,
+            None => unreachable!("guard accessed after release"),
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(virt) = self.virt.take() {
+            virt.release(OpKind::Unlock);
+        }
+        self.real = None;
+    }
+}
+
+pub mod atomic {
+    //! Instrumented atomics. Every access is a scheduler decision point
+    //! under the checker (loads included — load/store races are exactly the
+    //! interleavings worth exploring), and a plain `std` atomic otherwise.
+
+    use super::ObjCell;
+    use crate::rt::{self, ObjKind, Op, OpKind};
+
+    pub use std::sync::atomic::Ordering;
+
+    fn touch(obj: &ObjCell, kind: OpKind) {
+        if let Some(ctx) = rt::current() {
+            let id = obj.id(&ctx, ObjKind::Atomic);
+            let _ = ctx.exec.perform(ctx.tid, Op::new(kind, id));
+        }
+    }
+
+    macro_rules! atomic_uint {
+        ($(#[$doc:meta])* $name:ident, $real:ident, $prim:ty) => {
+            $(#[$doc])*
+            pub struct $name {
+                obj: ObjCell,
+                real: std::sync::atomic::$real,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $prim) -> Self {
+                    $name {
+                        obj: ObjCell::new(),
+                        real: std::sync::atomic::$real::new(value),
+                    }
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    touch(&self.obj, OpKind::AtomicLoad);
+                    self.real.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    touch(&self.obj, OpKind::AtomicStore);
+                    self.real.store(value, order)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    touch(&self.obj, OpKind::AtomicRmw);
+                    self.real.fetch_add(value, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    touch(&self.obj, OpKind::AtomicRmw);
+                    self.real.fetch_sub(value, order)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    touch(&self.obj, OpKind::AtomicRmw);
+                    self.real.swap(value, order)
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    touch(&self.obj, OpKind::AtomicRmw);
+                    self.real.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    touch(&self.obj, OpKind::AtomicRmw);
+                    self.real.fetch_max(value, order)
+                }
+
+                /// Non-atomic read via exclusive borrow.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.real.get_mut()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    $name::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.real.fmt(f)
+                }
+            }
+        };
+    }
+
+    atomic_uint!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    atomic_uint!(
+        /// Instrumented `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    atomic_uint!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+
+    /// Instrumented `AtomicBool`.
+    pub struct AtomicBool {
+        obj: ObjCell,
+        real: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic flag.
+        pub const fn new(value: bool) -> Self {
+            AtomicBool {
+                obj: ObjCell::new(),
+                real: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, order: Ordering) -> bool {
+            touch(&self.obj, OpKind::AtomicLoad);
+            self.real.load(order)
+        }
+
+        /// Atomic store.
+        pub fn store(&self, value: bool, order: Ordering) {
+            touch(&self.obj, OpKind::AtomicStore);
+            self.real.store(value, order)
+        }
+
+        /// Atomic swap, returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            touch(&self.obj, OpKind::AtomicRmw);
+            self.real.swap(value, order)
+        }
+
+        /// Atomic OR, returning the previous value.
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            touch(&self.obj, OpKind::AtomicRmw);
+            self.real.fetch_or(value, order)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.real.fmt(f)
+        }
+    }
+}
+
+/// Yields the schedule to another thread: a no-cost decision point useful
+/// for widening exploration around busy loops. Delegates to
+/// `std::thread::yield_now` outside checker runs.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => {
+            let _ = ctx.exec.perform(ctx.tid, Op::new(OpKind::Yield, NO_OBJ));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded tidy violation (fixture — never compiled). Mirrors the real
+//! `crates/studyd/src/server.rs` path so the no-sleep-while-locked rule
+//! applies.
+
+fn write_line(&self, line: &str) -> bool {
+    let mut writer = lock(&self.writer);
+    // Violation: stalling with the writer mutex held — every peer
+    // connection's response thread queues behind this nap.
+    thread::sleep(Duration::from_millis(50));
+    writer.write_all(line.as_bytes()).is_ok()
+}

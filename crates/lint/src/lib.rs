@@ -1,7 +1,7 @@
 //! Repo tidy lint (rust-tidy style: plain-text scanning, no external
 //! dependencies, no network).
 //!
-//! Six rule families, each suppressible only by an explicit, reasoned
+//! Ten rule families, each suppressible only by an explicit, reasoned
 //! marker comment — `// lint: allow(<rule>): <reason>` on the offending
 //! line or within [`MARKER_WINDOW`] lines above it:
 //!
@@ -34,6 +34,17 @@
 //!   allocating construct there (`vec!`, `Vec::new`, `.collect()`,
 //!   `Box::new`, `format!`, …) is either one-time construction (marked as
 //!   such) or a hot-path regression.
+//! * **`no-sleep-while-locked`** — in the server and concurrency core
+//!   (`crates/studyd`, `crates/core`), a live `MutexGuard` must not be
+//!   held across a sleep or blocking I/O call; every other thread that
+//!   touches the mutex stalls for the full duration. Condvar `.wait(` is
+//!   exempt — it releases the lock while blocked, which is the sanctioned
+//!   way to wait under a guard.
+//! * **`feature-smoke`** — every `*-bug` cargo feature in a workspace
+//!   manifest is a seeded mutation whose whole value is the CI negative
+//!   smoke that proves the suite still catches it. A feature name absent
+//!   from `.github/workflows/` is a smoke test that silently stopped
+//!   running (or never existed).
 //!
 //! The scanner is deliberately line-based: the codebase is rustfmt-clean,
 //! so declarations and statements land on predictable lines, and a dumb
@@ -90,6 +101,25 @@ pub const FS_BOUNDARY_CRATES: &[&str] = &["crates/runstore/"];
 /// Files on the decay hot path that promise zero steady-state allocation.
 pub const NO_ALLOC_FILES: &[&str] = &["crates/cachesim/src/wheel.rs"];
 
+/// Crates whose lock guards must not be held across sleeps or blocking
+/// I/O (prefix-matched): the study server and the concurrency core. Both
+/// sit on the request path, so a guard held through a stall serializes
+/// every peer behind one slow syscall.
+pub const NO_SLEEP_LOCK_CRATES: &[&str] = &["crates/studyd/", "crates/core/"];
+
+/// Calls that park the calling thread for arbitrarily long. Condvar
+/// `.wait(` is deliberately absent: it releases the guard while blocked.
+pub const BLOCKING_TOKENS: &[&str] = &[
+    "thread::sleep(",
+    ".write_all(",
+    ".read_line(",
+    ".read_exact(",
+    ".read_until(",
+    ".recv(",
+    ".recv_timeout(",
+    ".accept(",
+];
+
 /// Allocating constructs forbidden in [`NO_ALLOC_FILES`] without a marker.
 pub const ALLOC_TOKENS: &[&str] = &[
     "vec![",
@@ -132,6 +162,10 @@ pub enum Rule {
     FsBoundary,
     /// An allocating construct on the zero-allocation decay hot path.
     NoAllocInSweep,
+    /// A sleep or blocking I/O call while a lock guard is live.
+    NoSleepWhileLocked,
+    /// A seeded `*-bug` cargo feature with no CI negative-smoke step.
+    FeatureSmoke,
 }
 
 impl Rule {
@@ -146,6 +180,8 @@ impl Rule {
             Rule::ServerBoundary => "server-boundary",
             Rule::FsBoundary => "fs-boundary",
             Rule::NoAllocInSweep => "no-alloc-in-sweep",
+            Rule::NoSleepWhileLocked => "no-sleep-while-locked",
+            Rule::FeatureSmoke => "feature-smoke",
         }
     }
 }
@@ -463,6 +499,115 @@ fn check_no_alloc(rel: &Path, lines: &[&str], in_test: &[bool], out: &mut Vec<Vi
     }
 }
 
+/// True if `rel` sits in a crate whose guards must stay stall-free.
+fn no_sleep_lock_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    NO_SLEEP_LOCK_CRATES
+        .iter()
+        .any(|c| p.starts_with(c) || p.contains(&format!("/{c}")))
+}
+
+/// The bound name if `code` is a `let` statement taking a lock guard —
+/// either a direct `.lock(` call or the workspace's poison-sanitizing
+/// `lock(` helper.
+fn guard_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    if !(code.contains(".lock(") || code.contains("= lock(") || code.contains("::lock(")) {
+        return None;
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Guard-liveness scan generalizing [`check_lock_order`]: from any
+/// `let [mut] g = ...lock(...)` binding until `drop(g)` (or the end of
+/// the binding's block), a sleep or blocking I/O call holds the mutex
+/// for unbounded time and stalls every peer behind it.
+fn check_no_sleep_while_locked(
+    rel: &Path,
+    lines: &[&str],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    let mut depth = 0i32;
+    let mut guards: Vec<(String, i32)> = Vec::new(); // (name, binding depth)
+    for (i, line) in lines.iter().enumerate() {
+        let before = depth;
+        depth += brace_delta(line);
+        if in_test[i] || is_comment(line) {
+            continue;
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        guards.retain(|(name, gd)| depth >= *gd && !code.contains(&format!("drop({name})")));
+        if !guards.is_empty()
+            && BLOCKING_TOKENS.iter().any(|t| code.contains(t))
+            && !has_marker(lines, i, Rule::NoSleepWhileLocked)
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::NoSleepWhileLocked,
+                excerpt: line.trim().to_string(),
+            });
+            guards.clear(); // one report per held-guard region
+            continue;
+        }
+        if let Some(name) = guard_binding(code) {
+            guards.push((name, before));
+        }
+    }
+}
+
+/// Scans one manifest's `[features]` section: every `*-bug` feature is a
+/// seeded mutation, and its whole value is the CI negative-smoke step
+/// that proves the suite still catches it — so each name must appear
+/// somewhere in the workflow text. Suppressible with a
+/// `# lint: allow(feature-smoke): <reason>` comment above the feature.
+pub fn check_feature_smoke(rel: &Path, manifest: &str, workflow: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = manifest.lines().collect();
+    let mut out = Vec::new();
+    let mut in_features = false;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_features = t == "[features]";
+            continue;
+        }
+        if !in_features || t.starts_with('#') {
+            continue;
+        }
+        let Some((name, _)) = t.split_once('=') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if !name.ends_with("-bug")
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            continue;
+        }
+        if !workflow.contains(name) && !has_marker(&lines, i, Rule::FeatureSmoke) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::FeatureSmoke,
+                excerpt: t.to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Scans one file's content; `rel` decides which rules apply.
 pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     let lines: Vec<&str> = content.lines().collect();
@@ -487,6 +632,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     if path_matches(rel, NO_ALLOC_FILES) {
         check_no_alloc(rel, &lines, &in_test, &mut out);
     }
+    if no_sleep_lock_scope(rel) {
+        check_no_sleep_while_locked(rel, &lines, &in_test, &mut out);
+    }
     check_unwrap(rel, &lines, &in_test, &mut out);
     out
 }
@@ -502,7 +650,7 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
                 continue;
             }
             walk(&path, files)?;
-        } else if name.ends_with(".rs") {
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
             files.push(path);
         }
     }
@@ -521,6 +669,31 @@ fn in_scope(rel: &Path) -> bool {
     src_tree && !p.contains("/tests/") && !p.contains("/benches/")
 }
 
+/// True if `rel` is a manifest whose `*-bug` features CI must smoke: the
+/// workspace root and the member crates. Shims are vendored stubs, and
+/// the lint crate names the forbidden patterns (and carries fixtures).
+fn manifest_in_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p == "Cargo.toml" || (p.starts_with("crates/") && !p.starts_with("crates/lint/"))
+}
+
+/// Concatenated text of every workflow under `root/.github/workflows`;
+/// empty when the directory is absent (every `*-bug` feature then fires,
+/// which is the right default for a repo that lost its CI config).
+fn workflow_text(root: &Path) -> String {
+    let mut text = String::new();
+    if let Ok(entries) = fs::read_dir(root.join(".github").join("workflows")) {
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for p in paths {
+            if let Ok(s) = fs::read_to_string(&p) {
+                text.push_str(&s);
+            }
+        }
+    }
+    text
+}
+
 /// Scans a workspace (or fixture) root, applying each rule to the files in
 /// its scope. Paths in the returned violations are relative to `root`.
 ///
@@ -531,9 +704,17 @@ pub fn scan_root(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
     files.sort();
+    let workflow = workflow_text(root);
     let mut out = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
+            if manifest_in_scope(&rel) {
+                let content = fs::read_to_string(&path)?;
+                out.extend(check_feature_smoke(&rel, &content, &workflow));
+            }
+            continue;
+        }
         if !in_scope(&rel) {
             continue;
         }
@@ -749,6 +930,95 @@ mod tests {
         let src = "fn f() -> Vec<u32> {\n    vec![1, 2]\n}\n";
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), src);
         assert!(v.iter().all(|v| v.rule != Rule::NoAllocInSweep), "{v:?}");
+    }
+
+    #[test]
+    fn sleep_under_a_live_guard_fires() {
+        let src = "fn f(&self) {\n    let mut writer = lock(&self.writer);\n    thread::sleep(POLL_INTERVAL);\n}\n";
+        let v = scan_content(&rel("crates/studyd/src/server.rs"), src);
+        assert!(
+            v.iter().any(|v| v.rule == Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+
+        let io = "fn f(&self) {\n    let g = self.state.lock().expect(\"state\");\n    self.sock.write_all(b\"x\");\n}\n";
+        let v = scan_content(&rel("crates/core/src/study.rs"), io);
+        assert!(
+            v.iter().any(|v| v.rule == Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_after_drop_or_block_end_is_fine() {
+        let dropped = "fn f(&self) {\n    let g = self.state.lock().expect(\"state\");\n    drop(g);\n    thread::sleep(POLL_INTERVAL);\n}\n";
+        let v = scan_content(&rel("crates/studyd/src/server.rs"), dropped);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+
+        let scoped = "fn f(&self) {\n    {\n        let g = self.state.lock().expect(\"state\");\n    }\n    thread::sleep(POLL_INTERVAL);\n}\n";
+        let v = scan_content(&rel("crates/studyd/src/server.rs"), scoped);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_markers_and_other_crates_are_exempt() {
+        // `.wait(` releases the guard while blocked — the sanctioned idiom.
+        let wait = "fn f(&self) {\n    let mut g = self.state.lock().expect(\"state\");\n    g = self.cv.wait(g).expect(\"wait\");\n}\n";
+        let v = scan_content(&rel("crates/studyd/src/queue.rs"), wait);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+
+        let marked = "fn f(&self) {\n    let mut writer = lock(&self.writer);\n    // lint: allow(no-sleep-while-locked): writes are line-atomic by design\n    writer.write_all(b\"x\");\n}\n";
+        let v = scan_content(&rel("crates/studyd/src/server.rs"), marked);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+
+        let elsewhere = "fn f(&self) {\n    let g = self.state.lock().expect(\"state\");\n    thread::sleep(POLL_INTERVAL);\n}\n";
+        let v = scan_content(&rel("crates/cachesim/src/cache.rs"), elsewhere);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn orphan_bug_feature_fires_and_a_smoked_one_passes() {
+        let manifest = "[package]\nname = \"q\"\n\n[features]\norphan-race-bug = []\nwheel-bug = []\naudit = []\n";
+        let workflow = "run: cargo test --features wheel-bug\n";
+        let v = check_feature_smoke(&rel("crates/q/Cargo.toml"), manifest, workflow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FeatureSmoke);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].excerpt.contains("orphan-race-bug"), "{v:?}");
+    }
+
+    #[test]
+    fn feature_smoke_marker_and_non_bug_features_are_exempt() {
+        let marked = "[features]\n# lint: allow(feature-smoke): smoke lives in the nightly workflow\nlegacy-race-bug = []\n";
+        let v = check_feature_smoke(&rel("Cargo.toml"), marked, "");
+        assert!(v.is_empty(), "{v:?}");
+
+        let plain = "[features]\naudit = []\ndefault = [\"audit\"]\n\n[dependencies]\nserde-bug-compat = \"1\"\n";
+        let v = check_feature_smoke(&rel("Cargo.toml"), plain, "");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn manifest_scope_covers_root_and_member_crates_only() {
+        assert!(manifest_in_scope(&rel("Cargo.toml")));
+        assert!(manifest_in_scope(&rel("crates/cachesim/Cargo.toml")));
+        assert!(!manifest_in_scope(&rel("shims/serde/Cargo.toml")));
+        assert!(!manifest_in_scope(&rel("crates/lint/Cargo.toml")));
     }
 
     #[test]

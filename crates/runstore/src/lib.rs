@@ -44,8 +44,20 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+
+// Under `model-check` the sync primitives and the flusher thread come
+// from the interleave checker; they delegate to std outside a checker
+// run, so the swap is behaviorally inert (the default build does not
+// compile it at all).
+#[cfg(feature = "model-check")]
+use interleave::sync::{atomic::AtomicU64, Condvar, Mutex, MutexGuard};
+#[cfg(feature = "model-check")]
+use interleave::thread;
+#[cfg(not(feature = "model-check"))]
+use std::sync::{atomic::AtomicU64, Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "model-check"))]
 use std::thread;
 
 /// Magic bytes opening every segment file.

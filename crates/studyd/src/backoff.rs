@@ -137,6 +137,63 @@ mod tests {
     }
 
     #[test]
+    fn cap_below_base_pins_the_delay_and_freezes_the_window() {
+        // A server suggesting a retry-after *below* the client's floor
+        // must not shrink the floor (hammering) nor widen the window:
+        // every draw is exactly the base, forever.
+        let mut b = Backoff::with_seed(20, 7);
+        for _ in 0..100 {
+            assert_eq!(b.next_delay(3), 20, "cap below base must pin to base");
+        }
+        // And once freed from the low cap, growth resumes from the base
+        // (the frozen window did not secretly accumulate).
+        assert!(b.next_delay(1_000) <= 60, "window must restart at 3 * base");
+    }
+
+    #[test]
+    fn zero_retry_after_still_sleeps_the_base() {
+        // `busy` with no suggested delay (0 ms) must not turn the
+        // backoff into a busy-loop: the draw clamps up to the base.
+        let mut b = Backoff::with_seed(5, 11);
+        assert_eq!(b.next_delay(0), 5);
+        // Even after the window has grown, a zero cap snaps it back.
+        let mut b = Backoff::with_seed(5, 11);
+        for _ in 0..20 {
+            b.next_delay(1_000);
+        }
+        assert_eq!(b.next_delay(0), 5, "zero cap must collapse to base");
+
+        // Degenerate construction: base 0 is promoted to 1, so even
+        // `with_seed(0, 0).next_delay(0)` sleeps a nonzero delay.
+        let mut b = Backoff::with_seed(0, 0);
+        assert_eq!(b.next_delay(0), 1);
+    }
+
+    #[test]
+    fn first_step_is_deterministic_and_starts_from_base() {
+        // The very first draw is fixed by (base, seed) alone — retry
+        // tests depend on replaying it — and comes from the initial
+        // window [base, 3 * base], not an already-stretched one.
+        let first = |base: u64, seed: u64| Backoff::with_seed(base, seed).next_delay(1_000);
+        assert_eq!(first(5, 42), first(5, 42));
+        for seed in 0..64 {
+            let d = first(5, seed);
+            assert!(
+                (5..=15).contains(&d),
+                "first draw {d} outside [base, 3*base]"
+            );
+        }
+        // Seeds 0 and 1 collide only because xorshift needs a nonzero
+        // state (`seed | 1`); adjacent odd seeds must still differ
+        // somewhere in the schedule.
+        let take = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::with_seed(5, seed);
+            (0..16).map(|_| b.next_delay(1_000)).collect()
+        };
+        assert_ne!(take(3), take(5));
+    }
+
+    #[test]
     fn entropy_seeded_instances_differ() {
         let mut a = Backoff::new();
         let mut b = Backoff::new();

@@ -5,7 +5,14 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
+
+// The cancellation flag is shared with server::Job, so it must be the
+// same type the server compiles against under `model-check`.
+#[cfg(feature = "model-check")]
+use interleave::sync::atomic::AtomicBool;
+#[cfg(not(feature = "model-check"))]
+use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;

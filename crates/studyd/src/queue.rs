@@ -10,7 +10,15 @@
 //! stops new work but every already-accepted job still runs and replies.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
+
+// Under `model-check` the sync primitives come from the interleave
+// checker; they delegate to std outside a checker run, so the swap is
+// behaviorally inert (the default build does not compile it at all).
+#[cfg(feature = "model-check")]
+use interleave::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "model-check"))]
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -32,9 +32,17 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError};
+
+// Under `model-check` the sync primitives come from the interleave
+// checker; they delegate to std outside a checker run, so the swap is
+// behaviorally inert (the default build does not compile it at all).
+#[cfg(feature = "model-check")]
+use interleave::sync::{atomic::AtomicBool, Mutex, MutexGuard};
+#[cfg(not(feature = "model-check"))]
+use std::sync::{atomic::AtomicBool, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -95,6 +103,9 @@ impl Conn {
     /// connection cancelled so queued siblings are skipped.
     fn write_line(&self, line: &str) -> bool {
         let mut writer = lock(&self.writer);
+        // lint: allow(no-sleep-while-locked): the writer mutex exists to
+        // make whole-line writes atomic; holding it across the write IS
+        // the serialization, and each line is small and bounded.
         let ok = writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.flush())
