@@ -27,6 +27,14 @@
 //!    ([`crate::Cache::schedule_coherence`]): no live line is missing its
 //!    decay event, none sits at a stale cycle, and every unexpired
 //!    transition has its expiry scheduled.
+//! 7. **Cross-set independence** (multi-set geometries) — a set's decay
+//!    and replacement behavior is a function of that set's own state and
+//!    the global clock only. Each explored node carries one *shadow*
+//!    single-set cache per set, fed exactly the accesses that index into
+//!    it; after every event the main cache's per-set canonical projection
+//!    must equal its shadow's, and every access must return a bitwise
+//!    identical [`crate::AccessResult`] on both. This is what licenses
+//!    the leakage harness to reason about probe timings set-by-set.
 //!
 //! The exploration is a breadth-first search over *canonical* states, so a
 //! reported violation comes with a **minimal event trace** from the reset
@@ -35,11 +43,24 @@
 //! every settle time) — so the reachable space is finite and small
 //! (hundreds of states per configuration).
 //!
+//! The canonical key quotients two symmetries so multi-set spaces stay
+//! small: absolute LRU stamps collapse to per-set ranks, and resident tags
+//! collapse to a per-set relabeling by first appearance in way order
+//! (empty lines' tags are erased entirely). Tag relabeling is sound
+//! because the event alphabet is closed under tag permutations within a
+//! set's residue class, every invariant is tag-permutation-invariant, and
+//! the frontier stores *concrete* caches — the quotient only prunes
+//! duplicate exploration, so counterexample traces stay literally
+//! replayable. Way-order symmetry is deliberately **not** quotiented: LRU
+//! stamps can tie after decay, and merging tied orders would be unsound.
+//!
 //! [`explore_with_switches`] additionally puts mid-run decay-interval
 //! *switching* in the alphabet (the adaptive controllers' move, over the
 //! small [`SWITCH_INTERVALS`] ladder), so every invariant is also checked
 //! across interval changes from every reachable state — not just the
-//! chosen scenarios the proptest/oracle suites drive.
+//! chosen scenarios the proptest/oracle suites drive. [`explore_sets`]
+//! generalizes both to multi-set geometries; [`check_all_two_set`] is the
+//! 2-set analogue of [`check_all`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -124,18 +145,23 @@ pub struct Report {
     pub states: usize,
     /// Transitions taken (states × events, minus duplicates pruned late).
     pub transitions: usize,
-    /// Ways in the (single-set) cache explored.
+    /// Ways per set in the cache explored.
     pub assoc: usize,
+    /// Sets in the cache explored.
+    pub sets: usize,
 }
 
 /// Canonical abstraction of one reachable cache state. Absolute cycle
-/// numbers, stats, and raw LRU stamps are erased; what remains determines
-/// all future behavior of the machine under the normalized event alphabet.
+/// numbers, stats, raw LRU stamps, and concrete tag values are erased
+/// (stamps become per-set ranks, tags a per-set relabeling); what remains
+/// determines all future behavior of the machine under the normalized
+/// event alphabet, up to tag permutation within each set's residue class.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
-    /// Per line: (mode kind, settle cycles still pending at the current
-    /// clock, two-bit counter, data state, tag, LRU rank within the set).
-    lines: Vec<(u8, u64, u8, u8, u64, u8)>,
+    /// Per line, set-major: (mode kind, settle cycles still pending at
+    /// the current clock, two-bit counter, data state, relabeled tag,
+    /// LRU rank within the set).
+    lines: Vec<(u8, u64, u8, u8, u8, u8)>,
     /// Global-counter wrap phase within the full interval (drives the
     /// `simple` policy's full-interval flush). Taken from
     /// [`Cache::wrap_phase`], which restarts on an interval switch — the
@@ -169,27 +195,54 @@ fn mode_code(mode: LineMode, now: u64) -> (u8, u64) {
     }
 }
 
-fn canonical_key(cache: &Cache) -> Key {
+/// Canonical projection of one set: per way, (mode kind, pending settle,
+/// two-bit counter, data state, relabeled tag, LRU rank within the set).
+///
+/// Tags are relabeled densely by first appearance in way order; empty
+/// lines' tags are erased to a sentinel (an empty line's stale tag can
+/// never match an access, so it cannot influence future behavior). LRU
+/// ranks are computed within the set, so the projection of set `s` of a
+/// multi-set cache is directly comparable to the projection of a
+/// single-set shadow cache fed the same per-set access stream.
+fn set_projection(cache: &Cache, set: usize) -> Vec<(u8, u64, u8, u8, u8, u8)> {
     let now = cache.clock();
-    let n = cache.config().num_lines();
-    let views: Vec<LineView> = (0..n).map(|i| cache.line_view(i)).collect();
-    // LRU rank: position of each line's stamp in the sorted stamp order.
+    let assoc = cache.config().assoc;
+    let base = set * assoc;
+    let views: Vec<LineView> = (base..base + assoc).map(|i| cache.line_view(i)).collect();
+    // LRU rank: position of each way's stamp in the set's sorted order.
     let mut stamps: Vec<u64> = views.iter().map(|v| v.lru_stamp).collect();
     stamps.sort_unstable();
-    let lines = views
+    let mut tag_ids: Vec<u64> = Vec::new();
+    views
         .iter()
         .map(|v| {
             let (mode, pending) = mode_code(v.mode, now);
             let rank = stamps.iter().position(|&s| s == v.lru_stamp).unwrap_or(0) as u8;
+            let tag_code = if v.data == LineDataView::Empty {
+                u8::MAX
+            } else {
+                let id = tag_ids.iter().position(|&t| t == v.tag).unwrap_or_else(|| {
+                    tag_ids.push(v.tag);
+                    tag_ids.len() - 1
+                });
+                id as u8
+            };
             (
                 mode,
                 pending,
                 v.local_counter,
                 data_code(v.data),
-                v.tag,
+                tag_code,
                 rank,
             )
         })
+        .collect()
+}
+
+fn canonical_key(cache: &Cache) -> Key {
+    let num_sets = cache.config().num_sets();
+    let lines = (0..num_sets)
+        .flat_map(|s| set_projection(cache, s))
         .collect();
     Key {
         lines,
@@ -219,28 +272,117 @@ fn observe(cache: &Cache) -> Observation {
     }
 }
 
-/// Applies `event` to `cache` (mutating it) under the normalized timing.
-fn apply(cache: &mut Cache, event: Event) {
-    let quarter = cache
-        .decay_config()
-        .map(|d| d.quarter_interval())
-        .unwrap_or(1);
-    match event {
-        Event::IdleQuarter => {
-            let now = cache.clock() + quarter;
-            cache.advance_to(now);
+/// One explored node: the cache under test plus (for multi-set
+/// geometries) one isolated single-set shadow per set, fed exactly the
+/// accesses that index into that set. Shadows are the oracle for the
+/// cross-set-independence invariant; for single-set exploration the
+/// shadow vector is empty and the machine degenerates to a bare cache.
+#[derive(Clone)]
+struct Machine {
+    main: Cache,
+    shadows: Vec<Cache>,
+}
+
+impl Machine {
+    fn new(decay: DecayConfig, num_sets: usize, assoc: usize) -> Machine {
+        let cfg = CacheConfig {
+            size_bytes: 64 * assoc * num_sets,
+            assoc,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        // lint: allow(unwrap): checker geometry is a fixed valid constant
+        let main = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+        let shadows = if num_sets > 1 {
+            let shadow_cfg = CacheConfig {
+                size_bytes: 64 * assoc,
+                assoc,
+                line_bytes: 64,
+                hit_latency: 1,
+            };
+            (0..num_sets)
+                // lint: allow(unwrap): checker geometry is a fixed valid constant
+                .map(|_| Cache::new(shadow_cfg, Some(decay)).expect("checker geometry is valid"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Machine { main, shadows }
+    }
+
+    /// Applies `event` under the normalized timing, mirroring accesses
+    /// into the owning set's shadow. Returns a violation description if
+    /// the shadow's [`crate::AccessResult`] diverges from the main
+    /// cache's — the direct form of cross-set interference.
+    fn apply(&mut self, event: Event) -> Option<String> {
+        let quarter = self
+            .main
+            .decay_config()
+            .map(|d| d.quarter_interval())
+            .unwrap_or(1);
+        match event {
+            Event::IdleQuarter => {
+                let now = self.main.clock() + quarter;
+                self.main.advance_to(now);
+                for shadow in &mut self.shadows {
+                    shadow.advance_to(now);
+                }
+            }
+            Event::Read(t) | Event::Write(t) => {
+                let kind = match event {
+                    Event::Read(_) => AccessKind::Read,
+                    _ => AccessKind::Write,
+                };
+                let now = self.main.clock();
+                // Tag t indexes set t % num_sets of the main cache and
+                // maps to tag t of that set's single-set shadow — the
+                // same byte address works for both geometries.
+                let addr = u64::from(t) * self.main.config().line_bytes as u64;
+                let res = self.main.access(addr, kind, now);
+                if !self.shadows.is_empty() {
+                    let set = usize::from(t) % self.shadows.len();
+                    let shadow_res = self.shadows[set].access(addr, kind, now);
+                    if shadow_res != res {
+                        return Some(format!(
+                            "cross-set interference: {event} returned {res:?} on the \
+                             {}-set cache but {shadow_res:?} on set {set}'s isolated shadow",
+                            self.shadows.len()
+                        ));
+                    }
+                }
+            }
+            Event::SwitchInterval(cycles) => {
+                self.main.set_decay_interval(cycles);
+                for shadow in &mut self.shadows {
+                    shadow.set_decay_interval(cycles);
+                }
+            }
         }
-        Event::Read(t) => {
-            let addr = u64::from(t) * cache.config().line_bytes as u64;
-            cache.access(addr, AccessKind::Read, cache.clock());
+        None
+    }
+
+    /// (7) Cross-set independence, state form: every set's canonical
+    /// projection must match its isolated shadow's.
+    fn independence_violation(&self) -> Option<String> {
+        for (set, shadow) in self.shadows.iter().enumerate() {
+            if shadow.wrap_phase() != self.main.wrap_phase() {
+                return Some(format!(
+                    "cross-set interference: shadow {set} wrap phase {} diverged from the \
+                     main cache's {}",
+                    shadow.wrap_phase(),
+                    self.main.wrap_phase()
+                ));
+            }
+            let main_proj = set_projection(&self.main, set);
+            let shadow_proj = set_projection(shadow, 0);
+            if main_proj != shadow_proj {
+                return Some(format!(
+                    "cross-set interference: set {set} reached {main_proj:?} but its \
+                     isolated shadow (same per-set access stream) reached {shadow_proj:?}"
+                ));
+            }
         }
-        Event::Write(t) => {
-            let addr = u64::from(t) * cache.config().line_bytes as u64;
-            cache.access(addr, AccessKind::Write, cache.clock());
-        }
-        Event::SwitchInterval(cycles) => {
-            cache.set_decay_interval(cycles);
-        }
+        None
     }
 }
 
@@ -401,14 +543,32 @@ pub fn explore_with_switches(
     num_tags: u8,
     switch_intervals: &[u64],
 ) -> Result<Report, Counterexample> {
-    let cfg = CacheConfig {
-        size_bytes: 64 * assoc,
-        assoc,
-        line_bytes: 64,
-        hit_latency: 1,
-    };
-    // lint: allow(unwrap): checker geometry is a fixed valid constant
-    let cache = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+    explore_sets(decay, 1, assoc, num_tags, switch_intervals)
+}
+
+/// The multi-set generalization of [`explore_with_switches`]: explores a
+/// `num_sets`-set, `assoc`-way cache. Alphabet tag `t` indexes set
+/// `t % num_sets` (so tags spread round-robin over the sets, exactly like
+/// consecutive line addresses). For `num_sets > 1` every node carries one
+/// isolated single-set shadow per set and the cross-set-independence
+/// invariant (7) is checked on every transition.
+///
+/// # Errors
+///
+/// Returns the minimal [`Counterexample`] if any invariant is violated.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds [`MAX_STATES`] (an abstraction bug in
+/// the checker itself, not a property of the machine).
+pub fn explore_sets(
+    decay: DecayConfig,
+    num_sets: usize,
+    assoc: usize,
+    num_tags: u8,
+    switch_intervals: &[u64],
+) -> Result<Report, Counterexample> {
+    let machine = Machine::new(decay, num_sets, assoc);
 
     let mut events = vec![Event::IdleQuarter];
     for t in 0..num_tags {
@@ -420,11 +580,11 @@ pub fn explore_with_switches(
     }
 
     // BFS. `nodes` stores the parent links for trace reconstruction; the
-    // frontier carries the concrete caches.
+    // frontier carries the concrete machines (main cache + shadows).
     let mut nodes: Vec<(usize, Option<Event>)> = vec![(0, None)];
     let mut visited: HashMap<Key, usize> = HashMap::new();
-    visited.insert(canonical_key(&cache), 0);
-    let mut frontier: Vec<(usize, Cache)> = vec![(0, cache)];
+    visited.insert(canonical_key(&machine.main), 0);
+    let mut frontier: Vec<(usize, Machine)> = vec![(0, machine)];
     let mut transitions = 0usize;
 
     let trace_to = |nodes: &Vec<(usize, Option<Event>)>, mut idx: usize| -> Vec<Event> {
@@ -437,13 +597,16 @@ pub fn explore_with_switches(
         trace
     };
 
-    while let Some((node_idx, cache)) = frontier.pop() {
+    while let Some((node_idx, machine)) = frontier.pop() {
         for &event in &events {
             transitions += 1;
-            let obs = observe(&cache);
-            let mut next = cache.clone();
-            apply(&mut next, event);
-            if let Some(violation) = check_invariants(&next, &obs, &decay) {
+            let obs = observe(&machine.main);
+            let mut next = machine.clone();
+            let violation = next
+                .apply(event)
+                .or_else(|| next.independence_violation())
+                .or_else(|| check_invariants(&next.main, &obs, &decay));
+            if let Some(violation) = violation {
                 let mut trace = trace_to(&nodes, node_idx);
                 trace.push(event);
                 return Err(Counterexample {
@@ -453,7 +616,7 @@ pub fn explore_with_switches(
                 });
             }
             if let std::collections::hash_map::Entry::Vacant(slot) =
-                visited.entry(canonical_key(&next))
+                visited.entry(canonical_key(&next.main))
             {
                 let idx = nodes.len();
                 nodes.push((node_idx, Some(event)));
@@ -471,6 +634,7 @@ pub fn explore_with_switches(
         states: nodes.len(),
         transitions,
         assoc,
+        sets: num_sets,
     })
 }
 
@@ -522,6 +686,35 @@ pub fn check_all_switching() -> Result<Vec<Report>, Counterexample> {
     for decay in studied_configs() {
         reports.push(explore_with_switches(decay, 1, 2, &SWITCH_INTERVALS)?);
         reports.push(explore_with_switches(decay, 2, 3, &SWITCH_INTERVALS)?);
+    }
+    Ok(reports)
+}
+
+/// Ceiling on the per-exploration state count of [`check_all_two_set`].
+/// The per-set tag-relabeling quotient is what keeps the 2-set product
+/// space this side of [`MAX_STATES`] (the worst geometry, drowsy at
+/// 2×2-way, measures ~12k states); a breach means the canonical key
+/// regressed (started distinguishing renamed tags again), not that the
+/// machine legitimately grew.
+pub const TWO_SET_STATE_CEILING: usize = 16_000;
+
+/// Runs the exhaustive exploration for every studied configuration on two
+/// 2-set geometries: direct-mapped with four tags (two per set, so both
+/// sets see eviction pressure) and 2-way with three tags (two in set 0,
+/// one in set 1 — full decay, LRU, and ghost dynamics per way; assoc-2
+/// *eviction* pressure is the single-set suite's job, since richer
+/// same-set alphabets blow the 2-set product space past [`MAX_STATES`]).
+/// Invariant (7), cross-set independence, is live on every transition of
+/// both.
+///
+/// # Errors
+///
+/// Returns the first minimal [`Counterexample`] found.
+pub fn check_all_two_set() -> Result<Vec<Report>, Counterexample> {
+    let mut reports = Vec::new();
+    for decay in studied_configs() {
+        reports.push(explore_sets(decay, 2, 1, 4, &[])?);
+        reports.push(explore_sets(decay, 2, 2, 3, &[])?);
     }
     Ok(reports)
 }
@@ -617,6 +810,71 @@ mod tests {
         );
     }
 
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn two_set_explorations_satisfy_the_invariants_under_the_state_ceiling() {
+        match check_all_two_set() {
+            Ok(reports) => {
+                assert_eq!(reports.len(), 8);
+                for r in &reports {
+                    assert_eq!(r.sets, 2);
+                    assert!(r.states > 10, "degenerate exploration: {r:?}");
+                    // The explicit bound behind the per-set
+                    // tag-relabeling quotient: if the canonical key
+                    // regresses to distinguishing renamed tags, the
+                    // product space blows past this long before
+                    // MAX_STATES aborts the BFS.
+                    assert!(
+                        r.states <= TWO_SET_STATE_CEILING,
+                        "canonical key stopped quotienting: {} states (ceiling {})",
+                        r.states,
+                        TWO_SET_STATE_CEILING
+                    );
+                }
+            }
+            Err(ce) => panic!("2-set model checker found a violation:\n{ce}"),
+        }
+    }
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn two_set_switching_exploration_is_green() {
+        // Interval switching across a 2-set geometry: the stalest
+        // interaction between the global counter restart and per-set
+        // shadows. One configuration suffices (the full ladder is the
+        // single-set suite's job); Simple/Losing has the richest flush
+        // schedule.
+        let decay = studied_configs()[2];
+        let report = explore_sets(decay, 2, 1, 4, &SWITCH_INTERVALS).expect("invariants hold");
+        assert_eq!(report.sets, 2);
+        assert!(report.states > 10, "degenerate exploration: {report:?}");
+    }
+
+    #[cfg(not(feature = "pre-fix-stale-counter"))]
+    #[test]
+    fn two_set_canonical_key_quotients_tag_renaming() {
+        // Two caches whose resident tags differ only by a renaming
+        // within the same set-residue class must collapse to one
+        // canonical state.
+        let decay = studied_configs()[0];
+        let cfg = CacheConfig {
+            size_bytes: 2 * 64,
+            assoc: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut a = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+        let mut b = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+        // Tags 0 and 2 both land in set 0 of a 2-set cache.
+        a.access(0, AccessKind::Read, 0);
+        b.access(2 * 64, AccessKind::Read, 0);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        // But a *write* is not a renaming of a read: data states differ.
+        let mut c = Cache::new(cfg, Some(decay)).expect("checker geometry is valid");
+        c.access(2 * 64, AccessKind::Write, 0);
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
     /// With the stale-counter fix reverted, the checker must rediscover the
     /// historical bug — and because the interval-change probe runs on every
     /// state, the minimal trace is just the shortest path to a non-zero
@@ -641,6 +899,25 @@ mod tests {
         assert!(
             ce.violation.contains("stale"),
             "wrong violation reported: {ce}"
+        );
+    }
+
+    /// The 2-set geometry must rediscover the stale-counter bug too: the
+    /// interval-change probe runs per line, so a second set gives the bug
+    /// strictly more places to hide — none of which the relabeled
+    /// canonical key may prune away.
+    #[cfg(feature = "pre-fix-stale-counter")]
+    #[test]
+    fn two_set_checker_rediscovers_the_stale_counter_bug() {
+        let ce = check_all_two_set().expect_err("reverted fix must be caught at 2 sets");
+        assert!(
+            ce.violation.contains("stale"),
+            "wrong violation reported: {ce}"
+        );
+        assert!(
+            !ce.trace.is_empty() && ce.trace.len() <= 4,
+            "counterexample should be minimal, got {} events:\n{ce}",
+            ce.trace.len()
         );
     }
 

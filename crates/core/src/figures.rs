@@ -4,7 +4,8 @@
 //! one value per benchmark per technique plus the average — ready for
 //! textual rendering ([`crate::report`]) or serialisation.
 
-use leakctl::TechniqueKind;
+use leakage::{LeakagePoint, PolicyKind, Scenario, SweepReport};
+use leakctl::{Technique, TechniqueKind};
 use serde::{Deserialize, Serialize};
 use specgen::Benchmark;
 use units::Cycles;
@@ -249,6 +250,154 @@ pub fn best_interval_figures(
     Ok((fig12, fig13, Table3 { rows }))
 }
 
+/// One policy × interval cell of the leakage-vs-energy-delay scatter:
+/// the distinguishability scores from the leakage harness paired with
+/// the priced cost of running that policy on a real benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageEnergyPoint {
+    /// Leakage-harness policy name ("baseline", "decay", "drowsy",
+    /// "adaptive").
+    pub policy: String,
+    /// Decay interval the cell was measured at.
+    pub interval_cycles: u64,
+    /// Min-entropy leakage bound, bits.
+    pub min_entropy_bits: f64,
+    /// Welch-t distinguishability score.
+    pub welch_t: f64,
+    /// Seeded-permutation p-value.
+    pub p_value: f64,
+    /// Attacker-view partition count.
+    pub partitions: usize,
+    /// Net leakage-energy savings of the priced technique, % of
+    /// baseline (0 for the baseline itself).
+    pub net_savings_pct: f64,
+    /// Performance loss of the priced technique, % (0 for baseline).
+    pub perf_loss_pct: f64,
+    /// Energy-delay product relative to the baseline:
+    /// `(1 - savings/100) * (1 + loss/100)`; the baseline is 1.0.
+    pub energy_delay_rel: f64,
+}
+
+/// The "leakage vs. energy-delay" scatter: every harness cell of one
+/// attacker scenario, each priced on one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakageEnergyFigure {
+    /// Figure identifier.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// The benchmark the energy-delay axis was priced on.
+    pub benchmark: String,
+    /// The leakage-harness scenario the leakage axis comes from.
+    pub scenario: String,
+    /// All scatter points.
+    pub points: Vec<LeakageEnergyPoint>,
+}
+
+/// Maps a leakage-harness policy to the technique `Study` prices it as.
+/// Decay is gated-V_ss, drowsy is drowsy; the adaptive policy spends
+/// almost the whole trial at its post-switch (halved) interval, so it
+/// is priced as gated-V_ss there. The baseline carries no technique.
+fn priced_technique(policy: PolicyKind, interval_cycles: u64) -> Option<Technique> {
+    match policy {
+        PolicyKind::Baseline => None,
+        PolicyKind::Decay => Some(technique_of(TechniqueKind::GatedVss, interval_cycles)),
+        PolicyKind::Drowsy => Some(technique_of(TechniqueKind::Drowsy, interval_cycles)),
+        PolicyKind::Adaptive => {
+            let switched = policy
+                .interval_switch(interval_cycles)
+                .map_or(interval_cycles, |s| s.interval_cycles);
+            Some(technique_of(TechniqueKind::GatedVss, switched))
+        }
+    }
+}
+
+/// The leakage-vs-energy-delay scatter behind `BENCH_leakage.json`:
+/// pairs every (policy, interval) cell of the harness sweep's
+/// gap-conflict evict+time scenario with the energy-delay cost of the
+/// matching technique on `benchmark`. This is the paper's security
+/// dimension made quantitative: state-preserving and
+/// non-state-preserving control sit at different points of the
+/// leakage/energy trade-off, not just the energy/performance one.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] if any pricing run fails.
+pub fn leakage_energy_scatter(
+    study: &Study,
+    id: &str,
+    benchmark: Benchmark,
+    l2_latency: u32,
+    temperature_c: f64,
+    sweep: &SweepReport,
+) -> Result<LeakageEnergyFigure, StudyError> {
+    let scenario = Scenario::ALL[0].name();
+    // Keep only cells of the scatter's scenario whose policy name the
+    // harness still vouches for (an exhaustive match below turns any
+    // future PolicyKind variant into a compile error here).
+    let cells: Vec<(&LeakagePoint, PolicyKind)> = sweep
+        .points
+        .iter()
+        .filter(|p| p.scenario == scenario)
+        .filter_map(|p| {
+            PolicyKind::ALL
+                .into_iter()
+                .find(|k| k.name() == p.policy)
+                .map(|k| (p, k))
+        })
+        .collect();
+    // One batch for every priced (non-baseline) cell; `request_slot`
+    // remembers which result row belongs to which cell.
+    let mut requests = Vec::new();
+    let mut request_slot = Vec::with_capacity(cells.len());
+    for (cell, policy) in &cells {
+        match priced_technique(*policy, cell.interval_cycles) {
+            Some(technique) => {
+                request_slot.push(Some(requests.len()));
+                requests.push(CompareRequest {
+                    benchmark,
+                    technique,
+                    l2_latency,
+                    temperature_c,
+                });
+            }
+            None => request_slot.push(None),
+        }
+    }
+    let results = study.compare_many(&requests)?;
+    let points = cells
+        .iter()
+        .zip(&request_slot)
+        .map(|((cell, _), slot)| {
+            let (net_savings_pct, perf_loss_pct) = match slot {
+                Some(i) => (results[*i].net_savings_pct, results[*i].perf_loss_pct),
+                None => (0.0, 0.0),
+            };
+            LeakageEnergyPoint {
+                policy: cell.policy.clone(),
+                interval_cycles: cell.interval_cycles,
+                min_entropy_bits: cell.min_entropy_bits,
+                welch_t: cell.welch_t,
+                p_value: cell.p_value,
+                partitions: cell.partitions,
+                net_savings_pct,
+                perf_loss_pct,
+                energy_delay_rel: (1.0 - net_savings_pct / 100.0) * (1.0 + perf_loss_pct / 100.0),
+            }
+        })
+        .collect();
+    Ok(LeakageEnergyFigure {
+        id: id.to_string(),
+        title: format!(
+            "Leakage vs. energy-delay, {} at {temperature_c:.0}C, L2 latency {l2_latency} cycles",
+            benchmark.name()
+        ),
+        benchmark: benchmark.name().to_string(),
+        scenario,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +430,37 @@ mod tests {
                 "perf loss should not be meaningfully negative"
             );
         }
+    }
+
+    #[test]
+    fn leakage_energy_scatter_prices_every_harness_cell() {
+        let study = Study::new(StudyConfig {
+            insts: 30_000,
+            ..StudyConfig::default()
+        });
+        let spec = leakage::HarnessSpec {
+            trials_per_secret: 3,
+            ..leakage::HarnessSpec::default()
+        };
+        let sweep = leakage::sweep(&spec, &leakage::TABLE3_INTERVALS[..2]);
+        let fig =
+            leakage_energy_scatter(&study, "fig-leakage", Benchmark::ALL[0], 11, 110.0, &sweep)
+                .unwrap();
+        // Every (policy, interval) cell of the scatter's scenario lands
+        // exactly once.
+        assert_eq!(fig.points.len(), 2 * PolicyKind::ALL.len());
+        assert_eq!(fig.scenario, "gap_conflict_evict_time");
+        for p in &fig.points {
+            assert!(p.energy_delay_rel.is_finite() && p.energy_delay_rel > 0.0);
+            if p.policy == "baseline" {
+                assert_eq!(p.energy_delay_rel, 1.0);
+                assert_eq!(p.net_savings_pct, 0.0);
+            }
+        }
+        assert!(
+            fig.points.iter().any(|p| p.energy_delay_rel != 1.0),
+            "priced techniques should move off the baseline's energy-delay point"
+        );
     }
 
     #[test]

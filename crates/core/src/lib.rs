@@ -60,7 +60,7 @@ pub mod study;
 pub mod thermal_loop;
 
 pub use config::{StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
-pub use figures::{FigureSeries, Table3};
+pub use figures::{FigureSeries, LeakageEnergyFigure, LeakageEnergyPoint, Table3};
 pub use pricing::{CacheArrays, Priced};
 pub use runstore::{RunStore, StoreCounters};
 pub use service::{FigureMetric, RequestKind, StudyRequest, StudyResponse};

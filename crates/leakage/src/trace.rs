@@ -1,0 +1,200 @@
+//! Seeded victim traces that differ only in a one-bit secret.
+//!
+//! Every trace is a list of absolutely-timed cache accesses produced
+//! from `(secret, rng)`. The two secret values drive *different timing
+//! or placement* but the same number of accesses, so any observable
+//! difference is genuinely secret-dependent and not an artifact of
+//! trace length. Jitter drawn from the seeded RNG models benign
+//! run-to-run variation: it is small enough (≤ [`JITTER_SPAN`] cycles)
+//! that it can never flip a line across a decay deadline at the
+//! harness's interval ladder, so it perturbs *when* things happen
+//! without perturbing *what* the policy does.
+
+use cachesim::AccessKind;
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+
+/// Sets in the harness cache (small enough that the model checker's
+/// 2-set results are one doubling away, large enough for prime+probe
+/// set selection).
+pub const NUM_SETS: usize = 4;
+/// Associativity of the harness cache.
+pub const ASSOC: usize = 2;
+/// Line size of the harness cache.
+pub const LINE_BYTES: usize = 64;
+/// log2([`NUM_SETS`]), used to pack (set, tag) into an address.
+pub const SET_BITS: u64 = 2;
+/// Base hit latency configured into the harness cache.
+pub const HIT_LATENCY_CYCLES: u64 = 1;
+/// Flat next-level penalty charged to every miss, matching the
+/// single-level memory latency the study's `Hierarchy` uses.
+pub const MEM_LATENCY_CYCLES: u64 = 100;
+
+/// Inter-access gap when the secret is `false`: short enough that no
+/// policy on the interval ladder decays the victim line between the
+/// two accesses — including the adaptive policy, whose halved shortest
+/// interval (512 cycles, quarter-wraps every 128 from its switch at
+/// cycle 256) first reaches a decay deadline at cycle 640.
+pub const SHORT_GAP_CYCLES: u64 = 500;
+/// Inter-access gap when the secret is `true`: long enough that
+/// short-interval policies decay the victim line in between.
+pub const LONG_GAP_CYCLES: u64 = 9_000;
+/// Upper bound (exclusive) on per-trace gap jitter.
+pub const JITTER_SPAN: u64 = 64;
+/// Earliest cycle of the first victim access.
+const START_BASE: u64 = 16;
+/// Upper bound (exclusive) on start jitter.
+const START_JITTER_SPAN: u64 = 13;
+
+/// Victim line for the gap-conflict trace: set 0, tag 8.
+pub const GAP_VICTIM_SET: u64 = 0;
+/// Tag of the gap-conflict victim line.
+pub const GAP_VICTIM_TAG: u64 = 8;
+/// Tag the set-select victim touches in its secret-chosen set.
+pub const SET_SELECT_TAG: u64 = 9;
+/// Set touched by the set-select victim when the secret is `false`.
+pub const SET_SELECT_SET_FALSE: u64 = 1;
+/// Set touched by the set-select victim when the secret is `true`.
+pub const SET_SELECT_SET_TRUE: u64 = 3;
+
+/// Packs a (set, tag) pair into a byte address for the harness
+/// geometry ([`NUM_SETS`] sets × [`LINE_BYTES`]-byte lines).
+pub fn addr_of(set: u64, tag: u64) -> u64 {
+    ((tag << SET_BITS) | set) * LINE_BYTES as u64
+}
+
+/// One absolutely-timed victim access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedAccess {
+    /// Absolute cycle of the access.
+    pub at: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Which victim program the trial replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Two accesses to one line; the secret selects the gap between
+    /// them ([`SHORT_GAP_CYCLES`] vs [`LONG_GAP_CYCLES`]). Decay acting
+    /// during the long gap is the channel — the classic evict+time
+    /// attack with the policy itself playing the eviction step.
+    GapConflict,
+    /// One access whose *set* is chosen by the secret. The channel is
+    /// ordinary cache contention, observable by prime+probe under every
+    /// policy — the control case showing the harness measures the
+    /// textbook channel too.
+    SetSelect,
+}
+
+impl TraceKind {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::GapConflict => "gap_conflict",
+            TraceKind::SetSelect => "set_select",
+        }
+    }
+
+    /// The secret-independent cycle at which a prime+probe observer
+    /// probes: past the latest possible victim access of this trace
+    /// (including jitter) by a safe margin.
+    pub fn probe_at(self) -> u64 {
+        match self {
+            TraceKind::GapConflict => 9_600,
+            TraceKind::SetSelect => 600,
+        }
+    }
+}
+
+/// Builds the victim access sequence for `(kind, secret)` with seeded
+/// jitter. Both secret values always produce the same access *count*.
+pub fn victim_trace(kind: TraceKind, secret: bool, rng: &mut ChaCha8Rng) -> Vec<TimedAccess> {
+    let start = START_BASE + rng.next_u64() % START_JITTER_SPAN;
+    match kind {
+        TraceKind::GapConflict => {
+            let base_gap = if secret {
+                LONG_GAP_CYCLES
+            } else {
+                SHORT_GAP_CYCLES
+            };
+            let gap = base_gap + rng.next_u64() % JITTER_SPAN;
+            let victim = addr_of(GAP_VICTIM_SET, GAP_VICTIM_TAG);
+            vec![
+                TimedAccess {
+                    at: start,
+                    addr: victim,
+                    kind: AccessKind::Read,
+                },
+                TimedAccess {
+                    at: start + gap,
+                    addr: victim,
+                    kind: AccessKind::Read,
+                },
+            ]
+        }
+        TraceKind::SetSelect => {
+            let set = if secret {
+                SET_SELECT_SET_TRUE
+            } else {
+                SET_SELECT_SET_FALSE
+            };
+            vec![TimedAccess {
+                at: start,
+                addr: addr_of(set, SET_SELECT_TAG),
+                kind: AccessKind::Read,
+            }]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn traces_have_secret_independent_length() {
+        for kind in [TraceKind::GapConflict, TraceKind::SetSelect] {
+            let mut r0 = ChaCha8Rng::seed_from_u64(7);
+            let mut r1 = ChaCha8Rng::seed_from_u64(7);
+            assert_eq!(
+                victim_trace(kind, false, &mut r0).len(),
+                victim_trace(kind, true, &mut r1).len()
+            );
+        }
+    }
+
+    #[test]
+    fn gap_conflict_gaps_stay_on_their_side_of_every_decay_deadline() {
+        // The earliest decay deadline on the interval ladder is
+        // ~1.0–1.25 × interval of idleness; jitter must never push the
+        // short gap over the shortest deadline (1024 cycles) nor pull
+        // the long gap under the longest one the sweep relies on.
+        const { assert!(SHORT_GAP_CYCLES + JITTER_SPAN < 1024) };
+        const { assert!(LONG_GAP_CYCLES > 4096 + 4096 / 4 * 2) };
+    }
+
+    #[test]
+    fn probe_time_clears_the_latest_victim_access() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..32 {
+            let t = victim_trace(TraceKind::GapConflict, true, &mut rng);
+            assert!(t.last().unwrap().at < TraceKind::GapConflict.probe_at());
+            let t = victim_trace(TraceKind::SetSelect, true, &mut rng);
+            assert!(t.last().unwrap().at < TraceKind::SetSelect.probe_at());
+        }
+    }
+
+    #[test]
+    fn addresses_map_to_the_intended_sets() {
+        // addr_of must invert cachesim's split() for the harness
+        // geometry: line = addr/64, set = line & 3, tag = line >> 2.
+        let a = addr_of(3, 9);
+        let line = a / LINE_BYTES as u64;
+        assert_eq!(line & (NUM_SETS as u64 - 1), 3);
+        assert_eq!(line >> SET_BITS, 9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the metric layer: the information-theoretic
+//! invariants that make the reported numbers meaningful.
+
+use leakage::ObservationSet;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds an observation set from two generated classes.
+fn set_of(class0: &[Vec<u16>], class1: &[Vec<u16>]) -> ObservationSet {
+    let mut s = ObservationSet::new();
+    for o in class0 {
+        s.push(false, o.clone());
+    }
+    for o in class1 {
+        s.push(true, o.clone());
+    }
+    s
+}
+
+/// Applies a symbol map to every observation.
+fn relabel(class: &[Vec<u16>], f: impl Fn(u16) -> u16) -> Vec<Vec<u16>> {
+    class
+        .iter()
+        .map(|o| o.iter().map(|&x| f(x)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leakage_is_monotone_under_observation_coarsening(
+        a in vec(vec(0u16..48, 1..5), 1..10),
+        b in vec(vec(0u16..48, 1..5), 1..10),
+        divisor in 1u16..8,
+    ) {
+        // Dividing symbols merges observation classes — a coarsening of
+        // the attacker's partition. Leakage can only drop (refinement
+        // order: finer partitions leak at least as much).
+        let fine = set_of(&a, &b);
+        let coarse = set_of(
+            &relabel(&a, |x| x / divisor),
+            &relabel(&b, |x| x / divisor),
+        );
+        prop_assert!(
+            coarse.min_entropy_leakage_bits() <= fine.min_entropy_leakage_bits() + 1e-9
+        );
+        prop_assert!(coarse.partition_count() <= fine.partition_count());
+    }
+
+    #[test]
+    fn secret_independent_traces_leak_exactly_zero(
+        a in vec(vec(0u16..48, 1..5), 1..10),
+    ) {
+        // Identical observation multisets for both secrets: the
+        // attacker's view carries no information at all.
+        let s = set_of(&a, &a);
+        prop_assert!(s.min_entropy_leakage_bits().abs() < 1e-9);
+        prop_assert!(s.welch_t() < 1e-6);
+    }
+
+    #[test]
+    fn leakage_is_invariant_under_injective_relabeling(
+        a in vec(vec(0u16..48, 1..5), 1..10),
+        b in vec(vec(0u16..48, 1..5), 1..10),
+        k in 0u16..256,
+    ) {
+        // Odd multipliers are bijections on u16 (mod 2^16): renaming
+        // the alphabet cannot change what the attacker can distinguish.
+        let odd = 2 * k + 1;
+        let orig = set_of(&a, &b);
+        let renamed = set_of(
+            &relabel(&a, |x| x.wrapping_mul(odd)),
+            &relabel(&b, |x| x.wrapping_mul(odd)),
+        );
+        prop_assert_eq!(orig.partition_count(), renamed.partition_count());
+        prop_assert!(
+            (orig.min_entropy_leakage_bits() - renamed.min_entropy_leakage_bits()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn permutation_p_is_deterministic_under_a_fixed_seed(
+        a in vec(vec(0u16..48, 1..5), 2..8),
+        b in vec(vec(0u16..48, 1..5), 2..8),
+        seed in 0u64..1_000_000,
+    ) {
+        let s = set_of(&a, &b);
+        let p1 = s.permutation_p(seed, 100);
+        let p2 = s.permutation_p(seed, 100);
+        prop_assert_eq!(p1, p2);
+        prop_assert!(p1 > 0.0 && p1 <= 1.0);
+    }
+}

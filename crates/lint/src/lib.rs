@@ -1,7 +1,7 @@
 //! Repo tidy lint (rust-tidy style: plain-text scanning, no external
 //! dependencies, no network).
 //!
-//! Ten rule families, each suppressible only by an explicit, reasoned
+//! Eleven rule families, each suppressible only by an explicit, reasoned
 //! marker comment — `// lint: allow(<rule>): <reason>` on the offending
 //! line or within [`MARKER_WINDOW`] lines above it:
 //!
@@ -45,6 +45,12 @@
 //!   smoke that proves the suite still catches it. A feature name absent
 //!   from `.github/workflows/` is a smoke test that silently stopped
 //!   running (or never existed).
+//! * **`no-wallclock-in-leakage`** — the timing-leakage harness
+//!   (`crates/leakage`) reports attacker-visible *simulated* latencies;
+//!   every number it emits must be a pure function of the seed. Any
+//!   wall-clock construct (`std::time`, `Instant::now(`, `SystemTime`)
+//!   there — test modules included — injects host noise into a security
+//!   measurement.
 //!
 //! The scanner is deliberately line-based: the codebase is rustfmt-clean,
 //! so declarations and statements land on predictable lines, and a dumb
@@ -100,6 +106,17 @@ pub const FS_BOUNDARY_CRATES: &[&str] = &["crates/runstore/"];
 
 /// Files on the decay hot path that promise zero steady-state allocation.
 pub const NO_ALLOC_FILES: &[&str] = &["crates/cachesim/src/wheel.rs"];
+
+/// Crates whose emitted numbers must be pure functions of the seed
+/// (prefix-matched): the timing-leakage harness. All timing there is
+/// simulated [`units::Cycles`]; a wall-clock read anywhere in the crate
+/// injects host noise into a security measurement.
+pub const WALLCLOCK_FREE_CRATES: &[&str] = &["crates/leakage/"];
+
+/// Wall-clock constructs forbidden in [`WALLCLOCK_FREE_CRATES`]. The
+/// bare `std::time` token also catches `use` imports and
+/// `Duration`-producing clock reads spelled through the module path.
+pub const WALLCLOCK_TOKENS: &[&str] = &["std::time", "Instant::now(", "SystemTime"];
 
 /// Crates whose lock guards must not be held across sleeps or blocking
 /// I/O (prefix-matched): the study server and the concurrency core. Both
@@ -166,6 +183,8 @@ pub enum Rule {
     NoSleepWhileLocked,
     /// A seeded `*-bug` cargo feature with no CI negative-smoke step.
     FeatureSmoke,
+    /// A wall-clock construct inside the timing-leakage harness.
+    NoWallclockInLeakage,
 }
 
 impl Rule {
@@ -182,6 +201,7 @@ impl Rule {
             Rule::NoAllocInSweep => "no-alloc-in-sweep",
             Rule::NoSleepWhileLocked => "no-sleep-while-locked",
             Rule::FeatureSmoke => "feature-smoke",
+            Rule::NoWallclockInLeakage => "no-wallclock-in-leakage",
         }
     }
 }
@@ -567,6 +587,37 @@ fn check_no_sleep_while_locked(
     }
 }
 
+/// True if `rel` sits in a crate whose numbers must be seed-pure.
+fn wallclock_free_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    WALLCLOCK_FREE_CRATES
+        .iter()
+        .any(|c| p.starts_with(c) || p.contains(&format!("/{c}")))
+}
+
+/// Flags every wall-clock construct in the leakage harness. Unlike the
+/// other content rules this one fires inside `#[cfg(test)]` modules
+/// too: a wall-clock read in a harness unit test is still host
+/// nondeterminism feeding a security measurement.
+fn check_no_wallclock(rel: &Path, lines: &[&str], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment(line) {
+            continue;
+        }
+        let code = line.split("// ").next().unwrap_or(line);
+        if WALLCLOCK_TOKENS.iter().any(|t| code.contains(t))
+            && !has_marker(lines, i, Rule::NoWallclockInLeakage)
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: Rule::NoWallclockInLeakage,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 /// Scans one manifest's `[features]` section: every `*-bug` feature is a
 /// seeded mutation, and its whole value is the CI negative-smoke step
 /// that proves the suite still catches it — so each name must appear
@@ -634,6 +685,9 @@ pub fn scan_content(rel: &Path, content: &str) -> Vec<Violation> {
     }
     if no_sleep_lock_scope(rel) {
         check_no_sleep_while_locked(rel, &lines, &in_test, &mut out);
+    }
+    if wallclock_free_scope(rel) {
+        check_no_wallclock(rel, &lines, &mut out);
     }
     check_unwrap(rel, &lines, &in_test, &mut out);
     out
@@ -987,6 +1041,58 @@ mod tests {
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), elsewhere);
         assert!(
             v.iter().all(|v| v.rule != Rule::NoSleepWhileLocked),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn wallclock_in_the_leakage_harness_fires() {
+        let import = "use std::time::Instant;\n";
+        let v = scan_content(&rel("crates/leakage/src/observer.rs"), import);
+        assert!(
+            v.iter().any(|v| v.rule == Rule::NoWallclockInLeakage),
+            "{v:?}"
+        );
+
+        let read = "fn f() {\n    let t = Instant::now();\n}\n";
+        let v = scan_content(&rel("crates/leakage/src/sweep.rs"), read);
+        assert!(
+            v.iter().any(|v| v.rule == Rule::NoWallclockInLeakage),
+            "{v:?}"
+        );
+
+        // Test modules are NOT exempt: seed-purity is a whole-crate
+        // contract for the harness.
+        let in_test = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::SystemTime::now();\n    }\n}\n";
+        let v = scan_content(&rel("crates/leakage/src/metrics.rs"), in_test);
+        assert!(
+            v.iter().any(|v| v.rule == Rule::NoWallclockInLeakage),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn wallclock_markers_comments_and_other_crates_are_exempt() {
+        let marked = "// lint: allow(no-wallclock-in-leakage): startup banner only, never measured\nfn f() {\n    let t = Instant::now();\n}\n";
+        let v = scan_content(&rel("crates/leakage/src/lib.rs"), marked);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoWallclockInLeakage),
+            "{v:?}"
+        );
+
+        // Prose mentioning the forbidden tokens is not a violation.
+        let comment = "//! Wall-clock time (std::time, Instant::now()) never enters the harness.\npub fn f() {}\n";
+        let v = scan_content(&rel("crates/leakage/src/lib.rs"), comment);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoWallclockInLeakage),
+            "{v:?}"
+        );
+
+        // Outside the harness, wall-clock use is governed by other rules.
+        let elsewhere = "use std::time::Instant;\n";
+        let v = scan_content(&rel("crates/bench/src/bin/bench_wheel.rs"), elsewhere);
+        assert!(
+            v.iter().all(|v| v.rule != Rule::NoWallclockInLeakage),
             "{v:?}"
         );
     }

@@ -39,6 +39,9 @@ fn seeded_fixtures_trip_every_rule() {
         Rule::ServerBoundary,
         Rule::FsBoundary,
         Rule::NoAllocInSweep,
+        Rule::NoSleepWhileLocked,
+        Rule::FeatureSmoke,
+        Rule::NoWallclockInLeakage,
     ] {
         assert!(
             fired.contains(&rule),

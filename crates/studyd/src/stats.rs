@@ -7,8 +7,14 @@
 //! server is quiescent (same contract as
 //! [`simcore::RunCacheCounters`]). Latencies are measured around
 //! [`simcore::Study::serve`] only (queue wait excluded) and bucketed by
-//! power-of-two microseconds; totals are reported in typed
-//! [`units::Seconds`].
+//! power-of-two **nanoseconds**; totals are reported in typed
+//! [`units::Seconds`]. Earlier revisions bucketed by microseconds, which
+//! aliased every warm-cache service (figure recalls finish in a few
+//! hundred nanoseconds) into bucket 0 and made the per-kind histograms
+//! useless exactly where the cache works; nanosecond buckets keep the
+//! sub-microsecond population resolved. Note these are *wall-clock*
+//! service times — simulated probe timings are `units::Cycles` and belong
+//! in the linear [`units::CycleHistogram`], not here.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -17,17 +23,30 @@ use serde::Serialize;
 use simcore::{RequestKind, RunCacheCounters, StoreCounters};
 use units::Seconds;
 
-/// Number of power-of-two-microsecond latency buckets. Bucket `i` counts
-/// service times in `[2^(i-1), 2^i)` µs (bucket 0: `< 1` µs); the last
-/// bucket absorbs everything from ~2^18 µs ≈ 4.4 min up.
-pub const HISTOGRAM_BUCKETS: usize = 20;
+/// Number of power-of-two-nanosecond latency buckets. Bucket `i` counts
+/// service times in `[2^(i-1), 2^i)` ns (bucket 0: `< 1` ns); the last
+/// bucket absorbs everything from 2^34 ns ≈ 17 s up. The first ten
+/// buckets resolve the sub-microsecond range that the old microsecond
+/// scheme collapsed into a single bin.
+pub const HISTOGRAM_BUCKETS: usize = 36;
 
-/// One log2-microsecond latency histogram.
-#[derive(Debug, Default)]
+/// One log2-nanosecond latency histogram.
+#[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
-    total_us: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+// Derived `Default` stops at 32-element arrays; spell it out.
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
 }
 
 impl LatencyHistogram {
@@ -38,22 +57,23 @@ impl LatencyHistogram {
 
     /// Records one observation.
     pub fn record(&self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = match us {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = match ns {
             0 => 0,
-            _ => ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1),
+            _ => ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1),
         };
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// A plain-data snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
-            // Exact below 2^53 µs ≈ 285 years of accumulated latency.
-            total_seconds: Seconds::new(self.total_us.load(Ordering::Relaxed) as f64 / 1e6),
+            // Exact below 2^53 ns ≈ 104 days of accumulated latency —
+            // beyond any single server process this repo runs.
+            total_seconds: Seconds::new(self.total_ns.load(Ordering::Relaxed) as f64 / 1e9),
             buckets: self
                 .buckets
                 .iter()
@@ -227,12 +247,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_are_log2_microseconds() {
+    fn histogram_buckets_are_log2_nanoseconds() {
         let h = LatencyHistogram::new();
-        h.record(Duration::from_micros(0)); // bucket 0
-        h.record(Duration::from_micros(1)); // [1, 2) -> bucket 1
-        h.record(Duration::from_micros(3)); // [2, 4) -> bucket 2
-        h.record(Duration::from_micros(1000)); // [512, 1024) -> bucket 10
+        h.record(Duration::from_nanos(0)); // bucket 0
+        h.record(Duration::from_nanos(1)); // [1, 2) -> bucket 1
+        h.record(Duration::from_nanos(3)); // [2, 4) -> bucket 2
+        h.record(Duration::from_micros(1)); // [512, 1024) ns -> bucket 10
         h.record(Duration::from_secs(3600)); // saturates into the last
         let snap = h.snapshot();
         assert_eq!(snap.count, 5);
@@ -243,6 +263,20 @@ mod tests {
         assert_eq!(snap.buckets[10], 1);
         assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
         assert!(snap.total_seconds.get() > 3600.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_no_longer_alias() {
+        // Regression: the old microsecond bucketing put both of these in
+        // bucket 0. Distinct power-of-two-ns classes must stay apart.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100)); // [64, 128) -> bucket 7
+        h.record(Duration::from_nanos(800)); // [512, 1024) -> bucket 10
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[7], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[0], 0);
+        assert_eq!(snap.count, 2);
     }
 
     #[test]

@@ -565,6 +565,110 @@ impl PerCycle {
     }
 }
 
+/// A linear fixed-width histogram over [`Cycles`].
+///
+/// The study server's wall-clock service histograms bucket by powers of
+/// two, which is the right shape for latencies spanning six decades but
+/// far too coarse for *simulated* probe timings: the leakage harness
+/// distinguishes a 1-cycle hit from a 4-cycle drowsy wake-up, and a
+/// log-scaled bucket would alias exactly the observations the
+/// distinguishability metrics exist to separate. This histogram keeps
+/// every bucket `bucket_width` cycles wide — bucket `i` counts values in
+/// `[i·w, (i+1)·w)` — so equal-width timing classes stay distinct, and
+/// anything past the last boundary saturates into the final bucket (and
+/// is tallied separately in [`CycleHistogram::saturated`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleHistogram {
+    /// Width of every bucket, cycles.
+    bucket_width: Cycles,
+    /// Per-bucket counts; the last bucket also absorbs saturated values.
+    buckets: Vec<u64>,
+    /// Observations recorded.
+    count: u64,
+    /// Sum of all recorded values (saturating).
+    total: Cycles,
+    /// Observations past the last bucket's natural range.
+    saturated: u64,
+}
+
+impl CycleHistogram {
+    /// An empty histogram of `num_buckets` buckets, each `bucket_width`
+    /// cycles wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `num_buckets` is zero — a
+    /// zero-width or bucketless histogram cannot classify anything.
+    pub fn new(bucket_width: Cycles, num_buckets: usize) -> Self {
+        assert!(bucket_width.0 > 0, "bucket width must be positive");
+        assert!(num_buckets > 0, "histogram needs at least one bucket");
+        CycleHistogram {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            count: 0,
+            total: Cycles::ZERO,
+            saturated: 0,
+        }
+    }
+
+    /// Records one observation. Values past the last bucket's natural
+    /// range land in the last bucket and bump
+    /// [`CycleHistogram::saturated`].
+    pub fn record(&mut self, value: Cycles) {
+        let idx = value.0 / self.bucket_width.0;
+        let last = (self.buckets.len() - 1) as u64;
+        if idx > last {
+            self.saturated += 1;
+            self.buckets[last as usize] += 1;
+        } else {
+            self.buckets[idx as usize] += 1;
+        }
+        self.count += 1;
+        self.total = Cycles(self.total.0.saturating_add(value.0));
+    }
+
+    /// Width of every bucket.
+    pub fn bucket_width(&self) -> Cycles {
+        self.bucket_width
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Per-bucket counts, [`CycleHistogram::num_buckets`] long.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Half-open value range `[lo, hi)` of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_bounds(&self, i: usize) -> (Cycles, Cycles) {
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        let lo = self.bucket_width.0 * i as u64;
+        (Cycles(lo), Cycles(lo + self.bucket_width.0))
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating at `u64::MAX`).
+    pub fn total(&self) -> Cycles {
+        self.total
+    }
+
+    /// Observations that overflowed the last bucket's natural range.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+}
+
 /// Deliberate dimensional violation, compiled only under the `unit-bug`
 /// feature. CI runs `cargo build -p units --features unit-bug` and asserts
 /// that the build FAILS — proving that adding [`Joules`] to [`Cycles`]
@@ -673,5 +777,59 @@ mod tests {
         assert_eq!(Joules::new(1.5).to_string(), "1.5 J");
         assert_eq!(Cycles::new(7).to_string(), "7 cycles");
         assert_eq!(Kelvin::new(300.0).to_string(), "300 K");
+    }
+
+    #[test]
+    fn cycle_histogram_bucket_boundaries_are_off_by_one_free_at_powers_of_two() {
+        // Regression guard for the classic boundary slip: with width 2^k,
+        // a value of exactly m·2^k opens bucket m — it must never land in
+        // bucket m−1 (inclusive-upper bug) nor m+1 (log2-rounding bug).
+        for k in [1u64, 3, 6] {
+            let w = 1u64 << k;
+            let mut h = CycleHistogram::new(Cycles::new(w), 8);
+            for m in 0..8u64 {
+                h.record(Cycles::new(m * w)); // lower boundary of bucket m
+                if m > 0 {
+                    h.record(Cycles::new(m * w - 1)); // top of bucket m−1
+                }
+            }
+            for m in 0..8usize {
+                // Each bucket saw its own lower bound plus the top value
+                // of its range — except the last, whose top (8·w − 1) was
+                // never recorded.
+                let expected = if m == 7 { 1 } else { 2 };
+                assert_eq!(h.buckets()[m], expected, "width {w}, bucket {m}");
+                let (lo, hi) = h.bucket_bounds(m);
+                assert_eq!(lo.get(), m as u64 * w);
+                assert_eq!(hi.get(), (m as u64 + 1) * w);
+            }
+            assert_eq!(h.saturated(), 0, "no in-range value may saturate");
+        }
+    }
+
+    #[test]
+    fn cycle_histogram_saturates_into_the_last_bucket() {
+        let mut h = CycleHistogram::new(Cycles::new(4), 4); // covers [0, 16)
+        h.record(Cycles::new(15)); // top of the last natural bucket
+        h.record(Cycles::new(16)); // first value past the range
+        h.record(Cycles::new(u64::MAX)); // way past; total must not wrap
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets(), &[0, 0, 0, 3]);
+        assert_eq!(h.saturated(), 2, "15 is in range; 16 and MAX overflow");
+        assert_eq!(h.total(), Cycles::new(u64::MAX), "total saturates");
+    }
+
+    #[test]
+    fn cycle_histogram_serializes_and_counts_single_cycle_classes() {
+        // Width 1 keeps each probe-timing class its own bucket — the
+        // resolution the leakage harness needs (hit=1 vs drowsy wake=4).
+        let mut h = CycleHistogram::new(Cycles::new(1), 8);
+        h.record(Cycles::new(1));
+        h.record(Cycles::new(1));
+        h.record(Cycles::new(4));
+        assert_eq!(h.buckets(), &[0, 2, 0, 0, 1, 0, 0, 0]);
+        assert_eq!(h.total(), Cycles::new(6));
+        let text = serde_json::to_string(&h).expect("serializes");
+        assert!(text.contains("\"buckets\""), "{text}");
     }
 }
