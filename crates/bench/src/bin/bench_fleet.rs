@@ -1,0 +1,239 @@
+//! Fleet benchmark: a **warm** store-backed `studyd` node computes the
+//! fig3 figure sweep, then keeps serving as a peer while a **cold**
+//! node — empty store, the warm node as its only peer — replays the
+//! same sweep. Every run behind the cold node's responses must arrive
+//! over the fleet wire: the report pins `executions == 0` on the cold
+//! node's run cache and bitwise-equal responses. A final pass
+//! invalidates half the warm store and runs [`runstore`] compaction,
+//! recording the reclaimed segment bytes. Results land in
+//! `BENCH_fleet.json`.
+//!
+//! ```text
+//! bench_fleet [--insts I] [--out FILE]
+//! ```
+//!
+//! Exits non-zero if the cold node executed the simulator at all, if
+//! any response differs from the warm node's, or if compaction fails
+//! to reclaim the invalidated bytes.
+
+use std::time::Instant;
+
+use runstore::{RunStore, StoreBudget};
+use serde::Serialize;
+use simcore::{FigureMetric, RunCacheCounters, StudyConfig, StudyRequest};
+use studyd::{FleetReport, Server, ServerConfig, StatsReport, StoreReport, TcpClient};
+use units::Seconds;
+
+#[derive(Serialize)]
+struct NodeReport {
+    elapsed_seconds: Seconds,
+    cache: RunCacheCounters,
+    store: StoreReport,
+    fleet: Option<FleetReport>,
+}
+
+#[derive(Serialize)]
+struct CompactionReport {
+    records_before: u64,
+    records_invalidated: u64,
+    live_records: u64,
+    bytes_before: u64,
+    bytes_after: u64,
+    segments_retired: u64,
+}
+
+#[derive(Serialize)]
+struct FleetBenchReport {
+    insts: u64,
+    bitwise_equal_to_warm: bool,
+    warm: NodeReport,
+    cold: NodeReport,
+    compaction: CompactionReport,
+}
+
+/// The fig3 sweep both nodes serve: the savings and performance-loss
+/// figures at the paper's fast-L2 point, every technique × interval ×
+/// benchmark behind them.
+fn fig3_sweep() -> Vec<StudyRequest> {
+    [FigureMetric::Savings, FigureMetric::PerfLoss]
+        .into_iter()
+        .map(|metric| StudyRequest::Figure {
+            metric,
+            l2_latency: 5,
+            temperature_c: 110.0,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut insts: u64 = 20_000;
+    let mut out = String::from("BENCH_fleet.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--insts" => {
+                insts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--insts needs a number"))
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .to_string()
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let warm_dir = std::env::temp_dir().join(format!("bench-fleet-warm-{}", std::process::id()));
+    let cold_dir = std::env::temp_dir().join(format!("bench-fleet-cold-{}", std::process::id()));
+    // lint: allow(fs-boundary): scratch-directory housekeeping around the stores under test
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    // lint: allow(fs-boundary): scratch-directory housekeeping around the stores under test
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let study_cfg = StudyConfig {
+        insts,
+        ..StudyConfig::default()
+    };
+    let sweep = fig3_sweep();
+
+    // Warm node: compute the sweep once, then keep serving as a peer.
+    let warm_server = Server::start(
+        study_cfg,
+        &ServerConfig {
+            workers: 2,
+            queue_capacity: 2 * sweep.len(),
+            store_path: Some(warm_dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("starting warm server: {e}")));
+    let warm_addr = warm_server.local_addr().to_string();
+    let (warm_responses, warm_elapsed) = run_sweep(&warm_addr, &sweep);
+    let warm_stats = warm_server.stats_report();
+    // Make the spills durable so fleet recalls can read them off disk.
+    warm_server.study().flush_store();
+
+    // Cold node: empty store, the warm node as its only peer. The whole
+    // sweep must be served by fleet recalls — zero simulator executions.
+    let cold_server = Server::start(
+        study_cfg,
+        &ServerConfig {
+            workers: 2,
+            queue_capacity: 2 * sweep.len(),
+            store_path: Some(cold_dir.to_string_lossy().into_owned()),
+            peers: vec![warm_addr],
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("starting cold server: {e}")));
+    let (cold_responses, cold_elapsed) = run_sweep(&cold_server.local_addr().to_string(), &sweep);
+    let cold_stats = cold_server.shutdown();
+    warm_server.shutdown();
+
+    let bitwise_equal = cold_responses == warm_responses;
+
+    // Compaction pass on the now-quiescent warm store: invalidate half
+    // the records and reclaim their bytes.
+    let store = RunStore::open_with_budget(&warm_dir, StoreBudget::default())
+        .unwrap_or_else(|e| die(&format!("reopening warm store: {e}")));
+    let ids = store.record_ids();
+    let records_before = ids.len() as u64;
+    let doomed: Vec<_> = ids.iter().copied().step_by(2).collect();
+    for id in &doomed {
+        store.invalidate(*id);
+    }
+    let compact = store
+        .compact()
+        .unwrap_or_else(|e| die(&format!("compacting warm store: {e}")));
+    let compaction = CompactionReport {
+        records_before,
+        records_invalidated: doomed.len() as u64,
+        live_records: compact.live_records,
+        bytes_before: compact.bytes_before,
+        bytes_after: compact.bytes_after,
+        segments_retired: compact.segments_retired,
+    };
+    drop(store);
+
+    let report = FleetBenchReport {
+        insts,
+        bitwise_equal_to_warm: bitwise_equal,
+        warm: node(warm_elapsed, &warm_stats),
+        cold: node(cold_elapsed, &cold_stats),
+        compaction,
+    };
+    let json =
+        serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("serialise: {e}")));
+    // lint: allow(fs-boundary): bench artifact emission — a one-shot JSON report, not run persistence
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    for dir in [&warm_dir, &cold_dir] {
+        // lint: allow(fs-boundary): scratch-directory housekeeping around the stores under test
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let cold_fleet = report
+        .cold
+        .fleet
+        .unwrap_or_else(|| die("cold node reports no fleet tier"));
+    eprintln!(
+        "bench_fleet: warm {:.3}s ({} executions), cold {:.3}s ({} executions, {} fleet hits), \
+         compaction {} -> {} bytes ({} live)",
+        report.warm.elapsed_seconds.get(),
+        report.warm.cache.executions,
+        report.cold.elapsed_seconds.get(),
+        report.cold.cache.executions,
+        cold_fleet.hits,
+        report.compaction.bytes_before,
+        report.compaction.bytes_after,
+        report.compaction.live_records,
+    );
+    eprintln!("wrote {out}");
+
+    if !bitwise_equal {
+        die("cold node's responses differ from the warm node's");
+    }
+    if report.warm.cache.executions == 0 {
+        die("warm phase executed nothing — the sweep is degenerate");
+    }
+    if report.cold.cache.executions > 0 {
+        die("cold node executed the simulator instead of recalling over the fleet");
+    }
+    if cold_fleet.hits == 0 || cold_fleet.rejected > 0 {
+        die("cold node's fleet tier saw no clean hits");
+    }
+    if report.compaction.bytes_after >= report.compaction.bytes_before {
+        die("compaction reclaimed nothing");
+    }
+    if report.compaction.live_records == 0 {
+        die("compaction dropped every live record");
+    }
+}
+
+fn run_sweep(addr: &str, sweep: &[StudyRequest]) -> (Vec<serde::Value>, Seconds) {
+    let mut client =
+        TcpClient::connect(addr).unwrap_or_else(|e| die(&format!("connecting to {addr}: {e}")));
+    let start = Instant::now();
+    let responses = client
+        .request_pipelined(sweep)
+        .unwrap_or_else(|e| die(&format!("pipelined sweep: {e}")));
+    (responses, Seconds::new(start.elapsed().as_secs_f64()))
+}
+
+fn node(elapsed: Seconds, stats: &StatsReport) -> NodeReport {
+    NodeReport {
+        elapsed_seconds: elapsed,
+        cache: stats.cache,
+        store: stats
+            .store
+            .unwrap_or_else(|| die("server reports no store tier")),
+        fleet: stats.fleet,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_fleet: {msg}");
+    std::process::exit(1)
+}

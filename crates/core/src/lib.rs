@@ -62,9 +62,9 @@ pub mod thermal_loop;
 pub use config::{StudyConfig, DEFAULT_DROWSY_INTERVAL, DEFAULT_GATED_INTERVAL, SWEEP_INTERVALS};
 pub use figures::{FigureSeries, LeakageEnergyFigure, LeakageEnergyPoint, Table3};
 pub use pricing::{CacheArrays, Priced};
-pub use runstore::{RunStore, StoreCounters};
+pub use runstore::{RecordId, RunStore, StoreCounters};
 pub use service::{FigureMetric, RequestKind, StudyRequest, StudyResponse};
 pub use study::{
-    default_threads, CompareRequest, RawRun, RunCache, RunCacheCounters, RunKey, RunResult, Study,
-    StudyCtx, StudyError,
+    default_threads, CompareRequest, RawRun, RemoteTier, RunCache, RunCacheCounters, RunKey,
+    RunResult, Study, StudyCtx, StudyError,
 };

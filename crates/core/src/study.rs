@@ -349,6 +349,10 @@ pub struct RunCacheCounters {
     /// Requests that blocked on another thread's in-flight run and then
     /// read its result — the duplicate work the cache deduplicated.
     pub coalesced: u64,
+    /// Misses that actually ran the simulator — i.e. were satisfied by
+    /// no tier (memory, disk, fleet). A node serving entirely from
+    /// recalls reports `executions == 0` however its misses were filled.
+    pub executions: u64,
 }
 
 /// The persistent disk tier under the in-memory cache: a shared
@@ -390,6 +394,38 @@ impl StoreTier {
     }
 }
 
+/// The fleet tier under the disk tier: anything that can recall the
+/// payload bytes for a content address from somewhere else — in
+/// practice `fleet::FleetTier` asking peer `studyd` nodes. The trait
+/// keeps this crate network-free; it deals only in verified bytes.
+pub trait RemoteTier: Send + Sync {
+    /// The payload bytes stored fleet-wide under `id`, or `None` on a
+    /// fleet-wide miss. Implementations must verify what they return
+    /// (checksum plus byte-for-byte key equality, exactly like the disk
+    /// tier's read-back) so a damaged or poisoned remote record reads
+    /// as a miss here, never as a payload.
+    fn recall(&self, id: RecordId, key: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// The fleet tier hook: a [`RemoteTier`] plus the config hash scoping
+/// this study's records, mirroring [`StoreTier`].
+struct FleetHook {
+    remote: Arc<dyn RemoteTier>,
+    config_hash: u64,
+}
+
+impl FleetHook {
+    /// Recalls `key` from the fleet. The remote tier verified the raw
+    /// record; a payload that then fails *our* codec (version skew
+    /// between peers) is simply a miss — never an answer.
+    fn recall(&self, key: &RunKey) -> Option<RawRun> {
+        let key_bytes = crate::storebytes::encode_key(key);
+        let id = RecordId::of(&key_bytes, self.config_hash);
+        let payload = self.remote.recall(id, &key_bytes)?;
+        crate::storebytes::decode_run(&payload)
+    }
+}
+
 /// A concurrent memo table of timing runs, sharded by key hash so many
 /// worker threads can memoize without a global lock. In-flight keys are
 /// coalesced: a thread requesting a run another thread is already
@@ -402,9 +438,11 @@ impl StoreTier {
 pub struct RunCache {
     shards: Vec<Mutex<HashMap<RunKey, Slot>>>,
     store: Option<StoreTier>,
+    fleet: Option<FleetHook>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    executions: AtomicU64,
 }
 
 impl fmt::Debug for RunCache {
@@ -428,9 +466,11 @@ impl RunCache {
         RunCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             store: None,
+            fleet: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
         }
     }
 
@@ -438,6 +478,16 @@ impl RunCache {
     /// scoped to `config_hash` (see [`crate::storebytes::config_hash`]).
     pub fn attach_store(&mut self, store: Arc<RunStore>, config_hash: u64) {
         self.store = Some(StoreTier { store, config_hash });
+    }
+
+    /// Attaches a fleet tier below the disk tier (memory → disk → fleet
+    /// → compute); records are scoped to `config_hash` exactly like the
+    /// disk tier's.
+    pub fn attach_fleet(&mut self, remote: Arc<dyn RemoteTier>, config_hash: u64) {
+        self.fleet = Some(FleetHook {
+            remote,
+            config_hash,
+        });
     }
 
     /// Disk-tier traffic counters, if a store is attached.
@@ -462,6 +512,7 @@ impl RunCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            executions: self.executions.load(Ordering::Relaxed),
         }
     }
 
@@ -557,12 +608,15 @@ impl RunCache {
                         inflight: Arc::clone(&inflight),
                         armed: true,
                     };
-                    // The tier order below memory: a verified disk recall
-                    // satisfies the miss; otherwise compute and spill the
-                    // fresh run to the store write-behind.
-                    let result = match self.store.as_ref().and_then(|t| t.recall(&key)) {
+                    // The tier order below memory: a verified disk
+                    // recall, then a verified fleet recall, satisfies
+                    // the miss; only a fleet-wide miss actually runs the
+                    // simulator. Fresh runs spill to the store
+                    // write-behind.
+                    let result = match self.recall_tiers(&key) {
                         Some(recalled) => Ok(recalled),
                         None => {
+                            self.executions.fetch_add(1, Ordering::Relaxed);
                             let computed = run();
                             if let (Some(tier), Ok(r)) = (self.store.as_ref(), &computed) {
                                 tier.spill(&key, r);
@@ -588,6 +642,21 @@ impl RunCache {
                 }
             }
         }
+    }
+
+    /// The recall tiers under memory, in order: local disk, then the
+    /// fleet. A fleet hit is spilled to the local store too, so the next
+    /// restart (or a peer recalling from *us*) is served from disk
+    /// without re-asking the fleet.
+    fn recall_tiers(&self, key: &RunKey) -> Option<RawRun> {
+        if let Some(recalled) = self.store.as_ref().and_then(|t| t.recall(key)) {
+            return Some(recalled);
+        }
+        let recalled = self.fleet.as_ref().and_then(|f| f.recall(key))?;
+        if let Some(tier) = self.store.as_ref() {
+            tier.spill(key, &recalled);
+        }
+        Some(recalled)
     }
 }
 
@@ -684,6 +753,15 @@ impl Study {
     pub fn attach_store(&mut self, store: Arc<RunStore>) {
         let hash = crate::storebytes::config_hash(self.ctx.config());
         self.cache.attach_store(store, hash);
+    }
+
+    /// Attaches a fleet tier below the disk tier (memory → disk → fleet
+    /// → compute), scoped to this study's configuration like
+    /// [`Study::attach_store`] — a peer under different simulator knobs
+    /// can never answer our recalls.
+    pub fn attach_fleet(&mut self, remote: Arc<dyn RemoteTier>) {
+        let hash = crate::storebytes::config_hash(self.ctx.config());
+        self.cache.attach_fleet(remote, hash);
     }
 
     /// Disk-tier traffic counters, if a store is attached.

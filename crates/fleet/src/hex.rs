@@ -1,0 +1,46 @@
+//! Lowercase hex encoding for opaque byte blobs on the JSON wire.
+//!
+//! Record and segment bytes are binary; JSON strings are not. Hex costs
+//! 2× on the wire but keeps every line valid UTF-8 and trivially
+//! greppable — a fleet transfer can be debugged with `nc` and eyes.
+
+/// Encodes `bytes` as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex string (either case). Returns `None` for odd length or
+/// any non-hex character — the callers treat that as protocol damage.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_damage() {
+        for bytes in [&b""[..], &b"\x00"[..], &b"\xff\x00\x7f"[..], &b"abc"[..]] {
+            assert_eq!(decode(&encode(bytes)).as_deref(), Some(bytes));
+        }
+        assert_eq!(encode(b"\x01\xab"), "01ab");
+        assert_eq!(decode("01AB").as_deref(), Some(&b"\x01\xab"[..]));
+        assert!(decode("0").is_none());
+        assert!(decode("zz").is_none());
+    }
+}

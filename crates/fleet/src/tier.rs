@@ -1,0 +1,168 @@
+//! The fleet recall tier and anti-entropy shipping.
+//!
+//! [`FleetTier`] implements [`simcore::RemoteTier`]: on a local
+//! memory+disk miss the study asks each peer in list order and takes
+//! the first record that survives [`crate::verify_remote_record`] — a
+//! record a peer poisons (or damages) is rejected and the next peer is
+//! tried, so the fleet can only ever turn a recompute into a verified
+//! reuse, never into a wrong answer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use runstore::{RecordId, RunStore};
+use simcore::RemoteTier;
+
+use crate::client::PeerClient;
+use crate::verify_remote_record;
+
+/// A point-in-time snapshot of fleet-tier traffic. Counters are relaxed
+/// atomics: approximate while recalls are in flight, exact once the
+/// tier is quiescent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Recalls answered by some peer with a verified record.
+    pub hits: u64,
+    /// Recalls no peer could answer (the caller computed).
+    pub misses: u64,
+    /// Peer records rejected by read-back verification (checksum, id,
+    /// or key mismatch) — each one was a poisoned or damaged answer
+    /// turned into a miss.
+    pub rejected: u64,
+    /// Peer conversations that failed outright (connect, I/O, framing,
+    /// refusal). One recall can count several — one per failing peer.
+    pub peer_errors: u64,
+    /// Peers configured.
+    pub peers: u64,
+}
+
+/// What one [`FleetTier::sync_segments`] anti-entropy pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Peers whose inventory was fetched.
+    pub peers_reached: u64,
+    /// Whole segments pulled.
+    pub segments_pulled: u64,
+    /// Shipped records that verified and were installed locally.
+    pub records_installed: u64,
+    /// Shipped records already present locally (or duplicated across
+    /// shipped segments).
+    pub records_skipped: u64,
+    /// Shipped records rejected by checksum verification (torn or
+    /// corrupt shipping).
+    pub records_rejected: u64,
+    /// Local write failures while landing verified records.
+    pub io_errors: u64,
+}
+
+/// The fleet tier: a static peer list plus traffic counters.
+#[derive(Debug)]
+pub struct FleetTier {
+    peers: Vec<PeerClient>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    peer_errors: AtomicU64,
+}
+
+impl FleetTier {
+    /// A tier asking the given peers (`host:port` each), in order.
+    pub fn new(peers: impl IntoIterator<Item = impl Into<String>>) -> FleetTier {
+        FleetTier {
+            peers: peers.into_iter().map(PeerClient::new).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            peer_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// How many peers are configured.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> FleetCounters {
+        FleetCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            peer_errors: self.peer_errors.load(Ordering::Relaxed),
+            peers: self.peers.len() as u64,
+        }
+    }
+
+    /// One anti-entropy pass: fetch every peer's segment inventory,
+    /// pull each segment that holds live records, and land the verified
+    /// records in `store` (which re-checksums record by record and
+    /// writes its own fresh segment — shipped bytes are never trusted
+    /// and never touch the filesystem from this crate). Idempotent:
+    /// records already present are skipped, so a repeated pass installs
+    /// nothing.
+    pub fn sync_segments(&self, store: &RunStore) -> SyncReport {
+        let mut report = SyncReport::default();
+        for peer in &self.peers {
+            let inventory = match peer.inventory() {
+                Ok(inventory) => inventory,
+                Err(_) => {
+                    self.peer_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            report.peers_reached += 1;
+            for segment in inventory {
+                if segment.records == 0 {
+                    // Nothing live in it — dead bytes awaiting the
+                    // peer's compaction; don't ship them.
+                    continue;
+                }
+                let bytes = match peer.pull_segment(&segment.name) {
+                    Ok(bytes) => bytes,
+                    Err(_) => {
+                        self.peer_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                report.segments_pulled += 1;
+                match store.import_segment(&bytes) {
+                    Ok(imported) => {
+                        report.records_installed += imported.installed;
+                        report.records_skipped += imported.skipped;
+                        report.records_rejected += imported.rejected;
+                    }
+                    Err(_) => report.io_errors += 1,
+                }
+            }
+        }
+        report
+    }
+}
+
+impl RemoteTier for FleetTier {
+    /// Asks each peer in order; returns the first payload that survives
+    /// the full read-back verification. A peer answer that fails
+    /// verification counts as `rejected` and the next peer is tried; a
+    /// peer that errors counts as `peer_errors`. `None` — with `misses`
+    /// bumped — only when the whole fleet has no acceptable record.
+    fn recall(&self, id: RecordId, key: &[u8]) -> Option<Vec<u8>> {
+        for peer in &self.peers {
+            match peer.recall(id, key) {
+                Ok(Some(bytes)) => match verify_remote_record(&bytes, id, key) {
+                    Some(payload) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(payload);
+                    }
+                    None => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Ok(None) => {}
+                Err(_) => {
+                    self.peer_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}

@@ -89,9 +89,11 @@ pub const TYPED_CONSTANT_FILES: &[&str] = &[
 ];
 
 /// Where sockets and thread spawning are legitimate: the study server
-/// crate (path prefix) and the workspace's one thread-fanout primitive
-/// (path suffix). Everywhere else, `server-boundary` fires.
-pub const SERVER_BOUNDARY_CRATES: &[&str] = &["crates/studyd/"];
+/// crate and the fleet tier (path prefixes — `fleet` owns the peer TCP
+/// client; it ships bytes and never touches files, so it stays outside
+/// the `fs-boundary` allowance) and the workspace's one thread-fanout
+/// primitive (path suffix). Everywhere else, `server-boundary` fires.
+pub const SERVER_BOUNDARY_CRATES: &[&str] = &["crates/studyd/", "crates/fleet/"];
 
 /// Suffix-matched files also allowed to spawn threads.
 pub const SERVER_BOUNDARY_FILES: &[&str] = &["crates/core/src/parallel.rs"];
@@ -929,6 +931,21 @@ mod tests {
             "// lint: allow(server-boundary): one-shot telemetry probe\nuse std::net::UdpSocket;\n";
         let v = scan_content(&rel("crates/cachesim/src/cache.rs"), marked);
         assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
+    }
+
+    #[test]
+    fn fleet_owns_sockets_but_never_the_filesystem() {
+        // The fleet crate is inside the server boundary (it owns the
+        // peer TCP client)...
+        let net = "use std::net::TcpStream;\n";
+        let v = scan_content(&rel("crates/fleet/src/client.rs"), net);
+        assert!(v.iter().all(|v| v.rule != Rule::ServerBoundary), "{v:?}");
+
+        // ...but stays outside the fs boundary: it ships bytes and
+        // hands them to runstore, which owns all disk access.
+        let fs = "use std::fs;\nfn land(p: &str) {\n    let _ = std::fs::write(p, b\"seg\");\n}\n";
+        let v = scan_content(&rel("crates/fleet/src/shipper.rs"), fs);
+        assert!(v.iter().any(|v| v.rule == Rule::FsBoundary), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Compaction, eviction-budget, and segment-shipping tests.
+//!
+//! The compaction invariants are property-tested: whatever mix of
+//! appends and invalidations precedes it, `compact()` must keep every
+//! live record recallable bitwise-intact, drop every invalidated one,
+//! never grow the store, and be idempotent (a second pass retires
+//! nothing). The shipping tests pin the import side: only
+//! checksum-verified records land, a torn shipped segment installs its
+//! intact prefix only, and garbage installs nothing.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use runstore::{RecordId, RunStore, StoreBudget};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("runstore-compact-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// splitmix64: cheap deterministic expansion of a seed.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn record(i: usize, seed: u64) -> (RecordId, Vec<u8>, Vec<u8>) {
+    let key = format!("key-{seed:016x}-{i}").into_bytes();
+    let mut x = seed ^ i as u64;
+    let len = 32 + (mix(&mut x) % 200) as usize;
+    let payload: Vec<u8> = (0..len).map(|_| mix(&mut x) as u8).collect();
+    (RecordId::of(&key, 7), key, payload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Core compaction invariants, under a random append/invalidate mix
+    /// spread over several segment files (one per store generation).
+    #[test]
+    fn compaction_loses_no_live_record_and_drops_every_dead_one(seed in 0u64..u64::MAX) {
+        let dir = scratch(&format!("prop-{seed:016x}"));
+        let mut x = seed;
+        let total = 8 + (mix(&mut x) % 24) as usize;
+        // Write in three generations so the dir holds several segments.
+        for generation in 0..3 {
+            let store = RunStore::open(&dir).expect("open");
+            for i in (0..total).filter(|i| i % 3 == generation) {
+                let (id, key, payload) = record(i, seed);
+                store.append(id, key, payload);
+            }
+            store.flush();
+        }
+        let store = RunStore::open(&dir).expect("reopen");
+        prop_assert_eq!(store.len(), total);
+        let dead: Vec<usize> = (0..total).filter(|_| mix(&mut x).is_multiple_of(2)).collect();
+        for &i in &dead {
+            store.invalidate(record(i, seed).0);
+        }
+        let live: Vec<usize> = (0..total).filter(|i| !dead.contains(i)).collect();
+        // `invalidate` counts one verify failure per call by design;
+        // compaction itself must add none on an undamaged store.
+        let failures_before = store.counters().verify_failures;
+
+        let report = store.compact().expect("compact");
+        prop_assert_eq!(report.live_records, live.len() as u64);
+        prop_assert!(report.bytes_after <= report.bytes_before,
+            "compaction must never grow the store: {report:?}");
+        prop_assert_eq!(store.disk_bytes().expect("disk bytes"), report.bytes_after);
+
+        // Every live record is still recallable, bitwise-intact...
+        for &i in &live {
+            let (id, key, payload) = record(i, seed);
+            prop_assert_eq!(store.recall(id, &key), Some(payload), "record {}", i);
+        }
+        // ...every invalidated one is gone, on disk as well as in the
+        // index (dead ids miss even after a rescan).
+        for &i in &dead {
+            let (id, key, _) = record(i, seed);
+            prop_assert_eq!(store.recall(id, &key), None);
+        }
+        prop_assert_eq!(store.counters().verify_failures, failures_before);
+        drop(store);
+        let rescan = RunStore::open(&dir).expect("rescan");
+        prop_assert_eq!(rescan.len(), live.len());
+
+        // Recompaction is idempotent: everything already lives in one
+        // fully-live segment, so nothing is retired and no byte moves.
+        let again = rescan.compact().expect("recompact");
+        prop_assert_eq!(again.segments_retired, 0);
+        prop_assert_eq!(again.bytes_after, report.bytes_after);
+        prop_assert_eq!(again.live_records, live.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A shipped segment round-trips store-to-store: export on one side,
+    /// import on the other, every record recallable and re-import a
+    /// no-op. Torn shipped bytes install the intact prefix only.
+    #[test]
+    fn shipped_segments_install_verified_records_only(seed in 0u64..u64::MAX) {
+        let src_dir = scratch(&format!("ship-src-{seed:016x}"));
+        let dst_dir = scratch(&format!("ship-dst-{seed:016x}"));
+        let mut x = seed;
+        let total = 4 + (mix(&mut x) % 12) as usize;
+        let src = RunStore::open(&src_dir).expect("open src");
+        for i in 0..total {
+            let (id, key, payload) = record(i, seed);
+            src.append(id, key, payload);
+        }
+        src.flush();
+        let inventory = src.inventory().expect("inventory");
+        prop_assert_eq!(inventory.len(), 1);
+        prop_assert_eq!(inventory[0].records, total as u64);
+        let shipped = src.export_segment(&inventory[0].name).expect("export");
+        prop_assert_eq!(shipped.len() as u64, inventory[0].bytes);
+
+        let dst = RunStore::open(&dst_dir).expect("open dst");
+        let report = dst.import_segment(&shipped).expect("import");
+        prop_assert_eq!(report.installed, total as u64);
+        prop_assert_eq!((report.skipped, report.rejected), (0, 0));
+        for i in 0..total {
+            let (id, key, payload) = record(i, seed);
+            prop_assert_eq!(dst.recall(id, &key), Some(payload));
+        }
+        // Idempotent: a second anti-entropy pass installs nothing.
+        let again = dst.import_segment(&shipped).expect("re-import");
+        prop_assert_eq!((again.installed, again.skipped), (0, total as u64));
+
+        // A torn transfer (cut mid-record) lands the intact prefix only.
+        let torn_dir = scratch(&format!("ship-torn-{seed:016x}"));
+        let torn_store = RunStore::open(&torn_dir).expect("open torn");
+        let cut = shipped.len() - 1 - (mix(&mut x) as usize % (shipped.len() / 2));
+        let report = torn_store.import_segment(&shipped[..cut]).expect("torn import");
+        prop_assert_eq!(report.rejected, 1, "the cut record must be rejected");
+        prop_assert!(report.installed < total as u64);
+        for (i, installed) in (0..total).map(|i| (i, i < report.installed as usize)) {
+            let (id, key, payload) = record(i, seed);
+            let got = torn_store.recall(id, &key);
+            prop_assert_eq!(got, installed.then_some(payload), "record {}", i);
+        }
+        for dir in [&src_dir, &dst_dir, &torn_dir] {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+#[test]
+fn import_rejects_bytes_without_segment_magic() {
+    let dir = scratch("bad-magic");
+    let store = RunStore::open(&dir).expect("open");
+    for bytes in [&b""[..], &b"JUNK"[..], &[0u8; 64][..]] {
+        let report = store.import_segment(bytes).expect("import");
+        assert_eq!(report.rejected, 1);
+        assert_eq!((report.installed, report.skipped), (0, 0));
+    }
+    assert!(store.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn export_segment_refuses_non_segment_names() {
+    let dir = scratch("export-names");
+    let store = RunStore::open(&dir).expect("open");
+    for name in [
+        "../../../etc/passwd",
+        "seg-0123/evil.runs",
+        "notaseg.runs",
+        "seg-0123456789abcdef-0123abcd.bad",
+        "",
+    ] {
+        assert!(
+            store.export_segment(name).is_err(),
+            "{name:?} must be refused"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byte_budget_evicts_oldest_segments_first() {
+    let dir = scratch("budget-bytes");
+    // Three generations = three segment files, oldest holds keys 0..8.
+    for generation in 0..3u8 {
+        let store = RunStore::open(&dir).expect("open");
+        for i in 0..8u8 {
+            let key = vec![b'g', generation, i];
+            store.append(RecordId::of(&key, 1), key, vec![generation; 512]);
+        }
+        store.flush();
+    }
+    let unbounded = RunStore::open(&dir).expect("reopen");
+    let total_bytes = unbounded.disk_bytes().expect("bytes");
+    let seg_bytes = total_bytes / 3;
+    drop(unbounded);
+
+    let budget = StoreBudget {
+        max_bytes: Some(2 * seg_bytes + seg_bytes / 2),
+        max_age: None,
+    };
+    let store = RunStore::open_with_budget(&dir, budget).expect("open bounded");
+    assert_eq!(store.budget(), budget);
+    let evicted = store.enforce_budget().expect("enforce");
+    assert_eq!(evicted, 1, "exactly the oldest segment goes");
+    assert!(store.disk_bytes().expect("bytes") <= 2 * seg_bytes + seg_bytes / 2);
+    // The oldest generation misses now; the two newer ones still hit.
+    for i in 0..8u8 {
+        let key = vec![b'g', 0, i];
+        assert_eq!(store.recall(RecordId::of(&key, 1), &key), None);
+        let key = vec![b'g', 2, i];
+        assert_eq!(
+            store.recall(RecordId::of(&key, 1), &key),
+            Some(vec![2u8; 512])
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn age_budget_drops_expired_segments_at_flush_time() {
+    let dir = scratch("budget-age");
+    {
+        let store = RunStore::open(&dir).expect("open");
+        let key = b"old".to_vec();
+        store.append(RecordId::of(&key, 1), key, vec![1; 64]);
+        store.flush();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let budget = StoreBudget {
+        max_bytes: None,
+        max_age: Some(Duration::from_millis(10)),
+    };
+    let store = RunStore::open_with_budget(&dir, budget).expect("open bounded");
+    assert_eq!(store.len(), 1, "scan still sees the record before flush");
+    let key = b"fresh".to_vec();
+    store.append(RecordId::of(&key, 1), key.clone(), vec![2; 64]);
+    store.flush(); // flush enforces the budget on a bounded store
+    let old = b"old".to_vec();
+    assert_eq!(store.recall(RecordId::of(&old, 1), &old), None, "expired");
+    assert_eq!(store.recall(RecordId::of(&key, 1), &key), Some(vec![2; 64]));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_reclaims_invalidated_and_superseded_bytes() {
+    let dir = scratch("reclaim");
+    let store = RunStore::open(&dir).expect("open");
+    let keep: Vec<u8> = b"keep".to_vec();
+    let drop_key: Vec<u8> = b"drop".to_vec();
+    store.append(RecordId::of(&keep, 1), keep.clone(), vec![7; 4096]);
+    store.append(RecordId::of(&drop_key, 1), drop_key.clone(), vec![8; 4096]);
+    store.flush();
+    store.invalidate(RecordId::of(&drop_key, 1));
+    let before = store.disk_bytes().expect("bytes");
+    let report = store.compact().expect("compact");
+    assert_eq!(report.live_records, 1);
+    assert_eq!(report.segments_retired, 1);
+    assert!(
+        report.bytes_after < before,
+        "dead bytes must be reclaimed: {report:?}"
+    );
+    assert_eq!(
+        store.recall(RecordId::of(&keep, 1), &keep),
+        Some(vec![7; 4096])
+    );
+    assert_eq!(store.recall(RecordId::of(&drop_key, 1), &drop_key), None);
+
+    // retire_config + compact is the bulk-retirement path.
+    assert_eq!(store.retire_config(1), 1);
+    let report = store.compact().expect("compact retired");
+    assert_eq!(report.live_records, 0);
+    assert_eq!(store.disk_bytes().expect("bytes"), 0);
+    let _ = fs::remove_dir_all(&dir);
+}

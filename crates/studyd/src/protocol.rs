@@ -6,12 +6,23 @@
 //! ```text
 //! request  = { "id": uint, "study": study-request }
 //!          | { "id": uint, "stats": true }
+//!          | { "id": uint, "recall": { "key": hex, "config_hash": uint } }
+//!          | { "id": uint, "inventory": true }
+//!          | { "id": uint, "segment": string }
 //! response = { "id": uint, "ok":    study-response }
 //!          | { "id": uint, "stats": stats-report }
 //!          | { "id": uint, "err":   string }
 //!          | { "id": uint, "busy":  { "retry_after_ms": uint,
 //!                                     "queue_depth": uint } }
+//!          | fleet-reply                     (see `fleet::wire`)
 //! ```
+//!
+//! The `recall`/`inventory`/`segment` kinds are the fleet store-sharing
+//! protocol: their payload shapes, reply lines, and parsers live in
+//! [`fleet::wire`] (shared with the fleet's peer client); this module
+//! only recognizes the field names and delegates. They are answered
+//! inline by the connection thread — serving bytes out of the run store
+//! never waits behind queued simulator work.
 //!
 //! `study-request` is exactly the value shape
 //! `#[derive(Serialize)]` emits for [`StudyRequest`] (externally tagged:
@@ -57,6 +68,9 @@ pub enum WireRequest {
     /// Report server observability counters; answered inline by the
     /// connection thread, never queued.
     Stats,
+    /// A fleet store-sharing request (record recall, segment inventory,
+    /// or whole-segment pull); answered inline from the run store.
+    Fleet(fleet::FleetRequest),
 }
 
 /// A parsed response line, client side.
@@ -168,6 +182,7 @@ pub fn parse_value(v: &Value) -> Result<Envelope, String> {
     let mut id = None;
     let mut study = None;
     let mut stats = false;
+    let mut fleet_request = None;
     for (key, val) in fields {
         match key.as_str() {
             "id" => match val {
@@ -179,20 +194,33 @@ pub fn parse_value(v: &Value) -> Result<Envelope, String> {
                 Value::Bool(true) => stats = true,
                 _ => return Err("field \"stats\" must be the literal true".to_string()),
             },
-            other => return Err(format!("unknown field {other:?}")),
+            other => match fleet::wire::parse_request_field(key, val) {
+                Some(parsed) => {
+                    if fleet_request.replace(parsed?).is_some() {
+                        return Err("request carries more than one fleet kind".to_string());
+                    }
+                }
+                None => return Err(format!("unknown field {other:?}")),
+            },
         }
     }
     let id = id.ok_or_else(|| "missing field \"id\"".to_string())?;
-    match (study, stats) {
-        (Some(request), false) => Ok(Envelope {
+    match (study, stats, fleet_request) {
+        (Some(request), false, None) => Ok(Envelope {
             id,
             request: WireRequest::Study(request),
         }),
-        (None, true) => Ok(Envelope {
+        (None, true, None) => Ok(Envelope {
             id,
             request: WireRequest::Stats,
         }),
-        _ => Err("request must carry exactly one of \"study\" or \"stats\"".to_string()),
+        (None, false, Some(request)) => Ok(Envelope {
+            id,
+            request: WireRequest::Fleet(request),
+        }),
+        _ => Err(
+            "request must carry exactly one of \"study\", \"stats\", or a fleet kind".to_string(),
+        ),
     }
 }
 
@@ -300,6 +328,37 @@ mod tests {
                 queue_depth: 8
             }
         );
+    }
+
+    #[test]
+    fn fleet_request_fields_parse_through_the_shared_codec() {
+        // The very line the fleet peer client renders must parse into a
+        // Fleet envelope here — one codec, two ends.
+        let line = fleet::wire::request_line(11, &fleet::FleetRequest::Inventory);
+        let env = parse_line(line.trim()).expect("parses");
+        assert_eq!(env.id, 11);
+        assert_eq!(
+            env.request,
+            WireRequest::Fleet(fleet::FleetRequest::Inventory)
+        );
+
+        let recall = fleet::FleetRequest::Recall {
+            key: b"key-bytes".to_vec(),
+            config_hash: 7,
+        };
+        let env = parse_line(fleet::wire::request_line(3, &recall).trim()).expect("parses");
+        assert_eq!(env.request, WireRequest::Fleet(recall));
+
+        for line in [
+            r#"{"id": 1, "stats": true, "inventory": true}"#,
+            r#"{"id": 1, "inventory": true, "segment": "seg-x.runs"}"#,
+        ] {
+            let err = parse_line(line).expect_err(line);
+            assert!(
+                err.contains("exactly one") || err.contains("more than one"),
+                "{line}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub struct ServerConfig {
     /// in-memory cache: timing runs persist across restarts, and a warm
     /// store serves repeat requests with zero simulator executions.
     pub store_path: Option<String>,
+    /// Static fleet peer list (`host:port` each). When non-empty, the
+    /// study attaches a [`fleet::FleetTier`] below the disk tier: a
+    /// recall missing both memory and disk asks each peer in order and
+    /// only computes when the whole fleet misses. Remote records pass
+    /// the same read-back verification as local ones. The server also
+    /// *serves* fleet requests whenever a store is attached, peers or
+    /// not.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +89,7 @@ impl Default for ServerConfig {
             workers: simcore::default_threads(),
             queue_capacity: 64,
             store_path: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -165,6 +174,13 @@ pub(crate) struct Shared {
     pub(crate) queue: JobQueue<Job>,
     pub(crate) stats: ServerStats,
     pub(crate) shutdown: AtomicBool,
+    /// The run store, when one is attached — the same instance the
+    /// study's disk tier uses, held here so fleet requests can serve
+    /// raw record and segment bytes from it inline.
+    pub(crate) store: Option<Arc<simcore::RunStore>>,
+    /// The outbound fleet tier, when peers are configured; here for its
+    /// counters in [`Shared::report`].
+    pub(crate) fleet: Option<Arc<fleet::FleetTier>>,
     /// Seeded lost-reply bug (CI negative smoke): set once the server
     /// has dropped its first response.
     #[cfg(feature = "dropped-response-bug")]
@@ -178,6 +194,7 @@ impl Shared {
             self.queue.depth(),
             self.study.cache().counters(),
             self.study.store_counters(),
+            self.fleet.as_ref().map(|tier| tier.counters()),
         )
     }
 
@@ -219,14 +236,28 @@ impl Server {
         let local_addr = listener.local_addr()?;
         // One engine thread per worker: the pool is the parallelism.
         let mut study = Study::with_threads(study_cfg, 1);
-        if let Some(path) = &cfg.store_path {
-            study.attach_store(Arc::new(simcore::RunStore::open(path)?));
-        }
+        let store = match &cfg.store_path {
+            Some(path) => {
+                let store = Arc::new(simcore::RunStore::open(path)?);
+                study.attach_store(Arc::clone(&store));
+                Some(store)
+            }
+            None => None,
+        };
+        let fleet_tier = if cfg.peers.is_empty() {
+            None
+        } else {
+            let tier = Arc::new(fleet::FleetTier::new(cfg.peers.iter().cloned()));
+            study.attach_fleet(Arc::clone(&tier) as Arc<dyn simcore::RemoteTier>);
+            Some(tier)
+        };
         let shared = Arc::new(Shared {
             study,
             queue: JobQueue::new(cfg.queue_capacity),
             stats: ServerStats::new(),
             shutdown: AtomicBool::new(false),
+            store,
+            fleet: fleet_tier,
             #[cfg(feature = "dropped-response-bug")]
             dropped_one: AtomicBool::new(false),
         });
@@ -461,6 +492,31 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Renders the reply to one fleet store-sharing request, serving raw
+/// bytes out of the run store. The server side ships records and
+/// segments *unverified* — the design point is that the requesting peer
+/// runs the full read-back verification, so a damaged record here
+/// degrades to a peer-side miss, never a wrong answer there.
+fn serve_fleet(shared: &Shared, id: u64, request: &fleet::FleetRequest) -> String {
+    let Some(store) = shared.store.as_deref() else {
+        return fleet::wire::err_line(id, "no run store attached");
+    };
+    match request {
+        fleet::FleetRequest::Recall { key, config_hash } => {
+            let record_id = simcore::RecordId::of(key, *config_hash);
+            fleet::wire::record_line(id, store.export_record(record_id).as_deref())
+        }
+        fleet::FleetRequest::Inventory => match store.inventory() {
+            Ok(segments) => fleet::wire::inventory_line(id, &segments),
+            Err(e) => fleet::wire::err_line(id, &format!("inventory failed: {e}")),
+        },
+        fleet::FleetRequest::PullSegment { name } => match store.export_segment(name) {
+            Ok(bytes) => fleet::wire::segment_line(id, &bytes),
+            Err(e) => fleet::wire::err_line(id, &format!("segment unavailable: {e}")),
+        },
+    }
+}
+
 /// Handles one complete request line; `false` ends the connection.
 fn serve_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool {
     match protocol::parse_line(line) {
@@ -472,6 +528,10 @@ fn serve_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool {
             id,
             request: WireRequest::Stats,
         }) => conn.write_line(&protocol::stats_line(id, &shared.report())),
+        Ok(Envelope {
+            id,
+            request: WireRequest::Fleet(request),
+        }) => conn.write_line(&serve_fleet(shared, id, &request)),
         Ok(Envelope {
             id,
             request: WireRequest::Study(request),

@@ -128,14 +128,16 @@ impl ServerStats {
     }
 
     /// Snapshots everything into a serializable report. `queue_depth`,
-    /// `cache`, and `store` come from the queue, the run-cache, and the
-    /// optional disk tier, which the stats object deliberately does not
-    /// own (`store` is `None` when no persistent store is attached).
+    /// `cache`, `store`, and `fleet` come from the queue, the run-cache,
+    /// the optional disk tier, and the optional fleet tier, which the
+    /// stats object deliberately does not own (`store`/`fleet` are
+    /// `None` when the corresponding tier is not attached).
     pub fn report(
         &self,
         queue_depth: usize,
         cache: RunCacheCounters,
         store: Option<StoreCounters>,
+        fleet: Option<fleet::FleetCounters>,
     ) -> StatsReport {
         StatsReport {
             queue_depth: queue_depth as u64,
@@ -149,6 +151,7 @@ impl ServerStats {
             audit_enabled: cfg!(feature = "audit"),
             cache,
             store: store.map(StoreReport::from),
+            fleet: fleet.map(FleetReport::from),
             kinds: RequestKind::ALL
                 .iter()
                 .map(|kind| KindStats {
@@ -195,6 +198,8 @@ pub struct StatsReport {
     /// Disk-store tier counters; `None` when the server runs without a
     /// persistent store.
     pub store: Option<StoreReport>,
+    /// Fleet-tier counters; `None` when no peers are configured.
+    pub fleet: Option<FleetReport>,
     /// Per-kind latency summaries, in [`RequestKind::ALL`] order.
     pub kinds: Vec<KindStats>,
 }
@@ -217,6 +222,42 @@ pub struct StoreReport {
     pub records: u64,
     /// Segment files known to the store.
     pub segments: u64,
+}
+
+/// Fleet-tier counters inside a [`StatsReport`] — the serializable
+/// mirror of [`fleet::FleetCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FleetReport {
+    /// Recalls answered by some peer with a verified record.
+    pub hits: u64,
+    /// Recalls the whole fleet missed (computed instead).
+    pub misses: u64,
+    /// Peer records rejected by read-back verification — poisoned or
+    /// damaged answers turned into misses.
+    pub rejected: u64,
+    /// Failed peer conversations (connect, I/O, framing, refusal).
+    pub peer_errors: u64,
+    /// Peers configured.
+    pub peers: u64,
+}
+
+impl From<fleet::FleetCounters> for FleetReport {
+    fn from(c: fleet::FleetCounters) -> Self {
+        let fleet::FleetCounters {
+            hits,
+            misses,
+            rejected,
+            peer_errors,
+            peers,
+        } = c;
+        FleetReport {
+            hits,
+            misses,
+            rejected,
+            peer_errors,
+            peers,
+        }
+    }
 }
 
 impl From<StoreCounters> for StoreReport {
@@ -283,7 +324,7 @@ mod tests {
     fn report_carries_every_kind_in_order() {
         let stats = ServerStats::new();
         stats.record_latency(RequestKind::Figure, Duration::from_millis(5));
-        let report = stats.report(3, RunCacheCounters::default(), None);
+        let report = stats.report(3, RunCacheCounters::default(), None, None);
         assert_eq!(report.queue_depth, 3);
         assert_eq!(
             report
@@ -310,10 +351,35 @@ mod tests {
             verify_failures: 0,
             ..StoreCounters::default()
         };
-        let report = stats.report(0, RunCacheCounters::default(), Some(store));
+        let report = stats.report(0, RunCacheCounters::default(), Some(store), None);
         let snap = report.store.expect("store report present");
         assert_eq!((snap.hits, snap.appends, snap.verify_failures), (2, 1, 0));
         let text = serde_json::to_string(&report).expect("serializes");
         assert!(text.contains("\"verify_failures\":0"), "{text}");
+    }
+
+    #[test]
+    fn report_carries_fleet_counters_when_peers_are_configured() {
+        let stats = ServerStats::new();
+        let fleet_counters = fleet::FleetCounters {
+            hits: 4,
+            misses: 1,
+            rejected: 2,
+            peer_errors: 0,
+            peers: 3,
+        };
+        let report = stats.report(0, RunCacheCounters::default(), None, Some(fleet_counters));
+        let snap = report.fleet.expect("fleet report present");
+        assert_eq!(
+            (snap.hits, snap.misses, snap.rejected, snap.peers),
+            (4, 1, 2, 3)
+        );
+        let text = serde_json::to_string(&report).expect("serializes");
+        assert!(text.contains("\"rejected\":2"), "{text}");
+
+        // Without peers the field stays null, exactly like `store`.
+        let report = stats.report(0, RunCacheCounters::default(), None, None);
+        let text = serde_json::to_string(&report).expect("serializes");
+        assert!(text.contains("\"fleet\":null"), "{text}");
     }
 }

@@ -1,0 +1,290 @@
+//! Two-node fleet tests: a cold node peered to a warm node serves
+//! repeated sweeps off the fleet with **zero simulator executions** and
+//! bitwise-equal responses; anti-entropy segment shipping warms an
+//! empty store through the live wire protocol; and a torn shipped
+//! segment falls through to recompute — correct answers, never wrong
+//! ones.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use fleet::{FleetTier, PeerClient};
+use runstore::RunStore;
+use simcore::{FigureMetric, RecordId, StudyConfig, StudyRequest};
+use studyd::{Server, ServerConfig, TcpClient};
+
+fn test_study_config() -> StudyConfig {
+    StudyConfig {
+        insts: 20_000,
+        ..StudyConfig::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("studyd-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fleet_server(dir: &Path, peers: Vec<String>) -> Server {
+    Server::start(
+        test_study_config(),
+        &ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            store_path: Some(dir.to_string_lossy().into_owned()),
+            peers,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("fleet server binds")
+}
+
+/// The figure sweep both nodes serve: every point of fig3 at two
+/// latencies — enough distinct runs that a zero-execution repeat is
+/// meaningful.
+fn figure_sweep() -> Vec<StudyRequest> {
+    [5, 11]
+        .into_iter()
+        .map(|l2_latency| StudyRequest::Figure {
+            metric: FigureMetric::Savings,
+            l2_latency,
+            temperature_c: 110.0,
+        })
+        .collect()
+}
+
+#[test]
+fn warm_peer_serves_cold_node_with_zero_executions() {
+    let warm_dir = scratch("warm-peer-a");
+    let cold_dir = scratch("warm-peer-b");
+
+    // Warm node: compute the sweep once, then keep serving as a peer.
+    let warm = fleet_server(&warm_dir, Vec::new());
+    let warm_addr = warm.local_addr().to_string();
+    let mut client = TcpClient::connect(&warm_addr).expect("connects warm");
+    let reference = client
+        .request_pipelined(&figure_sweep())
+        .expect("warm sweep serves");
+    assert!(
+        warm.stats_report().cache.executions > 0,
+        "the warm node computed the sweep"
+    );
+    // Make the spills durable so fleet recalls can read them off disk.
+    warm.study().flush_store();
+
+    // Cold node: empty store, the warm node as its only peer. Every
+    // run behind the repeated sweep must arrive over the fleet wire —
+    // zero simulator executions — and reproduce the responses bitwise.
+    let cold = fleet_server(&cold_dir, vec![warm_addr]);
+    let mut client = TcpClient::connect(&cold.local_addr().to_string()).expect("connects cold");
+    let served = client
+        .request_pipelined(&figure_sweep())
+        .expect("cold sweep serves");
+    assert_eq!(
+        served, reference,
+        "fleet recalls must reproduce the warm node's responses bitwise"
+    );
+
+    let report = cold.shutdown();
+    assert_eq!(
+        report.cache.executions, 0,
+        "the whole sweep came off the fleet: {report:?}"
+    );
+    let fleet_report = report.fleet.expect("fleet tier attached");
+    assert!(fleet_report.hits > 0, "{fleet_report:?}");
+    assert_eq!(fleet_report.rejected, 0, "{fleet_report:?}");
+    assert_eq!(fleet_report.peers, 1, "{fleet_report:?}");
+    // Fleet hits spill into the local store: a restart of the cold node
+    // would now serve from its own disk.
+    let store_report = report.store.expect("store tier attached");
+    assert!(store_report.appends > 0, "{store_report:?}");
+
+    warm.shutdown();
+    for dir in [&warm_dir, &cold_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn anti_entropy_sync_warms_an_empty_store_over_the_wire() {
+    let warm_dir = scratch("sync-a");
+    let cold_dir = scratch("sync-b");
+
+    let warm = fleet_server(&warm_dir, Vec::new());
+    let warm_addr = warm.local_addr().to_string();
+    let mut client = TcpClient::connect(&warm_addr).expect("connects warm");
+    let reference = client
+        .request_pipelined(&figure_sweep())
+        .expect("warm sweep serves");
+    warm.study().flush_store();
+
+    // Pull every peer segment into the cold store before it serves.
+    let cold_store = RunStore::open(&cold_dir).expect("open cold store");
+    let tier = FleetTier::new([warm_addr.clone()]);
+    let sync = tier.sync_segments(&cold_store);
+    assert_eq!(sync.peers_reached, 1, "{sync:?}");
+    assert!(sync.segments_pulled > 0, "{sync:?}");
+    assert!(sync.records_installed > 0, "{sync:?}");
+    assert_eq!(sync.records_rejected, 0, "{sync:?}");
+    assert_eq!(sync.io_errors, 0, "{sync:?}");
+    // A second pass is a no-op: anti-entropy is idempotent.
+    let again = tier.sync_segments(&cold_store);
+    assert_eq!(again.records_installed, 0, "{again:?}");
+    drop(cold_store);
+
+    // The synced node serves the sweep from its own disk — no peers,
+    // no executions.
+    let cold = fleet_server(&cold_dir, Vec::new());
+    let mut client = TcpClient::connect(&cold.local_addr().to_string()).expect("connects cold");
+    let served = client
+        .request_pipelined(&figure_sweep())
+        .expect("synced sweep serves");
+    assert_eq!(served, reference, "synced store must reproduce bitwise");
+    let report = cold.shutdown();
+    assert_eq!(report.cache.executions, 0, "{report:?}");
+
+    warm.shutdown();
+    for dir in [&warm_dir, &cold_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn torn_shipped_segment_falls_through_to_recompute() {
+    let warm_dir = scratch("torn-a");
+    let cold_dir = scratch("torn-b");
+
+    let warm = fleet_server(&warm_dir, Vec::new());
+    let warm_addr = warm.local_addr().to_string();
+    let mut client = TcpClient::connect(&warm_addr).expect("connects warm");
+    let reference = client
+        .request_pipelined(&figure_sweep())
+        .expect("warm sweep serves");
+    warm.study().flush_store();
+
+    // Ship the warm node's segment through the live protocol, then tear
+    // it mid-record before landing it — a crashed transfer.
+    let peer = PeerClient::new(warm_addr);
+    let inventory = peer.inventory().expect("inventory over the wire");
+    assert!(!inventory.is_empty());
+    let shipped = peer
+        .pull_segment(&inventory[0].name)
+        .expect("segment over the wire");
+    let torn = &shipped[..shipped.len() * 2 / 3];
+    let cold_store = RunStore::open(&cold_dir).expect("open cold store");
+    let report = cold_store.import_segment(torn).expect("torn import");
+    assert_eq!(report.rejected, 1, "the cut record is rejected: {report:?}");
+    let installed = report.installed;
+    drop(cold_store);
+    warm.shutdown();
+
+    // The cold node (no peers) serves the sweep: the intact prefix hits
+    // disk, the torn tail recomputes, and the responses still match the
+    // warm node's bitwise — a torn transfer costs time, never truth.
+    let cold = fleet_server(&cold_dir, Vec::new());
+    let mut client = TcpClient::connect(&cold.local_addr().to_string()).expect("connects cold");
+    let served = client
+        .request_pipelined(&figure_sweep())
+        .expect("torn-store sweep serves");
+    assert_eq!(served, reference, "answers must stay bitwise-correct");
+    let report = cold.shutdown();
+    assert!(
+        report.cache.executions > 0,
+        "the torn tail must recompute: {report:?}"
+    );
+    if installed > 0 {
+        let store = report.store.expect("store tier attached");
+        assert!(store.hits > 0, "the intact prefix must serve: {store:?}");
+    }
+
+    for dir in [&warm_dir, &cold_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn fleet_requests_without_a_store_are_refused_inline() {
+    let server = Server::start(
+        test_study_config(),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("storeless server binds");
+    let peer = PeerClient::new(server.local_addr().to_string());
+    let err = peer
+        .recall(RecordId::of(b"any-key", 1), b"any-key")
+        .expect_err("refused");
+    assert!(err.to_string().contains("no run store"), "{err}");
+    let err = peer.inventory().expect_err("refused");
+    assert!(err.to_string().contains("no run store"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn fleet_recall_misses_then_hits_after_the_peer_computes() {
+    let dir = scratch("recall-lifecycle");
+    let server = fleet_server(&dir, Vec::new());
+    let peer = PeerClient::new(server.local_addr().to_string());
+
+    // Nothing computed yet: a recall is an honest peer-side miss.
+    let key = b"not-computed-yet".to_vec();
+    let miss = peer
+        .recall(RecordId::of(&key, 1), &key)
+        .expect("recall round-trips");
+    assert_eq!(miss, None);
+
+    // After the peer serves (and flushes) a request, the records are
+    // recallable over the wire and verify locally.
+    let mut client = TcpClient::connect(&server.local_addr().to_string()).expect("connects");
+    client
+        .request_value(&figure_sweep()[0])
+        .expect("peer computes");
+    server.study().flush_store();
+    let inventory = peer.inventory().expect("inventory");
+    let live: u64 = inventory.iter().map(|s| s.records).sum();
+    assert!(live > 0, "computed runs are inventoried: {inventory:?}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Raw-wire smoke: the fleet request kinds ride the same envelope
+/// grammar as `study`/`stats`, and unknown or conflicting kinds are
+/// answered with errors, connection kept open.
+#[test]
+fn fleet_wire_lines_share_the_envelope_grammar() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = scratch("wire-smoke");
+    let server = fleet_server(&dir, Vec::new());
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout configures");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // A conflicting request (stats + inventory) is refused.
+    writer
+        .write_all(b"{\"id\": 1, \"stats\": true, \"inventory\": true}\n")
+        .expect("writes");
+    reader.read_line(&mut line).expect("reads");
+    assert!(line.contains("\"err\""), "{line}");
+
+    // An inventory request on the same connection still answers.
+    line.clear();
+    writer
+        .write_all(b"{\"id\": 2, \"inventory\": true}\n")
+        .expect("writes");
+    reader.read_line(&mut line).expect("reads");
+    assert!(line.contains("\"id\":2"), "{line}");
+    assert!(line.contains("\"inventory\""), "{line}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
